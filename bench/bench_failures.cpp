@@ -1,0 +1,155 @@
+// Experiment EF -- the §2 failure model:
+//
+//   "some fraction of nodes may crash initially" and "communication can
+//   fail with a certain probability delta", with 1/log n < delta < 1/8.
+//
+// Sweeps delta and the crash fraction and reports, for DRR-gossip-max and
+// DRR-gossip-ave:
+//   * correctness (Max exact over survivors; Ave relative error),
+//   * consensus rate across seeds,
+//   * cost inflation (messages normalised by the delta = 0 run).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "aggregate/drr_gossip.hpp"
+#include "aggregate/extrema.hpp"
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+
+namespace drrg {
+namespace {
+
+constexpr int kTrials = 5;
+constexpr std::uint32_t kN = 2048;
+
+// Arg encoding: delta in per-mille.
+void BM_MaxUnderLoss(benchmark::State& state) {
+  const double delta = static_cast<double>(state.range(0)) / 1000.0;
+  int exact = 0, consensus = 0;
+  RunningStat msgs;
+  for (auto _ : state) {
+    for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
+      const auto values = bench::make_values(kN, seed);
+      const auto r = drr_gossip_max(kN, values, seed, sim::FaultModel{delta, 0.0});
+      exact += r.value == *std::max_element(values.begin(), values.end()) ? 1 : 0;
+      consensus += r.consensus ? 1 : 0;
+      msgs.add(static_cast<double>(r.metrics.total().sent));
+    }
+  }
+  state.counters["delta"] = delta;
+  state.counters["exact_rate"] = static_cast<double>(exact) / kTrials;
+  state.counters["consensus_rate"] = static_cast<double>(consensus) / kTrials;
+  state.counters["msgs_per_n"] = msgs.mean() / kN;
+}
+BENCHMARK(BM_MaxUnderLoss)->Arg(0)->Arg(50)->Arg(91)->Arg(125)->Arg(250)->Iterations(1);
+// 91/1000 ~ 1/log2(n) (the model's lower end), 125/1000 = 1/8 (upper end).
+
+void BM_AveUnderLoss(benchmark::State& state) {
+  const double delta = static_cast<double>(state.range(0)) / 1000.0;
+  RunningStat rel_err, msgs;
+  int consensus = 0;
+  for (auto _ : state) {
+    for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
+      const auto values = bench::make_values(kN, seed);
+      DrrGossipConfig cfg;
+      cfg.push_sum.rounds_multiplier = 8.0;
+      const auto r = drr_gossip_ave(kN, values, seed, sim::FaultModel{delta, 0.0}, cfg);
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      const double ave = sum / kN;
+      rel_err.add(std::fabs(r.value - ave) / std::max(1.0, std::fabs(ave)));
+      consensus += r.consensus ? 1 : 0;
+      msgs.add(static_cast<double>(r.metrics.total().sent));
+    }
+  }
+  state.counters["delta"] = delta;
+  state.counters["rel_err_mean"] = rel_err.mean();
+  state.counters["rel_err_max"] = rel_err.max();
+  state.counters["consensus_rate"] = static_cast<double>(consensus) / kTrials;
+  state.counters["msgs_per_n"] = msgs.mean() / kN;
+}
+BENCHMARK(BM_AveUnderLoss)->Arg(0)->Arg(50)->Arg(91)->Arg(125)->Arg(250)->Iterations(1);
+
+// Arg encoding: crash fraction in percent.
+void BM_MaxUnderCrashes(benchmark::State& state) {
+  const double crash = static_cast<double>(state.range(0)) / 100.0;
+  int exact = 0, consensus = 0;
+  for (auto _ : state) {
+    for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
+      const auto values = bench::make_values(kN, seed);
+      const auto r = drr_gossip_max(kN, values, seed, sim::FaultModel{0.0, crash});
+      double true_max = -1e300;
+      for (std::uint32_t v = 0; v < kN; ++v)
+        if (r.participating[v]) true_max = std::max(true_max, values[v]);
+      exact += r.value == true_max ? 1 : 0;
+      consensus += r.consensus ? 1 : 0;
+    }
+  }
+  state.counters["crash_fraction"] = crash;
+  state.counters["exact_rate"] = static_cast<double>(exact) / kTrials;
+  state.counters["consensus_rate"] = static_cast<double>(consensus) / kTrials;
+}
+BENCHMARK(BM_MaxUnderCrashes)->Arg(0)->Arg(10)->Arg(25)->Arg(50)->Iterations(1);
+
+// Combined worst case: crashes plus loss at the model's ceiling.
+void BM_AveUnderCrashesAndLoss(benchmark::State& state) {
+  const double crash = static_cast<double>(state.range(0)) / 100.0;
+  RunningStat rel_err;
+  for (auto _ : state) {
+    for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
+      const auto values = bench::make_values(kN, seed);
+      DrrGossipConfig cfg;
+      cfg.push_sum.rounds_multiplier = 8.0;
+      const auto r = drr_gossip_ave(kN, values, seed, sim::FaultModel{0.125, crash}, cfg);
+      double sum = 0.0;
+      std::uint32_t alive = 0;
+      for (std::uint32_t v = 0; v < kN; ++v) {
+        if (r.participating[v]) {
+          sum += values[v];
+          ++alive;
+        }
+      }
+      const double ave = sum / alive;
+      rel_err.add(std::fabs(r.value - ave) / std::max(1.0, std::fabs(ave)));
+    }
+  }
+  state.counters["crash_fraction"] = crash;
+  state.counters["rel_err_mean"] = rel_err.mean();
+  state.counters["rel_err_max"] = rel_err.max();
+}
+BENCHMARK(BM_AveUnderCrashesAndLoss)->Arg(0)->Arg(10)->Arg(25)->Iterations(1);
+
+// Count under loss: push-sum with the single-root denominator (the paper's
+// "suitable modification") versus the extrema-propagation extension --
+// min-diffusion is idempotent, so its error is pure estimator noise,
+// independent of delta.
+void BM_CountUnderLoss(benchmark::State& state) {
+  const double delta = static_cast<double>(state.range(0)) / 1000.0;
+  RunningStat pushsum_err, extrema_err;
+  for (auto _ : state) {
+    for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
+      DrrGossipConfig cfg;
+      cfg.push_sum.rounds_multiplier = 8.0;
+      const auto ps = drr_gossip_count(kN, seed, sim::FaultModel{delta, 0.0}, cfg);
+      pushsum_err.add(std::fabs(ps.value - kN) / kN);
+      ExtremaConfig ecfg;
+      ecfg.k = 256;  // rse ~ 6.3%
+      const auto ex = drr_gossip_count_extrema(kN, seed, sim::FaultModel{delta, 0.0}, ecfg);
+      extrema_err.add(std::fabs(ex.estimate - kN) / kN);
+    }
+  }
+  state.counters["delta"] = delta;
+  state.counters["pushsum_err_mean"] = pushsum_err.mean();
+  state.counters["pushsum_err_max"] = pushsum_err.max();
+  state.counters["extrema_err_mean"] = extrema_err.mean();
+  state.counters["extrema_err_max"] = extrema_err.max();
+}
+BENCHMARK(BM_CountUnderLoss)->Arg(0)->Arg(50)->Arg(125)->Arg(250)->Iterations(1);
+
+}  // namespace
+}  // namespace drrg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#include "aggregate/derived.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace drrg {
+
+namespace {
+
+std::vector<double> indicators(const std::vector<bool>& flags) {
+  std::vector<double> v(flags.size());
+  for (std::size_t i = 0; i < flags.size(); ++i) v[i] = flags[i] ? 1.0 : 0.0;
+  return v;
+}
+
+}  // namespace
+
+BoolOutcome drr_gossip_any(std::uint32_t n, const std::vector<bool>& flags,
+                           std::uint64_t seed, sim::FaultModel faults,
+                           const DrrGossipConfig& config) {
+  if (flags.size() < n) throw std::invalid_argument("drr_gossip_any: flags too short");
+  BoolOutcome out;
+  out.detail = drr_gossip_max(n, indicators(flags), seed, faults, config);
+  out.value = out.detail.value >= 0.5;
+  return out;
+}
+
+BoolOutcome drr_gossip_all(std::uint32_t n, const std::vector<bool>& flags,
+                           std::uint64_t seed, sim::FaultModel faults,
+                           const DrrGossipConfig& config) {
+  if (flags.size() < n) throw std::invalid_argument("drr_gossip_all: flags too short");
+  BoolOutcome out;
+  out.detail = drr_gossip_min(n, indicators(flags), seed, faults, config);
+  out.value = out.detail.value >= 0.5;
+  return out;
+}
+
+LeaderOutcome drr_gossip_elect_leader(std::uint32_t n, std::uint64_t seed,
+                                      sim::FaultModel faults,
+                                      const DrrGossipConfig& config) {
+  // Max over node ids: ids are exact in double up to 2^53.
+  std::vector<double> ids(n);
+  for (std::uint32_t v = 0; v < n; ++v) ids[v] = static_cast<double>(v);
+  LeaderOutcome out;
+  out.detail = drr_gossip_max(n, ids, seed, faults, config);
+  out.leader = static_cast<NodeId>(out.detail.value);
+  return out;
+}
+
+HistogramOutcome drr_gossip_histogram(std::uint32_t n, std::span<const double> values,
+                                      std::span<const double> edges, std::uint64_t seed,
+                                      sim::FaultModel faults,
+                                      const DrrGossipConfig& config) {
+  if (edges.size() < 2) throw std::invalid_argument("histogram: need >= 2 edges");
+  if (!std::is_sorted(edges.begin(), edges.end()) ||
+      std::adjacent_find(edges.begin(), edges.end()) != edges.end())
+    throw std::invalid_argument("histogram: edges must be strictly increasing");
+
+  HistogramOutcome out;
+  // rank(e) = #values < e; bucket i = rank(e_{i+1}) - rank(e_i).
+  std::vector<double> ranks(edges.size(), 0.0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const AggregateOutcome r = drr_gossip_rank(
+        n, values, edges[i], derive_seed(seed, 0x8157ULL, i), faults, config);
+    ranks[i] = r.value;
+    out.total += r.metrics.total();
+    ++out.pipeline_runs;
+  }
+  out.counts.resize(edges.size() - 1);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i)
+    out.counts[i] = std::max(0.0, ranks[i + 1] - ranks[i]);
+  return out;
+}
+
+}  // namespace drrg

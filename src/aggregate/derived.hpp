@@ -1,0 +1,63 @@
+#pragma once
+// Derived aggregates on top of the DRR-gossip primitives: the long tail
+// of "common aggregates" the paper's abstract alludes to, each reduced to
+// Max/Min/Sum/Rank runs.
+//
+//   * Any / All     -- Max / Min over {0,1} indicators;
+//   * leader election -- Max over (node id) keys: every node learns the
+//     same surviving node id in O(log n) rounds / O(n log log n) messages
+//     (a standard DRR-technique corollary: the §6 "other distributed
+//     computing problems" direction);
+//   * histogram     -- bucket counts via one Rank query per bucket edge.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aggregate/drr_gossip.hpp"
+
+namespace drrg {
+
+struct BoolOutcome {
+  bool value = false;
+  AggregateOutcome detail;
+};
+
+/// True iff any participating node's flag is set.
+[[nodiscard]] BoolOutcome drr_gossip_any(std::uint32_t n, const std::vector<bool>& flags,
+                                         std::uint64_t seed, sim::FaultModel faults = {},
+                                         const DrrGossipConfig& config = {});
+
+/// True iff every participating node's flag is set.
+[[nodiscard]] BoolOutcome drr_gossip_all(std::uint32_t n, const std::vector<bool>& flags,
+                                         std::uint64_t seed, sim::FaultModel faults = {},
+                                         const DrrGossipConfig& config = {});
+
+struct LeaderOutcome {
+  NodeId leader = kNoParent;
+  AggregateOutcome detail;
+};
+
+/// Elects the participating node with the largest id; all nodes agree on
+/// it whp (gossip-max consensus, Theorem 6).
+[[nodiscard]] LeaderOutcome drr_gossip_elect_leader(std::uint32_t n, std::uint64_t seed,
+                                                    sim::FaultModel faults = {},
+                                                    const DrrGossipConfig& config = {});
+
+struct HistogramOutcome {
+  /// counts[i] = #nodes with edges[i] <= value < edges[i+1].
+  std::vector<double> counts;
+  sim::Counters total;  ///< cost across all Rank pipeline runs
+  std::uint32_t pipeline_runs = 0;
+};
+
+/// Distributed histogram over `edges.size() - 1` buckets: one Rank run
+/// per interior edge (edges must be strictly increasing, >= 2 entries).
+[[nodiscard]] HistogramOutcome drr_gossip_histogram(std::uint32_t n,
+                                                    std::span<const double> values,
+                                                    std::span<const double> edges,
+                                                    std::uint64_t seed,
+                                                    sim::FaultModel faults = {},
+                                                    const DrrGossipConfig& config = {});
+
+}  // namespace drrg

@@ -1,0 +1,231 @@
+#include "aggregate/drr_gossip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "rootgossip/ordered_key.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+
+namespace {
+
+constexpr double kAgreeTolerance = 1e-9;  // relative, consensus checks
+
+struct Phase12 {
+  DrrResult drr;
+  ConvergecastResult cc;
+  BroadcastResult addr;
+};
+
+/// Phases I and II shared by all pipelines.
+Phase12 run_phase12(std::uint32_t n, std::span<const double> values,
+                    ConvergecastOp op, const RngFactory& rngs,
+                    sim::FaultModel faults, const DrrGossipConfig& config) {
+  Phase12 p;
+  p.drr = run_drr(n, rngs, faults, config.drr);
+  p.cc = run_convergecast(p.drr.forest, values, op, rngs, faults, config.convergecast);
+  // Root-address broadcast: after it, every tree member can forward Phase
+  // III traffic to its root.  (Protocol-level forwarding reads the forest
+  // structure, which this acknowledged broadcast provably distributed --
+  // see DESIGN.md.)
+  std::vector<double> addr_payload(n, 0.0);
+  for (NodeId r : p.drr.forest.roots()) addr_payload[r] = static_cast<double>(r);
+  BroadcastConfig addr_cfg = config.broadcast;
+  addr_cfg.stream_tag = derive_seed(addr_cfg.stream_tag, 1);
+  p.addr = run_broadcast(p.drr.forest, addr_payload, rngs, faults, addr_cfg);
+  return p;
+}
+
+void fill_forest_summary(const Forest& f, AggregateOutcome& out) {
+  out.forest.num_trees = f.num_trees();
+  out.forest.max_tree_size = f.max_tree_size();
+  out.forest.max_tree_height = f.max_tree_height();
+  out.forest.largest_tree_root = f.largest_tree_root();
+  out.participating.assign(f.size(), false);
+  for (NodeId v = 0; v < f.size(); ++v) out.participating[v] = f.is_member(v);
+}
+
+/// Final value broadcast + consensus bookkeeping shared by all pipelines.
+void finish(const Forest& forest, std::span<const double> root_value,
+            const RngFactory& rngs, sim::FaultModel faults,
+            const DrrGossipConfig& config, AggregateOutcome& out) {
+  // Roots agree iff all root values coincide (within rounding).
+  out.consensus = true;
+  const double ref = root_value[forest.roots().front()];
+  for (NodeId r : forest.roots()) {
+    const double scale = std::max({std::fabs(ref), std::fabs(root_value[r]), 1.0});
+    if (std::fabs(root_value[r] - ref) > kAgreeTolerance * scale) {
+      out.consensus = false;
+      break;
+    }
+  }
+  out.value = root_value[out.forest.largest_tree_root];
+
+  if (config.broadcast_result) {
+    BroadcastConfig value_cfg = config.broadcast;
+    value_cfg.stream_tag = derive_seed(value_cfg.stream_tag, 2);
+    std::vector<double> payload(root_value.begin(), root_value.end());
+    const BroadcastResult bc = run_broadcast(forest, payload, rngs, faults, value_cfg);
+    out.metrics.value_broadcast = bc.counters;
+    out.rounds_total += bc.rounds;
+    out.per_node = bc.received;
+    if (!bc.complete) out.consensus = false;
+  }
+}
+
+/// Shared Max skeleton; `negate` turns it into Min.
+AggregateOutcome max_pipeline(std::uint32_t n, std::span<const double> values,
+                              std::uint64_t seed, sim::FaultModel faults,
+                              const DrrGossipConfig& config, bool negate) {
+  if (values.size() < n) throw std::invalid_argument("drr_gossip: values too short");
+  RngFactory rngs{seed};
+  std::vector<double> work(values.begin(), values.begin() + n);
+  if (negate)
+    for (double& v : work) v = -v;
+
+  Phase12 p = run_phase12(n, work, ConvergecastOp::kMax, rngs, faults, config);
+  const Forest& forest = p.drr.forest;
+
+  AggregateOutcome out;
+  fill_forest_summary(forest, out);
+  out.metrics.drr = p.drr.counters;
+  out.metrics.convergecast = p.cc.counters;
+  out.metrics.root_broadcast = p.addr.counters;
+  out.rounds_total = p.drr.rounds + p.cc.rounds + p.addr.rounds;
+
+  // Phase III: gossip the per-tree maxima among the roots.
+  std::vector<std::uint64_t> keys(n, kKeyBottom);
+  for (NodeId r : forest.roots()) keys[r] = encode_ordered(p.cc.aggregate[r]);
+  GossipMaxConfig gm_cfg = config.gossip_max;
+  gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 3);
+  const GossipMaxResult gm = run_gossip_max(forest, keys, rngs, faults, gm_cfg);
+  out.metrics.gossip = gm.counters;
+  out.rounds_total += gm.rounds;
+
+  std::vector<double> root_value(n, 0.0);
+  for (NodeId r : forest.roots()) {
+    root_value[r] = decode_ordered(gm.key[r]);
+    if (negate) root_value[r] = -root_value[r];
+  }
+  finish(forest, root_value, rngs, faults, config, out);
+  return out;
+}
+
+/// Shared Ave/Sum/Count skeleton (Algorithm 8).  In `sum_mode` the push-sum
+/// denominator is the indicator of the elected root z, so the limit is the
+/// global sum of the numerators instead of the average of the values.
+AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
+                              std::uint64_t seed, sim::FaultModel faults,
+                              const DrrGossipConfig& config, bool sum_mode) {
+  if (values.size() < n) throw std::invalid_argument("drr_gossip: values too short");
+  RngFactory rngs{seed};
+
+  Phase12 p = run_phase12(n, values, ConvergecastOp::kSum, rngs, faults, config);
+  const Forest& forest = p.drr.forest;
+
+  AggregateOutcome out;
+  fill_forest_summary(forest, out);
+  out.metrics.drr = p.drr.counters;
+  out.metrics.convergecast = p.cc.counters;
+  out.metrics.root_broadcast = p.addr.counters;
+  out.rounds_total = p.drr.rounds + p.cc.rounds + p.addr.rounds;
+
+  // Phase III(a): Gossip-max on (tree size, id) keys elects the root of
+  // the largest tree; each root then *locally* knows whether it is z.
+  std::vector<std::uint64_t> size_keys(n, kKeyBottom);
+  for (NodeId r : forest.roots()) {
+    // Tree sizes here come from Convergecast-sum (covsum(*, 2)), exactly
+    // as Algorithm 8 prescribes -- not from global forest knowledge.
+    size_keys[r] = encode_size_id(static_cast<std::uint32_t>(p.cc.weight[r]), r);
+  }
+  GossipMaxConfig gm_cfg = config.gossip_max;
+  gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 4);
+  const GossipMaxResult election = run_gossip_max(forest, size_keys, rngs, faults, gm_cfg);
+
+  sim::Counters gossip_counters = election.counters;
+  std::uint32_t gossip_rounds = election.rounds;
+
+  // Phase III(b): push-sum on (local sum, tree size) -- or, for Sum/Count,
+  // (local sum, indicator of believing to be z).
+  std::vector<double> num0(n, 0.0), den0(n, 0.0);
+  for (NodeId r : forest.roots()) {
+    num0[r] = p.cc.aggregate[r];
+    if (sum_mode) {
+      den0[r] = (election.key[r] == size_keys[r]) ? 1.0 : 0.0;
+    } else {
+      den0[r] = p.cc.weight[r];
+    }
+  }
+  PushSumConfig ps_cfg = config.push_sum;
+  ps_cfg.stream_tag = derive_seed(ps_cfg.stream_tag, 5);
+  const PushSumResult ps = run_root_push_sum(forest, num0, den0, rngs, faults, ps_cfg);
+  gossip_counters += ps.counters;
+  gossip_rounds += ps.rounds;
+  out.metrics.gossip = gossip_counters;
+  out.rounds_total += gossip_rounds;
+
+  // Phase III(c): data-spread from every root that believes it is z (whp
+  // exactly one).  The spread key carries that root's estimate.
+  std::vector<std::uint64_t> spread_init(n, kKeyBottom);
+  for (NodeId r : forest.roots()) {
+    if (election.key[r] == size_keys[r] && ps.den[r] > 0.0)
+      spread_init[r] = encode_ordered(ps.num[r] / ps.den[r]);
+  }
+  GossipMaxConfig spread_cfg = config.gossip_max;
+  spread_cfg.stream_tag = derive_seed(spread_cfg.stream_tag, 6);
+  const GossipMaxResult spread = run_gossip_max(forest, spread_init, rngs, faults, spread_cfg);
+  out.metrics.spread = spread.counters;
+  out.rounds_total += spread.rounds;
+
+  std::vector<double> root_value(n, 0.0);
+  for (NodeId r : forest.roots())
+    root_value[r] = spread.key[r] == kKeyBottom ? 0.0 : decode_ordered(spread.key[r]);
+  finish(forest, root_value, rngs, faults, config, out);
+  return out;
+}
+
+}  // namespace
+
+AggregateOutcome drr_gossip_max(std::uint32_t n, std::span<const double> values,
+                                std::uint64_t seed, sim::FaultModel faults,
+                                const DrrGossipConfig& config) {
+  return max_pipeline(n, values, seed, faults, config, /*negate=*/false);
+}
+
+AggregateOutcome drr_gossip_min(std::uint32_t n, std::span<const double> values,
+                                std::uint64_t seed, sim::FaultModel faults,
+                                const DrrGossipConfig& config) {
+  return max_pipeline(n, values, seed, faults, config, /*negate=*/true);
+}
+
+AggregateOutcome drr_gossip_ave(std::uint32_t n, std::span<const double> values,
+                                std::uint64_t seed, sim::FaultModel faults,
+                                const DrrGossipConfig& config) {
+  return ave_pipeline(n, values, seed, faults, config, /*sum_mode=*/false);
+}
+
+AggregateOutcome drr_gossip_sum(std::uint32_t n, std::span<const double> values,
+                                std::uint64_t seed, sim::FaultModel faults,
+                                const DrrGossipConfig& config) {
+  return ave_pipeline(n, values, seed, faults, config, /*sum_mode=*/true);
+}
+
+AggregateOutcome drr_gossip_count(std::uint32_t n, std::uint64_t seed,
+                                  sim::FaultModel faults, const DrrGossipConfig& config) {
+  std::vector<double> ones(n, 1.0);
+  return ave_pipeline(n, ones, seed, faults, config, /*sum_mode=*/true);
+}
+
+AggregateOutcome drr_gossip_rank(std::uint32_t n, std::span<const double> values,
+                                 double x, std::uint64_t seed, sim::FaultModel faults,
+                                 const DrrGossipConfig& config) {
+  if (values.size() < n) throw std::invalid_argument("drr_gossip_rank: values too short");
+  std::vector<double> indicator(n, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) indicator[v] = values[v] < x ? 1.0 : 0.0;
+  return ave_pipeline(n, indicator, seed, faults, config, /*sum_mode=*/true);
+}
+
+}  // namespace drrg

@@ -1,0 +1,71 @@
+#pragma once
+// DRR-gossip (Algorithms 7 and 8): the paper's headline protocols.
+//
+// Given a value at each of n nodes (random phone call model, complete
+// communication graph), computes a global aggregate at every node in
+// O(log n) rounds and O(n log log n) messages:
+//
+//   Phase I    DRR             -> forest of O(n/log n) trees of size O(log n)
+//   Phase II   Convergecast    -> local aggregate at each root
+//              Broadcast       -> every node learns its root's address
+//   Phase III  Gossip-max      -> global extreme at all roots (Alg 7), or
+//              Gossip-max on tree sizes (elect z) + Gossip-ave + Data-spread
+//                              -> global average at all roots (Alg 8)
+//   Finally    Broadcast       -> every node learns the aggregate
+//
+// The Sum/Count/Rank variants use the push-sum machinery with the
+// denominator concentrated on the elected root z, making the common
+// push-sum limit sum(num)/1.
+//
+// Every function is deterministic in (n, seed, faults, config) and returns
+// full per-phase metrics for the complexity benches.
+
+#include <cstdint>
+#include <span>
+
+#include "aggregate/types.hpp"
+#include "sim/counters.hpp"
+
+namespace drrg {
+
+/// Maximum of values[v] over alive nodes (Algorithm 7).
+[[nodiscard]] AggregateOutcome drr_gossip_max(std::uint32_t n,
+                                              std::span<const double> values,
+                                              std::uint64_t seed,
+                                              sim::FaultModel faults = {},
+                                              const DrrGossipConfig& config = {});
+
+/// Minimum (Algorithm 7 on negated values).
+[[nodiscard]] AggregateOutcome drr_gossip_min(std::uint32_t n,
+                                              std::span<const double> values,
+                                              std::uint64_t seed,
+                                              sim::FaultModel faults = {},
+                                              const DrrGossipConfig& config = {});
+
+/// Average (Algorithm 8).
+[[nodiscard]] AggregateOutcome drr_gossip_ave(std::uint32_t n,
+                                              std::span<const double> values,
+                                              std::uint64_t seed,
+                                              sim::FaultModel faults = {},
+                                              const DrrGossipConfig& config = {});
+
+/// Sum over alive nodes (push-sum with the denominator at z).
+[[nodiscard]] AggregateOutcome drr_gossip_sum(std::uint32_t n,
+                                              std::span<const double> values,
+                                              std::uint64_t seed,
+                                              sim::FaultModel faults = {},
+                                              const DrrGossipConfig& config = {});
+
+/// Number of alive nodes (Sum of all-ones).
+[[nodiscard]] AggregateOutcome drr_gossip_count(std::uint32_t n, std::uint64_t seed,
+                                                sim::FaultModel faults = {},
+                                                const DrrGossipConfig& config = {});
+
+/// Rank of `x`: |{ alive v : values[v] < x }| (Sum of indicators).
+[[nodiscard]] AggregateOutcome drr_gossip_rank(std::uint32_t n,
+                                               std::span<const double> values, double x,
+                                               std::uint64_t seed,
+                                               sim::FaultModel faults = {},
+                                               const DrrGossipConfig& config = {});
+
+}  // namespace drrg

@@ -1,0 +1,209 @@
+#include "aggregate/extrema.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "drr/drr.hpp"
+#include "sim/engine.hpp"
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+namespace {
+
+using MinVec = std::vector<double>;
+
+void absorb_min(MinVec& into, const MinVec& from) {
+  for (std::size_t j = 0; j < into.size(); ++j) into[j] = std::min(into[j], from[j]);
+}
+
+// ---------------------------------------------------------------------------
+// Vector convergecast-min (Phase II for the min-vectors).
+
+struct VecMsg {
+  enum class Kind : std::uint8_t { kValue, kAck, kGossip, kInquiry, kReply };
+  Kind kind;
+  MinVec vec;                         // kValue/kGossip/kReply payload
+  sim::NodeId origin = sim::kNoNode;  // kInquiry
+};
+
+struct VecConvergecast {
+  VecConvergecast(const Forest& f, std::vector<MinVec>& state_, std::uint32_t bits)
+      : forest(f), state(state_), vec_bits(bits) {
+    pending_children.assign(f.size(), 0);
+    sent_up.assign(f.size(), false);
+    for (NodeId v = 0; v < f.size(); ++v) {
+      if (!f.is_member(v)) continue;
+      pending_children[v] = static_cast<std::uint32_t>(f.children(v).size());
+      if (!f.is_root(v)) ++unfinished;
+    }
+  }
+
+  const Forest& forest;
+  std::vector<MinVec>& state;
+  std::uint32_t vec_bits;
+  std::vector<std::uint32_t> pending_children;
+  std::vector<bool> sent_up;
+  std::uint32_t unfinished = 0;
+
+  void on_round(sim::Network<VecMsg>& net, sim::NodeId v) {
+    if (!forest.is_member(v) || forest.is_root(v)) return;
+    if (sent_up[v] || pending_children[v] > 0) return;
+    net.send(v, forest.parent(v), VecMsg{VecMsg::Kind::kValue, state[v], sim::kNoNode},
+             vec_bits);
+  }
+
+  void on_message(sim::Network<VecMsg>& net, sim::NodeId src, sim::NodeId dst,
+                  const VecMsg& m) {
+    if (m.kind != VecMsg::Kind::kValue) return;
+    absorb_min(state[dst], m.vec);
+    --pending_children[dst];
+    net.reply(dst, src, VecMsg{VecMsg::Kind::kAck, {}, sim::kNoNode}, 1);
+  }
+
+  void on_reply(sim::Network<VecMsg>&, sim::NodeId, sim::NodeId dst, const VecMsg& m) {
+    if (m.kind != VecMsg::Kind::kAck || sent_up[dst]) return;
+    sent_up[dst] = true;
+    --unfinished;
+  }
+
+  [[nodiscard]] bool done(const sim::Network<VecMsg>&) const { return unfinished == 0; }
+};
+
+// ---------------------------------------------------------------------------
+// Vector root gossip (Phase III): gossip procedure + sampling, min-absorb.
+
+struct VecGossip {
+  VecGossip(const Forest& f, std::vector<MinVec>& state_, std::uint32_t bits,
+            std::uint32_t gossip_rounds_, std::uint32_t sampling_rounds_)
+      : forest(f), state(state_), vec_bits(bits), gossip_rounds(gossip_rounds_),
+        sampling_rounds(sampling_rounds_) {}
+
+  const Forest& forest;
+  std::vector<MinVec>& state;
+  std::uint32_t vec_bits;
+  std::uint32_t gossip_rounds;
+  std::uint32_t sampling_rounds;
+  std::uint32_t drain = 4;
+
+  [[nodiscard]] std::uint32_t total_rounds() const {
+    return gossip_rounds + drain + sampling_rounds + drain;
+  }
+
+  void on_round(sim::Network<VecMsg>& net, sim::NodeId v) {
+    if (!forest.is_root(v)) return;
+    const std::uint32_t r = net.round();
+    if (r < gossip_rounds) {
+      net.send(v, net.sample_uniform(v), VecMsg{VecMsg::Kind::kGossip, state[v], sim::kNoNode},
+               vec_bits);
+    } else if (r >= gossip_rounds + drain &&
+               r < gossip_rounds + drain + sampling_rounds) {
+      net.send(v, net.sample_uniform(v), VecMsg{VecMsg::Kind::kInquiry, {}, v}, vec_bits);
+    }
+  }
+
+  void on_message(sim::Network<VecMsg>& net, sim::NodeId, sim::NodeId dst, const VecMsg& m) {
+    if (!forest.is_root(dst)) {
+      net.send(dst, forest.root_of(dst), m, vec_bits);  // forward (2nd hop)
+      return;
+    }
+    switch (m.kind) {
+      case VecMsg::Kind::kGossip:
+      case VecMsg::Kind::kReply:
+        absorb_min(state[dst], m.vec);
+        break;
+      case VecMsg::Kind::kInquiry:
+        net.send(dst, m.origin, VecMsg{VecMsg::Kind::kReply, state[dst], sim::kNoNode},
+                 vec_bits);
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shared driver: draw exponentials, run the three phases, estimate.
+
+ExtremaOutcome run_extrema(std::uint32_t n, std::span<const double> rates,
+                           std::uint64_t seed, sim::FaultModel faults,
+                           ExtremaConfig config) {
+  RngFactory rngs{seed};
+  const DrrResult drr = run_drr(n, rngs, faults, {});
+  const Forest& forest = drr.forest;
+
+  const std::uint32_t k =
+      config.k != 0 ? config.k : 4 * std::max<std::uint32_t>(2, ceil_log2(n));
+  const std::uint32_t vec_bits = k * 64 + address_bits(n);
+
+  // Per-node exponential draws: w ~ Exp(rate) = -ln(U)/rate.
+  std::vector<MinVec> state(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!forest.is_member(v)) continue;
+    if (!(rates[v] > 0.0))
+      throw std::invalid_argument("extrema propagation requires positive values");
+    Rng draw = rngs.node_stream(v, 0xe87e);
+    state[v].resize(k);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const double u = std::max(draw.next_unit(), 1e-300);
+      state[v][j] = -std::log(u) / rates[v];
+    }
+  }
+
+  ExtremaOutcome out;
+  out.k = k;
+  out.predicted_rse = k > 2 ? 1.0 / std::sqrt(static_cast<double>(k - 2)) : 1.0;
+  out.counters = drr.counters;
+  out.rounds_total = drr.rounds;
+
+  // Phase II: componentwise-min convergecast.
+  {
+    sim::Network<VecMsg> net{n, rngs, faults, 0xecc};
+    VecConvergecast cc{forest, state, vec_bits};
+    const std::uint32_t rounds = net.run(cc, 8 * (forest.max_tree_height() + 2) + 64);
+    out.counters += net.counters();
+    out.rounds_total += rounds;
+  }
+
+  // Phase III: vector gossip among the roots.
+  {
+    sim::Network<VecMsg> net{n, rngs, faults, 0xe90};
+    const auto G = static_cast<std::uint32_t>(config.gossip.gossip_multiplier *
+                                              static_cast<double>(ceil_log2(n)));
+    const auto S = static_cast<std::uint32_t>(config.gossip.sampling_multiplier *
+                                              static_cast<double>(ceil_log2(n)));
+    VecGossip gossip{forest, state, vec_bits, G, S};
+    for (std::uint32_t r = 0; r < gossip.total_rounds(); ++r) net.step(gossip);
+    out.counters += net.counters();
+    out.rounds_total += gossip.total_rounds();
+  }
+
+  // Estimate at every root; consensus iff all share the global min vector.
+  const NodeId z = forest.largest_tree_root();
+  double sum_min = 0.0;
+  for (double m : state[z]) sum_min += m;
+  out.estimate = sum_min > 0.0 ? static_cast<double>(k - 1) / sum_min : 0.0;
+  out.consensus = true;
+  for (NodeId r : forest.roots())
+    if (state[r] != state[z]) out.consensus = false;
+  return out;
+}
+
+}  // namespace
+
+ExtremaOutcome drr_gossip_count_extrema(std::uint32_t n, std::uint64_t seed,
+                                        sim::FaultModel faults, ExtremaConfig config) {
+  std::vector<double> ones(n, 1.0);
+  return run_extrema(n, ones, seed, faults, config);
+}
+
+ExtremaOutcome drr_gossip_sum_extrema(std::uint32_t n, std::span<const double> values,
+                                      std::uint64_t seed, sim::FaultModel faults,
+                                      ExtremaConfig config) {
+  if (values.size() < n) throw std::invalid_argument("extrema sum: values too short");
+  return run_extrema(n, values, seed, faults, config);
+}
+
+}  // namespace drrg

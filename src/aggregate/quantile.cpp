@@ -1,0 +1,61 @@
+#include "aggregate/quantile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace drrg {
+
+QuantileOutcome drr_gossip_quantile(std::uint32_t n, std::span<const double> values,
+                                    double q, std::uint64_t seed,
+                                    sim::FaultModel faults, const QuantileConfig& config) {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q in [0,1]");
+
+  QuantileOutcome out;
+  auto absorb = [&out](const AggregateOutcome& r) {
+    out.total += r.metrics.total();
+    ++out.pipeline_runs;
+  };
+
+  // Bracket the domain with Min/Max runs, then count participants.
+  const AggregateOutcome lo_run =
+      drr_gossip_min(n, values, derive_seed(seed, 0x91ULL, 0), faults, config.pipeline);
+  const AggregateOutcome hi_run =
+      drr_gossip_max(n, values, derive_seed(seed, 0x91ULL, 1), faults, config.pipeline);
+  const AggregateOutcome count_run =
+      drr_gossip_count(n, derive_seed(seed, 0x91ULL, 2), faults, config.pipeline);
+  absorb(lo_run);
+  absorb(hi_run);
+  absorb(count_run);
+
+  double lo = lo_run.value;
+  double hi = hi_run.value;
+  const double target_rank = q * count_run.value;
+
+  out.value = (lo + hi) / 2.0;
+  out.achieved_rank = 0.0;
+  for (std::uint32_t it = 0; it < config.iterations && lo < hi; ++it) {
+    const double mid = lo + (hi - lo) / 2.0;
+    if (mid <= lo || mid >= hi) break;  // domain exhausted (denormal gap)
+    const AggregateOutcome rank_run = drr_gossip_rank(
+        n, values, mid, derive_seed(seed, 0x92ULL, it), faults, config.pipeline);
+    absorb(rank_run);
+    out.value = mid;
+    out.achieved_rank = rank_run.value;
+    if (rank_run.value < target_rank) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return out;
+}
+
+QuantileOutcome drr_gossip_median(std::uint32_t n, std::span<const double> values,
+                                  std::uint64_t seed, sim::FaultModel faults,
+                                  const QuantileConfig& config) {
+  return drr_gossip_quantile(n, values, 0.5, seed, faults, config);
+}
+
+}  // namespace drrg

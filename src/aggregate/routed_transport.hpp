@@ -1,0 +1,104 @@
+#pragma once
+// Hop-accurate message transport for Phase III on sparse networks (§4).
+//
+// On a sparse overlay a root cannot call a random node directly: the call
+// is *routed* (Assumption 2 -- here, Chord greedy routing), and the
+// receiving node forwards the message up its ranking tree to its root.
+// This transport models exactly that: every logical G~ send is expanded
+// into its overlay hop count (routing hops + tree depth of the landing
+// node), one round and one message per hop, with independent per-hop loss.
+// Deliveries are replayed to the caller round by round, so the driving
+// loop observes the same latency the hop-by-hop execution would.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "chord/chord.hpp"
+#include "forest/forest.hpp"
+#include "sim/counters.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+
+template <class Payload>
+class RoutedTransport {
+ public:
+  RoutedTransport(const ChordOverlay& chord, const Forest& forest, double loss_prob,
+                  Rng loss_rng, std::uint32_t bits_per_message)
+      : chord_(chord),
+        forest_(forest),
+        loss_(loss_prob),
+        loss_rng_(loss_rng),
+        bits_(bits_per_message) {}
+
+  /// Root `src` calls a near-uniform random node (Assumption 2 sampling),
+  /// which forwards to its own root.  The payload arrives at that root
+  /// after (routing + tree-depth) rounds unless a hop loses it.
+  void send_to_random_root(NodeId src, Payload payload, std::uint32_t now, Rng& rng) {
+    std::uint32_t hops = 0;
+    const NodeId landing = chord_.sample_near_uniform(src, rng, &hops);
+    if (!forest_.is_member(landing)) {
+      // Crashed landing node: the last routing hop is lost.
+      charge_hops(hops);
+      return;
+    }
+    hops += forest_.depth(landing);  // tree walk up to the landing node's root
+    schedule(forest_.root_of(landing), std::move(payload), now, hops);
+  }
+
+  /// Directed send to a known root's ring position (used by the sampling
+  /// procedure's replies -- the non-address-oblivious step).
+  void send_to_root_direct(NodeId src, NodeId dst_root, Payload payload,
+                           std::uint32_t now) {
+    const std::uint32_t hops = chord_.route_hops(src, chord_.id_of(dst_root));
+    schedule(dst_root, std::move(payload), now, hops);
+  }
+
+  /// Deliveries due at round t (call with ascending t).
+  [[nodiscard]] std::vector<std::pair<NodeId, Payload>> collect(std::uint32_t t) {
+    auto it = pending_.find(t);
+    if (it == pending_.end()) return {};
+    auto out = std::move(it->second);
+    pending_.erase(it);
+    return out;
+  }
+
+  [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
+
+  [[nodiscard]] sim::Counters& counters() noexcept { return counters_; }
+
+ private:
+  void charge_hops(std::uint32_t hops) {
+    counters_.sent += hops;
+    counters_.bits += static_cast<std::uint64_t>(hops) * bits_;
+  }
+
+  void schedule(NodeId dst, Payload payload, std::uint32_t now, std::uint32_t hops) {
+    // Hop-by-hop: each hop is one message in one round; a lost hop kills
+    // the whole delivery (no end-to-end retransmit in Phase III -- the
+    // gossip process itself provides the redundancy).
+    for (std::uint32_t h = 0; h < hops; ++h) {
+      counters_.sent += 1;
+      counters_.bits += bits_;
+      if (loss_rng_.next_bernoulli(loss_)) {
+        counters_.lost += 1;
+        return;
+      }
+    }
+    counters_.delivered += 1;
+    const std::uint32_t latency = hops == 0 ? 1 : hops;  // self-delivery: next round
+    pending_[now + latency].push_back({dst, std::move(payload)});
+  }
+
+  const ChordOverlay& chord_;
+  const Forest& forest_;
+  double loss_;
+  Rng loss_rng_;
+  std::uint32_t bits_;
+  sim::Counters counters_{};
+  std::map<std::uint32_t, std::vector<std::pair<NodeId, Payload>>> pending_;
+};
+
+}  // namespace drrg

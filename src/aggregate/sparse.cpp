@@ -1,0 +1,351 @@
+#include "aggregate/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "aggregate/routed_transport.hpp"
+#include "rootgossip/ordered_key.hpp"
+#include "support/mathutil.hpp"
+#include "trees/broadcast.hpp"
+#include "trees/convergecast.hpp"
+
+namespace drrg {
+
+Graph overlay_graph(const ChordOverlay& chord) {
+  std::set<std::pair<NodeId, NodeId>> edges;
+  auto add = [&edges](NodeId a, NodeId b) {
+    if (a == b) return;
+    edges.insert({std::min(a, b), std::max(a, b)});
+  };
+  for (NodeId v = 0; v < chord.size(); ++v) {
+    add(v, chord.successor(v));
+    for (std::uint32_t k = 0; k < chord.ring_bits(); ++k) add(v, chord.finger(v, k));
+  }
+  return Graph::from_edges(chord.size(),
+                           std::vector<std::pair<NodeId, NodeId>>(edges.begin(), edges.end()));
+}
+
+namespace {
+
+constexpr double kAgreeTolerance = 1e-9;
+
+// ---------------------------------------------------------------------------
+// Routed Gossip-max over the forest roots.
+
+struct GmPayload {
+  enum class Kind : std::uint8_t { kGossip, kInquiry, kReply };
+  Kind kind;
+  std::uint64_t key = 0;
+  NodeId origin = kNoParent;
+};
+
+struct SparseGmResult {
+  std::vector<std::uint64_t> key;
+  std::vector<std::uint64_t> key_after_gossip;
+  sim::Counters counters;
+  std::uint32_t rounds = 0;
+};
+
+SparseGmResult sparse_gossip_max(const ChordOverlay& chord, const Forest& forest,
+                                 std::span<const std::uint64_t> init,
+                                 const RngFactory& rngs, double loss,
+                                 const GossipMaxConfig& cfg) {
+  const std::uint32_t n = forest.size();
+  SparseGmResult result;
+  result.key.assign(n, kKeyBottom);
+  for (NodeId r : forest.roots()) result.key[r] = init[r];
+
+  const std::uint32_t bits = 64 + 2 * address_bits(n);
+  RoutedTransport<GmPayload> transport{
+      chord, forest, loss,
+      rngs.engine_stream(derive_seed(0x59a2, cfg.stream_tag)), bits};
+  std::vector<Rng> root_rng;
+  root_rng.reserve(forest.roots().size());
+  std::vector<std::uint32_t> root_slot(n, 0);
+  for (std::uint32_t i = 0; i < forest.roots().size(); ++i) {
+    root_slot[forest.roots()[i]] = i;
+    root_rng.push_back(rngs.node_stream(forest.roots()[i], derive_seed(0x59a3, cfg.stream_tag)));
+  }
+
+  const auto G = static_cast<std::uint32_t>(cfg.gossip_multiplier *
+                                            static_cast<double>(ceil_log2(n)));
+  const auto S = static_cast<std::uint32_t>(cfg.sampling_multiplier *
+                                            static_cast<double>(ceil_log2(n)));
+
+  auto handle = [&](NodeId dst, const GmPayload& m, std::uint32_t now) {
+    switch (m.kind) {
+      case GmPayload::Kind::kGossip:
+      case GmPayload::Kind::kReply:
+        result.key[dst] = std::max(result.key[dst], m.key);
+        break;
+      case GmPayload::Kind::kInquiry:
+        transport.send_to_root_direct(dst, m.origin,
+                                      GmPayload{GmPayload::Kind::kReply, result.key[dst],
+                                                kNoParent},
+                                      now);
+        break;
+    }
+  };
+
+  std::uint32_t t = 0;
+  // Gossip procedure, then drain in-flight messages.
+  while (t < G || !transport.idle()) {
+    for (auto& [dst, m] : transport.collect(t)) handle(dst, m, t);
+    if (t < G)
+      for (NodeId r : forest.roots())
+        transport.send_to_random_root(
+            r, GmPayload{GmPayload::Kind::kGossip, result.key[r], kNoParent}, t,
+            root_rng[root_slot[r]]);
+    ++t;
+  }
+  result.key_after_gossip = result.key;
+
+  // Sampling procedure, then drain (replies may trigger further sends, so
+  // the loop keeps collecting until the transport is quiet).
+  const std::uint32_t base = t;
+  while (t < base + S || !transport.idle()) {
+    for (auto& [dst, m] : transport.collect(t)) handle(dst, m, t);
+    if (t < base + S)
+      for (NodeId r : forest.roots())
+        transport.send_to_random_root(r, GmPayload{GmPayload::Kind::kInquiry, 0, r}, t,
+                                      root_rng[root_slot[r]]);
+    ++t;
+  }
+
+  result.counters = transport.counters();
+  result.counters.rounds = t;
+  result.rounds = t;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Routed push-sum over the forest roots.
+
+struct PsPayload {
+  double num = 0.0;
+  double den = 0.0;
+};
+
+struct SparsePsResult {
+  std::vector<double> num;
+  std::vector<double> den;
+  sim::Counters counters;
+  std::uint32_t rounds = 0;
+};
+
+SparsePsResult sparse_push_sum(const ChordOverlay& chord, const Forest& forest,
+                               std::span<const double> num0, std::span<const double> den0,
+                               const RngFactory& rngs, double loss,
+                               const PushSumConfig& cfg) {
+  const std::uint32_t n = forest.size();
+  SparsePsResult result;
+  result.num.assign(n, 0.0);
+  result.den.assign(n, 0.0);
+  for (NodeId r : forest.roots()) {
+    result.num[r] = num0[r];
+    result.den[r] = den0[r];
+  }
+
+  const std::uint32_t bits = 2 * 64 + address_bits(n);
+  RoutedTransport<PsPayload> transport{
+      chord, forest, loss,
+      rngs.engine_stream(derive_seed(0x59b2, cfg.stream_tag)), bits};
+  std::vector<Rng> root_rng;
+  std::vector<std::uint32_t> root_slot(n, 0);
+  for (std::uint32_t i = 0; i < forest.roots().size(); ++i) {
+    root_slot[forest.roots()[i]] = i;
+    root_rng.push_back(rngs.node_stream(forest.roots()[i], derive_seed(0x59b3, cfg.stream_tag)));
+  }
+
+  const std::uint32_t T = static_cast<std::uint32_t>(
+                              cfg.rounds_multiplier * static_cast<double>(ceil_log2(n))) +
+                          cfg.extra_rounds;
+
+  std::uint32_t t = 0;
+  while (t < T || !transport.idle()) {
+    for (auto& [dst, m] : transport.collect(t)) {
+      result.num[dst] += m.num;
+      result.den[dst] += m.den;
+    }
+    if (t < T) {
+      for (NodeId r : forest.roots()) {
+        result.num[r] *= 0.5;
+        result.den[r] *= 0.5;
+        transport.send_to_random_root(r, PsPayload{result.num[r], result.den[r]}, t,
+                                      root_rng[root_slot[r]]);
+      }
+    }
+    ++t;
+  }
+
+  result.counters = transport.counters();
+  result.counters.rounds = t;
+  result.rounds = t;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Shared pipeline scaffolding.
+
+struct SparsePhase12 {
+  LocalDrrResult drr;
+  ConvergecastResult cc;
+  BroadcastResult addr;
+};
+
+SparsePhase12 run_sparse_phase12(const Graph& links, std::span<const double> values,
+                                 ConvergecastOp op, const RngFactory& rngs,
+                                 sim::FaultModel faults, const SparseGossipConfig& config) {
+  SparsePhase12 p;
+  p.drr = run_local_drr(links, rngs, faults, config.local_drr);
+  p.cc = run_convergecast(p.drr.forest, values, op, rngs, faults, config.convergecast);
+  std::vector<double> addr_payload(links.size(), 0.0);
+  for (NodeId r : p.drr.forest.roots()) addr_payload[r] = static_cast<double>(r);
+  BroadcastConfig addr_cfg = config.broadcast;
+  addr_cfg.simultaneous_children = true;
+  addr_cfg.stream_tag = derive_seed(addr_cfg.stream_tag, 1);
+  p.addr = run_broadcast(p.drr.forest, addr_payload, rngs, faults, addr_cfg);
+  return p;
+}
+
+void fill_summary(const Forest& f, AggregateOutcome& out) {
+  out.forest.num_trees = f.num_trees();
+  out.forest.max_tree_size = f.max_tree_size();
+  out.forest.max_tree_height = f.max_tree_height();
+  out.forest.largest_tree_root = f.largest_tree_root();
+  out.participating.assign(f.size(), false);
+  for (NodeId v = 0; v < f.size(); ++v) out.participating[v] = f.is_member(v);
+}
+
+void sparse_finish(const Forest& forest, std::span<const double> root_value,
+                   const RngFactory& rngs, sim::FaultModel faults,
+                   const SparseGossipConfig& config, AggregateOutcome& out) {
+  out.consensus = true;
+  const double ref = root_value[forest.roots().front()];
+  for (NodeId r : forest.roots()) {
+    const double scale = std::max({std::fabs(ref), std::fabs(root_value[r]), 1.0});
+    if (std::fabs(root_value[r] - ref) > kAgreeTolerance * scale) {
+      out.consensus = false;
+      break;
+    }
+  }
+  out.value = root_value[out.forest.largest_tree_root];
+
+  if (config.broadcast_result) {
+    BroadcastConfig value_cfg = config.broadcast;
+    value_cfg.simultaneous_children = true;
+    value_cfg.stream_tag = derive_seed(value_cfg.stream_tag, 2);
+    std::vector<double> payload(root_value.begin(), root_value.end());
+    const BroadcastResult bc = run_broadcast(forest, payload, rngs, faults, value_cfg);
+    out.metrics.value_broadcast = bc.counters;
+    out.rounds_total += bc.rounds;
+    out.per_node = bc.received;
+    if (!bc.complete) out.consensus = false;
+  }
+}
+
+}  // namespace
+
+AggregateOutcome sparse_drr_gossip_max(const ChordOverlay& chord, const Graph& links,
+                                       std::span<const double> values, std::uint64_t seed,
+                                       sim::FaultModel faults,
+                                       const SparseGossipConfig& config) {
+  const std::uint32_t n = chord.size();
+  if (links.size() != n) throw std::invalid_argument("sparse_drr_gossip: graph/overlay mismatch");
+  if (values.size() < n) throw std::invalid_argument("sparse_drr_gossip: values too short");
+  RngFactory rngs{seed};
+
+  SparsePhase12 p = run_sparse_phase12(links, values, ConvergecastOp::kMax, rngs, faults, config);
+  const Forest& forest = p.drr.forest;
+
+  AggregateOutcome out;
+  fill_summary(forest, out);
+  out.metrics.drr = p.drr.counters;
+  out.metrics.convergecast = p.cc.counters;
+  out.metrics.root_broadcast = p.addr.counters;
+  out.rounds_total = p.drr.rounds + p.cc.rounds + p.addr.rounds;
+
+  std::vector<std::uint64_t> keys(n, kKeyBottom);
+  for (NodeId r : forest.roots()) keys[r] = encode_ordered(p.cc.aggregate[r]);
+  GossipMaxConfig gm_cfg = config.gossip_max;
+  gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 3);
+  const SparseGmResult gm =
+      sparse_gossip_max(chord, forest, keys, rngs, faults.loss_prob, gm_cfg);
+  out.metrics.gossip = gm.counters;
+  out.rounds_total += gm.rounds;
+
+  std::vector<double> root_value(n, 0.0);
+  for (NodeId r : forest.roots()) root_value[r] = decode_ordered(gm.key[r]);
+  sparse_finish(forest, root_value, rngs, faults, config, out);
+  return out;
+}
+
+AggregateOutcome sparse_drr_gossip_ave(const ChordOverlay& chord, const Graph& links,
+                                       std::span<const double> values, std::uint64_t seed,
+                                       sim::FaultModel faults,
+                                       const SparseGossipConfig& config) {
+  const std::uint32_t n = chord.size();
+  if (links.size() != n) throw std::invalid_argument("sparse_drr_gossip: graph/overlay mismatch");
+  if (values.size() < n) throw std::invalid_argument("sparse_drr_gossip: values too short");
+  RngFactory rngs{seed};
+
+  SparsePhase12 p = run_sparse_phase12(links, values, ConvergecastOp::kSum, rngs, faults, config);
+  const Forest& forest = p.drr.forest;
+
+  AggregateOutcome out;
+  fill_summary(forest, out);
+  out.metrics.drr = p.drr.counters;
+  out.metrics.convergecast = p.cc.counters;
+  out.metrics.root_broadcast = p.addr.counters;
+  out.rounds_total = p.drr.rounds + p.cc.rounds + p.addr.rounds;
+
+  // Elect z on (tree size, id) keys.
+  std::vector<std::uint64_t> size_keys(n, kKeyBottom);
+  for (NodeId r : forest.roots())
+    size_keys[r] = encode_size_id(static_cast<std::uint32_t>(p.cc.weight[r]), r);
+  GossipMaxConfig gm_cfg = config.gossip_max;
+  gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 4);
+  const SparseGmResult election =
+      sparse_gossip_max(chord, forest, size_keys, rngs, faults.loss_prob, gm_cfg);
+  sim::Counters gossip_counters = election.counters;
+  std::uint32_t gossip_rounds = election.rounds;
+
+  // Push-sum on (local sum, tree size).
+  std::vector<double> num0(n, 0.0), den0(n, 0.0);
+  for (NodeId r : forest.roots()) {
+    num0[r] = p.cc.aggregate[r];
+    den0[r] = p.cc.weight[r];
+  }
+  PushSumConfig ps_cfg = config.push_sum;
+  ps_cfg.stream_tag = derive_seed(ps_cfg.stream_tag, 5);
+  const SparsePsResult ps =
+      sparse_push_sum(chord, forest, num0, den0, rngs, faults.loss_prob, ps_cfg);
+  gossip_counters += ps.counters;
+  gossip_rounds += ps.rounds;
+  out.metrics.gossip = gossip_counters;
+  out.rounds_total += gossip_rounds;
+
+  // Data-spread from the believed-largest root(s).
+  std::vector<std::uint64_t> spread_init(n, kKeyBottom);
+  for (NodeId r : forest.roots()) {
+    if (election.key[r] == size_keys[r] && ps.den[r] > 0.0)
+      spread_init[r] = encode_ordered(ps.num[r] / ps.den[r]);
+  }
+  GossipMaxConfig spread_cfg = config.gossip_max;
+  spread_cfg.stream_tag = derive_seed(spread_cfg.stream_tag, 6);
+  const SparseGmResult spread =
+      sparse_gossip_max(chord, forest, spread_init, rngs, faults.loss_prob, spread_cfg);
+  out.metrics.spread = spread.counters;
+  out.rounds_total += spread.rounds;
+
+  std::vector<double> root_value(n, 0.0);
+  for (NodeId r : forest.roots())
+    root_value[r] = spread.key[r] == kKeyBottom ? 0.0 : decode_ordered(spread.key[r]);
+  sparse_finish(forest, root_value, rngs, faults, config, out);
+  return out;
+}
+
+}  // namespace drrg

@@ -1,0 +1,57 @@
+#pragma once
+// DRR-gossip on sparse networks (§4): Local-DRR + tree aggregation +
+// routed root gossip on a Chord overlay.
+//
+// Theorem 14 (instantiated for Chord, T = M = O(log n)): the pipeline
+// takes O(log^2 n) time and O(n log n) messages whp, versus
+// O(log^2 n) time and O(n log^2 n) messages for uniform gossip -- the
+// log n message reduction comes from gossiping among O(n / d) = O(n / log n)
+// roots instead of all n nodes.
+//
+//   Phase I    Local-DRR       O(1) time*, O(|E|) messages
+//   Phase II   Convergecast + broadcast along tree (overlay) edges,
+//              O(log n) time by Theorem 11, O(n) messages
+//   Phase III  root gossip, O(log n) G~-rounds x O(log n) hops each
+//
+// (*plus the constant-round loss-resilient rank re-exchange.)
+
+#include <cstdint>
+#include <span>
+
+#include "aggregate/types.hpp"
+#include "chord/chord.hpp"
+#include "drr/local_drr.hpp"
+#include "topology/graph.hpp"
+
+namespace drrg {
+
+/// The overlay's link graph: successor + finger edges.  Local-DRR and the
+/// tree phases run on these edges.
+[[nodiscard]] Graph overlay_graph(const ChordOverlay& chord);
+
+struct SparseGossipConfig {
+  LocalDrrConfig local_drr;
+  ConvergecastConfig convergecast;
+  BroadcastConfig broadcast;  ///< simultaneous_children is forced on (§4 A1)
+  GossipMaxConfig gossip_max;
+  PushSumConfig push_sum;
+  bool broadcast_result = true;
+};
+
+/// Maximum over alive nodes on the Chord overlay.
+[[nodiscard]] AggregateOutcome sparse_drr_gossip_max(const ChordOverlay& chord,
+                                                     const Graph& links,
+                                                     std::span<const double> values,
+                                                     std::uint64_t seed,
+                                                     sim::FaultModel faults = {},
+                                                     const SparseGossipConfig& config = {});
+
+/// Average over alive nodes on the Chord overlay (Algorithm 8 shape).
+[[nodiscard]] AggregateOutcome sparse_drr_gossip_ave(const ChordOverlay& chord,
+                                                     const Graph& links,
+                                                     std::span<const double> values,
+                                                     std::uint64_t seed,
+                                                     sim::FaultModel faults = {},
+                                                     const SparseGossipConfig& config = {});
+
+}  // namespace drrg

@@ -1,0 +1,75 @@
+#pragma once
+// Public result/configuration types of the DRR-gossip pipelines.
+
+#include <cstdint>
+#include <vector>
+
+#include "drr/drr.hpp"
+#include "rootgossip/gossip_ave.hpp"
+#include "rootgossip/gossip_max.hpp"
+#include "sim/counters.hpp"
+#include "trees/broadcast.hpp"
+#include "trees/convergecast.hpp"
+
+namespace drrg {
+
+/// End-to-end configuration of a DRR-gossip run.  Defaults reproduce the
+/// paper's parameters (probe budget log2(n) - 1, O(log n) gossip rounds).
+struct DrrGossipConfig {
+  DrrConfig drr;
+  ConvergecastConfig convergecast;
+  BroadcastConfig broadcast;
+  GossipMaxConfig gossip_max;
+  PushSumConfig push_sum;
+  /// Whether to run the final value broadcast so every node (not just
+  /// every root) ends with the aggregate.
+  bool broadcast_result = true;
+};
+
+/// Per-phase message/round accounting of one pipeline run.
+struct PhaseMetrics {
+  sim::Counters drr;             ///< Phase I
+  sim::Counters convergecast;    ///< Phase II (up)
+  sim::Counters root_broadcast;  ///< Phase II (down, root addresses)
+  sim::Counters gossip;          ///< Phase III (gossip-max / election + push-sum)
+  sim::Counters spread;          ///< Phase III (data-spread, Ave-family only)
+  sim::Counters value_broadcast; ///< final dissemination
+
+  [[nodiscard]] sim::Counters total() const noexcept {
+    sim::Counters t;
+    t += drr;
+    t += convergecast;
+    t += root_broadcast;
+    t += gossip;
+    t += spread;
+    t += value_broadcast;
+    return t;
+  }
+};
+
+/// Shape of the Phase I forest (the Theorem 2/3 observables).
+struct ForestSummary {
+  std::uint32_t num_trees = 0;
+  std::uint32_t max_tree_size = 0;
+  std::uint32_t max_tree_height = 0;
+  NodeId largest_tree_root = kNoParent;
+};
+
+struct AggregateOutcome {
+  /// The computed aggregate (consensus value held by the roots).
+  double value = 0.0;
+  /// Value each node ended with after the final broadcast (empty when
+  /// broadcast_result is false).  Crashed nodes keep 0.
+  std::vector<double> per_node;
+  /// Mask of nodes that participated (alive nodes).
+  std::vector<bool> participating;
+  /// True iff every participating root (and node, after broadcast) agrees
+  /// on `value`.
+  bool consensus = false;
+  ForestSummary forest;
+  PhaseMetrics metrics;
+  /// Sum of rounds across all phases (the paper's time complexity).
+  std::uint32_t rounds_total = 0;
+};
+
+}  // namespace drrg

@@ -1,0 +1,155 @@
+#include "baselines/chord_uniform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+namespace {
+
+/// Minimal routed scheduler (no forest: deliveries land on the sampled
+/// node itself).  Mirrors RoutedTransport's hop/loss accounting.
+template <class Payload>
+class NodeTransport {
+ public:
+  NodeTransport(const ChordOverlay& chord, double loss, Rng loss_rng, std::uint32_t bits)
+      : chord_(chord), loss_(loss), loss_rng_(loss_rng), bits_(bits) {}
+
+  void send_to_random(NodeId src, Payload payload, std::uint32_t now, Rng& rng) {
+    std::uint32_t hops = 0;
+    const NodeId landing = chord_.sample_near_uniform(src, rng, &hops);
+    for (std::uint32_t h = 0; h < hops; ++h) {
+      counters_.sent += 1;
+      counters_.bits += bits_;
+      if (loss_rng_.next_bernoulli(loss_)) {
+        counters_.lost += 1;
+        return;
+      }
+    }
+    counters_.delivered += 1;
+    pending_[now + std::max<std::uint32_t>(1, hops)].push_back({landing, std::move(payload)});
+  }
+
+  [[nodiscard]] std::vector<std::pair<NodeId, Payload>> collect(std::uint32_t t) {
+    auto it = pending_.find(t);
+    if (it == pending_.end()) return {};
+    auto out = std::move(it->second);
+    pending_.erase(it);
+    return out;
+  }
+
+  [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
+  [[nodiscard]] sim::Counters& counters() noexcept { return counters_; }
+
+ private:
+  const ChordOverlay& chord_;
+  double loss_;
+  Rng loss_rng_;
+  std::uint32_t bits_;
+  sim::Counters counters_{};
+  std::map<std::uint32_t, std::vector<std::pair<NodeId, Payload>>> pending_;
+};
+
+}  // namespace
+
+ChordUniformResult chord_uniform_push_max(const ChordOverlay& chord,
+                                          std::span<const double> values,
+                                          std::uint64_t seed, double loss_prob,
+                                          ChordUniformConfig config) {
+  const std::uint32_t n = chord.size();
+  if (values.size() < n) throw std::invalid_argument("chord_uniform: values too short");
+  RngFactory rngs{seed};
+
+  ChordUniformResult result;
+  result.value.assign(values.begin(), values.begin() + n);
+  const double true_max = *std::max_element(result.value.begin(), result.value.end());
+
+  NodeTransport<double> transport{chord, loss_prob,
+                                  rngs.engine_stream(0xc0de), 64 + address_bits(n)};
+  std::vector<Rng> node_rng;
+  node_rng.reserve(n);
+  for (NodeId v = 0; v < n; ++v) node_rng.push_back(rngs.node_stream(v, 0xc0d1));
+
+  const auto T = static_cast<std::uint32_t>(config.round_multiplier *
+                                            static_cast<double>(ceil_log2(n))) +
+                 config.extra_rounds;
+  std::uint32_t t = 0;
+  while (t < T || !transport.idle()) {
+    for (auto& [dst, v] : transport.collect(t)) result.value[dst] = std::max(result.value[dst], v);
+    if (t < T)
+      for (NodeId v = 0; v < n; ++v)
+        transport.send_to_random(v, result.value[v], t, node_rng[v]);
+    ++t;
+  }
+
+  result.consensus = std::all_of(result.value.begin(), result.value.end(),
+                                 [&](double v) { return v == true_max; });
+  result.counters = transport.counters();
+  result.counters.rounds = t;
+  result.rounds = t;
+  return result;
+}
+
+ChordUniformResult chord_uniform_push_sum(const ChordOverlay& chord,
+                                          std::span<const double> values,
+                                          std::uint64_t seed, double loss_prob,
+                                          ChordUniformConfig config) {
+  const std::uint32_t n = chord.size();
+  if (values.size() < n) throw std::invalid_argument("chord_uniform: values too short");
+  RngFactory rngs{seed};
+
+  struct Pair {
+    double s;
+    double w;
+  };
+  std::vector<double> s(values.begin(), values.begin() + n);
+  std::vector<double> w(n, 1.0);
+  double total = 0.0;
+  for (double x : s) total += x;
+  const double ave = total / static_cast<double>(n);
+  const double scale = std::max(std::fabs(ave), 1e-300);
+
+  NodeTransport<Pair> transport{chord, loss_prob, rngs.engine_stream(0xc0df),
+                                2 * 64 + address_bits(n)};
+  std::vector<Rng> node_rng;
+  node_rng.reserve(n);
+  for (NodeId v = 0; v < n; ++v) node_rng.push_back(rngs.node_stream(v, 0xc0d2));
+
+  const auto T = static_cast<std::uint32_t>(config.round_multiplier *
+                                            static_cast<double>(ceil_log2(n))) +
+                 config.extra_rounds;
+  std::uint32_t t = 0;
+  while (t < T || !transport.idle()) {
+    for (auto& [dst, p] : transport.collect(t)) {
+      s[dst] += p.s;
+      w[dst] += p.w;
+    }
+    if (t < T) {
+      for (NodeId v = 0; v < n; ++v) {
+        s[v] *= 0.5;
+        w[v] *= 0.5;
+        transport.send_to_random(v, Pair{s[v], w[v]}, t, node_rng[v]);
+      }
+    }
+    ++t;
+  }
+
+  ChordUniformResult result;
+  result.value.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    result.value[v] = w[v] > 0.0 ? s[v] / w[v] : 0.0;
+    result.max_relative_error =
+        std::max(result.max_relative_error, std::fabs(result.value[v] - ave) / scale);
+  }
+  result.counters = transport.counters();
+  result.counters.rounds = t;
+  result.rounds = t;
+  return result;
+}
+
+}  // namespace drrg

@@ -1,0 +1,56 @@
+#pragma once
+// Uniform gossip on the Chord overlay -- the §4 comparison baseline.
+//
+// "The straightforward uniform gossip [9] gives O(T log n) = O(log^2 n)
+// rounds and O(M n log n) = O(n log^2 n) messages whp" (Theorem 14
+// discussion): *every* node gossips each conceptual round, and every
+// gossip call must be routed (T = M = O(log n) on Chord), because the
+// overlay has no short-cut to a uniformly random node.
+//
+// We implement push-max (consensus on the maximum) and push-sum (average)
+// with hop-accurate routed deliveries, mirroring the cost model of the
+// sparse DRR-gossip pipeline so the Theorem 14 bench compares like with
+// like.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chord/chord.hpp"
+#include "sim/counters.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+
+struct ChordUniformConfig {
+  /// Conceptual gossip rounds = round_multiplier * ceil(log2 n) + extra.
+  /// Push-only dissemination pays a coupon-collector tail (the *last*
+  /// node must be pushed to), so the default is generous.
+  double round_multiplier = 8.0;
+  std::uint32_t extra_rounds = 4;
+};
+
+struct ChordUniformResult {
+  std::vector<double> value;  ///< final value/estimate at each node
+  double max_relative_error = 0.0;  ///< push-sum only
+  bool consensus = false;           ///< push-max only: all nodes hold Max
+  sim::Counters counters;
+  std::uint32_t rounds = 0;  ///< overlay rounds (hops included)
+};
+
+/// Push-max over Chord: each node pushes its current maximum to a
+/// near-uniform random node each conceptual round (routed hop by hop).
+[[nodiscard]] ChordUniformResult chord_uniform_push_max(const ChordOverlay& chord,
+                                                        std::span<const double> values,
+                                                        std::uint64_t seed,
+                                                        double loss_prob = 0.0,
+                                                        ChordUniformConfig config = {});
+
+/// Push-sum over Chord: averages with routed pushes.
+[[nodiscard]] ChordUniformResult chord_uniform_push_sum(const ChordOverlay& chord,
+                                                        std::span<const double> values,
+                                                        std::uint64_t seed,
+                                                        double loss_prob = 0.0,
+                                                        ChordUniformConfig config = {});
+
+}  // namespace drrg

@@ -1,0 +1,79 @@
+#pragma once
+// Reconstruction of the "efficient gossip" of Kashyap et al. [8]
+// (Table 1's middle row: O(n log log n) messages, O(log n log log n) time,
+// non-address-oblivious).
+//
+// The PODS'06 paper describes the scheme as: randomly cluster the nodes
+// into groups of size O(log n), aggregate within each group at a group
+// representative, and let the representatives gossip among themselves.
+// Following that structure we implement the clustering as
+// ceil(log2 log2 n) *merge phases* of binomial-style group doubling:
+//
+//   * every node starts as the leader of a singleton group holding its
+//     own (sum, count, max) aggregate;
+//   * in each phase, every unmerged leader probes uniformly random nodes;
+//     a probe landing on a group member is forwarded up the group's
+//     leader chain; the probed leader accepts (transferring its whole
+//     group aggregate in O(1) messages and handing over leadership) iff
+//     its group is no larger and has not merged this phase;
+//   * each phase is *scheduled* for ceil(log2 n) rounds -- a synchronous
+//     algorithm cannot detect global phase completion, which is exactly
+//     where the Theta(log n log log n) running time comes from, while the
+//     expected number of probe/transfer messages stays O(n) per phase.
+//
+// After the merge phases every node resolves its group leader's address
+// by one query up the chain (O(n log log n) messages), the leaders run
+// the same root-gossip machinery as DRR-gossip (reused verbatim), and
+// members fetch the result from their leader with one direct query.
+//
+// All handshakes are acknowledged so that a group aggregate is never
+// duplicated or lost under message loss (the accept/confirm pair rides an
+// established call, which the §2 model makes reliable).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rootgossip/gossip_ave.hpp"
+#include "rootgossip/gossip_max.hpp"
+#include "sim/counters.hpp"
+
+namespace drrg {
+
+struct EfficientGossipConfig {
+  /// Merge phases; 0 = ceil(log2 log2 n).
+  std::uint32_t phases = 0;
+  /// Scheduled rounds per phase; 0 = ceil(log2 n).
+  std::uint32_t phase_rounds = 0;
+  /// Rounds a prober waits for an accept/reject before retrying;
+  /// 0 = phases + 4 (covers the forwarding chain).
+  std::uint32_t probe_timeout = 0;
+  /// Query (re)tries for address/value resolution.
+  std::uint32_t query_attempt_cap = 8;
+  GossipMaxConfig gossip_max;
+  PushSumConfig push_sum;
+};
+
+struct EfficientGossipResult {
+  double value = 0.0;            ///< aggregate at the group leaders
+  std::vector<double> per_node;  ///< value each node fetched (0 if fetch failed)
+  bool consensus = false;        ///< all leaders (and fetches) agree
+  std::uint32_t num_groups = 0;
+  std::uint32_t max_group_size = 0;
+  sim::Counters counters;        ///< whole-algorithm accounting
+  std::uint32_t rounds_total = 0;
+};
+
+[[nodiscard]] EfficientGossipResult efficient_gossip_max(std::uint32_t n,
+                                                         std::span<const double> values,
+                                                         std::uint64_t seed,
+                                                         sim::FaultModel faults = {},
+                                                         EfficientGossipConfig config = {});
+
+[[nodiscard]] EfficientGossipResult efficient_gossip_ave(std::uint32_t n,
+                                                         std::span<const double> values,
+                                                         std::uint64_t seed,
+                                                         sim::FaultModel faults = {},
+                                                         EfficientGossipConfig config = {});
+
+}  // namespace drrg

@@ -1,0 +1,125 @@
+#include "baselines/pairwise_averaging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+namespace {
+
+struct PaMsg {
+  enum class Kind : std::uint8_t { kOffer, kMean, kBusy };
+  Kind kind;
+  double value = 0.0;
+};
+
+/// One round: a random half of the nodes are *active* and offer their
+/// value to a partner; the rest are *passive* and accept at most one
+/// offer, replacing both values by the pair mean (the reply rides the
+/// established call, so the exchange is atomic).  Busy/active targets
+/// decline, which keeps all exchanges of a round on disjoint pairs --
+/// otherwise a node could be averaged twice concurrently and the sum
+/// invariant would break.  A lost offer simply averages nothing.
+struct PairwiseProtocol {
+  explicit PairwiseProtocol(std::vector<double> v, const Graph* graph,
+                            std::uint32_t bits)
+      : value(std::move(v)), active(value.size(), false),
+        paired(value.size(), false), g(graph), value_bits(bits) {}
+
+  std::vector<double> value;
+  std::vector<bool> active;  // this round's role
+  std::vector<bool> paired;  // passive node already matched this round
+  const Graph* g;            // nullptr = complete graph, uniform partners
+  std::uint32_t value_bits;
+
+  void on_round(sim::Network<PaMsg>& net, sim::NodeId v) {
+    paired[v] = false;
+    active[v] = net.node_rng(v).next_bernoulli(0.5);
+    if (!active[v]) return;
+    sim::NodeId partner;
+    if (g == nullptr) {
+      partner = net.sample_uniform(v);
+      if (partner == v) partner = (partner + 1) % net.size();
+    } else {
+      const auto nb = g->neighbors(v);
+      if (nb.empty()) return;
+      partner = nb[net.node_rng(v).next_below(nb.size())];
+    }
+    net.send(v, partner, PaMsg{PaMsg::Kind::kOffer, value[v]}, value_bits);
+  }
+
+  void on_message(sim::Network<PaMsg>& net, sim::NodeId src, sim::NodeId dst,
+                  const PaMsg& m) {
+    if (m.kind != PaMsg::Kind::kOffer) return;
+    if (active[dst] || paired[dst]) {
+      net.reply(dst, src, PaMsg{PaMsg::Kind::kBusy, 0.0}, 1);
+      return;
+    }
+    paired[dst] = true;
+    const double mean = 0.5 * (value[dst] + m.value);
+    value[dst] = mean;
+    net.reply(dst, src, PaMsg{PaMsg::Kind::kMean, mean}, value_bits);
+  }
+
+  void on_reply(sim::Network<PaMsg>&, sim::NodeId, sim::NodeId dst, const PaMsg& m) {
+    if (m.kind == PaMsg::Kind::kMean) value[dst] = m.value;
+  }
+};
+
+PairwiseResult run_pairwise(std::uint32_t n, std::span<const double> values,
+                            const Graph* g, std::uint64_t seed, sim::FaultModel faults,
+                            const PairwiseConfig& config) {
+  if (values.size() < n) throw std::invalid_argument("pairwise_average: values too short");
+  RngFactory rngs{seed};
+  sim::Network<PaMsg> net{n, rngs, faults, /*purpose=*/0x9a19};
+
+  PairwiseProtocol proto{std::vector<double>(values.begin(), values.begin() + n), g,
+                         64 + address_bits(n)};
+  double sum = 0.0;
+  for (sim::NodeId v : net.alive_nodes()) sum += proto.value[v];
+  const double ave = sum / static_cast<double>(net.alive_nodes().size());
+  const double scale = std::max(std::fabs(ave), 1e-300);
+
+  const auto rounds = static_cast<std::uint32_t>(config.round_multiplier *
+                                                 static_cast<double>(ceil_log2(n))) +
+                      config.extra_rounds;
+  PairwiseResult result;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    net.step(proto);
+    double err = 0.0;
+    for (sim::NodeId v : net.alive_nodes())
+      err = std::max(err, std::fabs(proto.value[v] - ave) / scale);
+    result.error_per_round.push_back(err);
+    if (result.rounds_to_epsilon == 0 && err < config.epsilon) {
+      result.rounds_to_epsilon = r + 1;
+      result.messages_to_epsilon = net.counters().sent;
+    }
+  }
+  result.value = std::move(proto.value);
+  result.max_relative_error =
+      result.error_per_round.empty() ? 0.0 : result.error_per_round.back();
+  result.counters = net.counters();
+  return result;
+}
+
+}  // namespace
+
+PairwiseResult pairwise_average(std::uint32_t n, std::span<const double> values,
+                                std::uint64_t seed, sim::FaultModel faults,
+                                PairwiseConfig config) {
+  return run_pairwise(n, values, nullptr, seed, faults, config);
+}
+
+PairwiseResult pairwise_average_on_graph(const Graph& g, std::span<const double> values,
+                                         std::uint64_t seed, sim::FaultModel faults,
+                                         PairwiseConfig config) {
+  if (g.is_complete())
+    return run_pairwise(g.size(), values, nullptr, seed, faults, config);
+  return run_pairwise(g.size(), values, &g, seed, faults, config);
+}
+
+}  // namespace drrg

@@ -1,0 +1,112 @@
+#pragma once
+// Baselines on the complete graph (random phone call model):
+//
+//  * uniform_push_max  -- the address-oblivious uniform gossip of Kempe et
+//    al. [9] specialised to Max: every node pushes its current maximum to
+//    a uniformly random node each round.  Time O(log n), messages
+//    Theta(n log n) until global consensus -- the Table 1 "uniform gossip"
+//    row and the empirical companion of the Theorem 15 lower bound.
+//
+//  * uniform_push_sum  -- Push-Sum of Kempe et al. [9]: every node holds
+//    (s, w), keeps half and pushes half each round; all ratios s/w
+//    converge to the average.  Address-oblivious; O(log n + log 1/eps)
+//    rounds, Theta(n log n) messages.
+//
+//  * karp_push_pull    -- rumor spreading of Karp et al. [7] with the age
+//    cutoff: push-pull for ceil(log3 n) + O(log log n) rounds of rumor
+//    transmission.  O(log n) rounds and O(n log log n) *transmissions*
+//    (the quantity Karp et al. bound); used to demonstrate that aggregate
+//    computation is strictly harder than rumor spreading in the
+//    address-oblivious model (§5).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+
+struct UniformPushMaxConfig {
+  /// Hard cap = round_multiplier * ceil(log2 n) rounds.
+  double round_multiplier = 8.0;
+  /// Stop as soon as every alive node holds the global maximum.
+  bool stop_on_consensus = true;
+};
+
+struct UniformPushMaxResult {
+  std::vector<double> value;  ///< final value at each node
+  /// First round after which every alive node held the maximum (0 if never).
+  std::uint32_t rounds_to_consensus = 0;
+  /// Messages sent up to (and including) that round.
+  std::uint64_t messages_to_consensus = 0;
+  bool consensus = false;
+  sim::Counters counters;
+};
+
+[[nodiscard]] UniformPushMaxResult uniform_push_max(std::uint32_t n,
+                                                    std::span<const double> values,
+                                                    std::uint64_t seed,
+                                                    sim::FaultModel faults = {},
+                                                    UniformPushMaxConfig config = {});
+
+/// Push-pull variant: every call exchanges maxima in both directions
+/// (the reply rides the established connection).  Converges in fewer
+/// rounds than push-only (the pull direction has no coupon-collector
+/// tail) but still costs Theta(n log n) messages to consensus -- the
+/// address-oblivious wall of Theorem 15 applies to it as well.
+[[nodiscard]] UniformPushMaxResult uniform_push_pull_max(std::uint32_t n,
+                                                         std::span<const double> values,
+                                                         std::uint64_t seed,
+                                                         sim::FaultModel faults = {},
+                                                         UniformPushMaxConfig config = {});
+
+struct UniformPushSumConfig {
+  /// Rounds = round_multiplier * ceil(log2 n) + extra_rounds.
+  double round_multiplier = 4.0;
+  std::uint32_t extra_rounds = 8;
+  /// Also record the first round where every node's relative error
+  /// dropped below this epsilon.
+  double epsilon = 1e-6;
+};
+
+struct UniformPushSumResult {
+  std::vector<double> estimate;  ///< s/w at each node after the last round
+  double max_relative_error = 0.0;
+  /// First round with max relative error < epsilon (0 if never reached).
+  std::uint32_t rounds_to_epsilon = 0;
+  std::uint64_t messages_to_epsilon = 0;
+  /// Max relative error across nodes after each round.
+  std::vector<double> error_per_round;
+  sim::Counters counters;
+};
+
+[[nodiscard]] UniformPushSumResult uniform_push_sum(std::uint32_t n,
+                                                    std::span<const double> values,
+                                                    std::uint64_t seed,
+                                                    sim::FaultModel faults = {},
+                                                    UniformPushSumConfig config = {});
+
+struct KarpPushPullConfig {
+  /// Exponential-growth phase: ceil(log3 n) rounds; the rumor then stays
+  /// transmittable for extra_loglog * ceil(log2 log2 n) more rounds.
+  double extra_loglog = 3.0;
+  /// Additional pull-only rounds after pushes stop.
+  std::uint32_t pull_tail = 4;
+};
+
+struct KarpPushPullResult {
+  std::uint32_t informed = 0;       ///< nodes knowing the rumor at the end
+  std::uint32_t rounds = 0;
+  std::uint64_t transmissions = 0;  ///< rumor-carrying messages (Karp's metric)
+  bool all_informed = false;
+  sim::Counters counters;           ///< includes empty calls
+};
+
+/// Spreads a rumor from node 0.
+[[nodiscard]] KarpPushPullResult karp_push_pull(std::uint32_t n, std::uint64_t seed,
+                                                sim::FaultModel faults = {},
+                                                KarpPushPullConfig config = {});
+
+}  // namespace drrg

@@ -1,0 +1,120 @@
+#include "chord/chord.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+ChordOverlay::ChordOverlay(std::uint32_t n, std::uint64_t seed, std::uint32_t ring_bits)
+    : n_(n) {
+  if (n < 2) throw std::invalid_argument("ChordOverlay: need n >= 2");
+  m_ = ring_bits != 0 ? ring_bits : std::min<std::uint32_t>(62, ceil_log2(n) + 8);
+  if ((std::uint64_t{1} << m_) < n)
+    throw std::invalid_argument("ChordOverlay: ring smaller than node count");
+
+  Rng rng{derive_seed(seed, 0xc403dULL)};
+  const std::uint64_t ring = std::uint64_t{1} << m_;
+  std::unordered_set<std::uint64_t> used;
+  ids_.reserve(n);
+  while (ids_.size() < n) {
+    const std::uint64_t id = rng.next_below(ring);
+    if (used.insert(id).second) ids_.push_back(id);
+  }
+
+  sorted_nodes_.resize(n);
+  for (NodeId v = 0; v < n; ++v) sorted_nodes_[v] = v;
+  std::sort(sorted_nodes_.begin(), sorted_nodes_.end(),
+            [this](NodeId a, NodeId b) { return ids_[a] < ids_[b]; });
+  sorted_ids_.resize(n);
+  ring_pos_.resize(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    sorted_ids_[p] = ids_[sorted_nodes_[p]];
+    ring_pos_[sorted_nodes_[p]] = p;
+  }
+
+  fingers_.resize(static_cast<std::size_t>(n) * m_);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t k = 0; k < m_; ++k) {
+      const std::uint64_t target = (ids_[v] + (std::uint64_t{1} << k)) & (ring - 1);
+      fingers_[static_cast<std::size_t>(v) * m_ + k] = owner_of_key(target);
+    }
+  }
+}
+
+NodeId ChordOverlay::owner_of_key(std::uint64_t key) const noexcept {
+  // First node with id >= key, wrapping to the smallest id.
+  const auto it = std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), key);
+  const std::size_t pos =
+      it == sorted_ids_.end() ? 0 : static_cast<std::size_t>(it - sorted_ids_.begin());
+  return sorted_nodes_[pos];
+}
+
+NodeId ChordOverlay::successor(NodeId v) const noexcept {
+  return sorted_nodes_[(ring_pos_[v] + 1) % n_];
+}
+
+NodeId ChordOverlay::finger(NodeId v, std::uint32_t k) const noexcept {
+  return fingers_[static_cast<std::size_t>(v) * m_ + k];
+}
+
+std::uint64_t ChordOverlay::arc_length(NodeId v) const noexcept {
+  // v owns (id_of(predecessor), id_of(v)]: arc length = id(v) - id(pred) mod ring.
+  const std::uint32_t pos = ring_pos_[v];
+  const std::uint64_t prev = sorted_ids_[(pos + n_ - 1) % n_];
+  return (ids_[v] - prev) & (ring_size() - 1);
+}
+
+bool ChordOverlay::in_open_interval(std::uint64_t x, std::uint64_t a,
+                                    std::uint64_t b) const noexcept {
+  // x in (a, b) clockwise on the ring; empty when a == b.
+  if (a < b) return x > a && x < b;
+  if (a > b) return x > a || x < b;
+  return false;
+}
+
+NodeId ChordOverlay::next_hop(NodeId v, std::uint64_t key) const noexcept {
+  if (owner_of_key(key) == v) return v;
+  // Closest preceding finger of key, else the successor.
+  for (std::uint32_t k = m_; k-- > 0;) {
+    const NodeId c = finger(v, k);
+    if (c != v && in_open_interval(ids_[c], ids_[v], key)) return c;
+  }
+  return successor(v);
+}
+
+std::vector<NodeId> ChordOverlay::route(NodeId src, std::uint64_t key) const {
+  std::vector<NodeId> path{src};
+  NodeId v = src;
+  // 2m is a generous hard cap; greedy Chord routing halves the clockwise
+  // distance per hop, so the loop terminates well before it.
+  for (std::uint32_t guard = 0; guard < 2 * m_ + 2; ++guard) {
+    const NodeId nxt = next_hop(v, key);
+    if (nxt == v) break;
+    path.push_back(nxt);
+    v = nxt;
+  }
+  return path;
+}
+
+std::uint32_t ChordOverlay::route_hops(NodeId src, std::uint64_t key) const {
+  return static_cast<std::uint32_t>(route(src, key).size() - 1);
+}
+
+std::uint32_t ChordOverlay::smear_width() const noexcept {
+  return std::max<std::uint32_t>(8, ceil_log2(n_));
+}
+
+NodeId ChordOverlay::sample_near_uniform(NodeId src, Rng& rng, std::uint32_t* hops) const {
+  const std::uint64_t key = rng.next_below(ring_size());
+  const NodeId landing = owner_of_key(key);
+  const auto walk = static_cast<std::uint32_t>(rng.next_below(smear_width()));
+  if (hops != nullptr) *hops += route_hops(src, key) + walk;
+  // Walk `walk` successor steps from the landing node.
+  const std::uint32_t pos = ring_pos_[landing];
+  return sorted_nodes_[(pos + walk) % n_];
+}
+
+}  // namespace drrg

@@ -1,0 +1,160 @@
+#include "drr/drr.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+namespace {
+
+struct DrrMsg {
+  enum class Kind : std::uint8_t { kProbe, kProbeReply, kConnect, kConnectAck };
+  Kind kind;
+  double rank = 0.0;  // kProbeReply: responder's rank
+};
+
+/// Per-node payload sizes in bits: probes carry only the sender address
+/// (implicit in the call); replies carry a rank (an O(log n)-bit
+/// discretised value suffices -- see Algorithm 1's remark that ranks from
+/// [1, n^3] give the same bounds, i.e. 3 log n bits).
+struct DrrProtocol {
+  explicit DrrProtocol(std::uint32_t n, const DrrConfig& cfg)
+      : budget(cfg.probe_budget != 0 ? cfg.probe_budget : drr_probe_budget(n)),
+        connect_cap(cfg.connect_attempt_cap),
+        rank_bits(3 * address_bits(n)),
+        addr_bits(address_bits(n)),
+        state(n) {}
+
+  struct NodeState {
+    double rank = 0.0;
+    std::uint32_t attempts = 0;         // probes consumed
+    bool probe_outstanding = false;     // sent this round, awaiting reply
+    std::uint32_t connect_attempts = 0;
+    sim::NodeId pending_parent = sim::kNoNode;  // found, not yet acked
+    sim::NodeId parent = sim::kNoNode;          // acknowledged parent
+    bool settled = false;
+  };
+
+  std::uint32_t budget;
+  std::uint32_t connect_cap;
+  std::uint32_t rank_bits;
+  std::uint32_t addr_bits;
+  std::vector<NodeState> state;
+  std::uint64_t total_probes = 0;
+  std::uint32_t unsettled = 0;  // maintained by the runner
+
+  void init_ranks(sim::Network<DrrMsg>& net) {
+    for (sim::NodeId v : net.alive_nodes()) state[v].rank = net.node_rng(v).next_unit();
+    unsettled = static_cast<std::uint32_t>(net.alive_nodes().size());
+  }
+
+  void settle(NodeState& s) {
+    if (!s.settled) {
+      s.settled = true;
+      --unsettled;
+    }
+  }
+
+  void on_round(sim::Network<DrrMsg>& net, sim::NodeId v) {
+    NodeState& s = state[v];
+    if (s.settled) return;
+    if (s.pending_parent != sim::kNoNode) {
+      // Connection phase: call the chosen parent until acknowledged.
+      ++s.connect_attempts;
+      net.send(v, s.pending_parent, DrrMsg{DrrMsg::Kind::kConnect, 0.0}, addr_bits);
+      return;
+    }
+    if (s.attempts < budget) {
+      // Probe a uniformly random node (self-samples tell us nothing and
+      // the analysis assumes distinct samples whp; skip them cheaply).
+      sim::NodeId u = net.sample_uniform(v);
+      if (u == v) u = (u + 1) % net.size();
+      s.probe_outstanding = true;
+      ++total_probes;
+      net.send(v, u, DrrMsg{DrrMsg::Kind::kProbe, 0.0}, addr_bits);
+    }
+  }
+
+  void on_message(sim::Network<DrrMsg>& net, sim::NodeId src, sim::NodeId dst,
+                  const DrrMsg& m) {
+    switch (m.kind) {
+      case DrrMsg::Kind::kProbe:
+        net.reply(dst, src, DrrMsg{DrrMsg::Kind::kProbeReply, state[dst].rank}, rank_bits);
+        break;
+      case DrrMsg::Kind::kConnect:
+        // Record the child; duplicates from retries are idempotent because
+        // children are reconstructed from child->parent pointers later.
+        net.reply(dst, src, DrrMsg{DrrMsg::Kind::kConnectAck, 0.0}, addr_bits);
+        break;
+      default:
+        break;  // replies handled in on_reply
+    }
+  }
+
+  void on_reply(sim::Network<DrrMsg>&, sim::NodeId src, sim::NodeId dst, const DrrMsg& m) {
+    NodeState& s = state[dst];
+    switch (m.kind) {
+      case DrrMsg::Kind::kProbeReply:
+        s.probe_outstanding = false;
+        ++s.attempts;
+        if (m.rank > s.rank) s.pending_parent = src;
+        break;
+      case DrrMsg::Kind::kConnectAck:
+        s.parent = src;
+        settle(s);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void on_round_end(sim::Network<DrrMsg>&, sim::NodeId v) {
+    NodeState& s = state[v];
+    if (s.settled) return;
+    if (s.probe_outstanding) {
+      // The call was lost: the sampled node told us nothing, the attempt
+      // is spent (conservative -- can only create extra roots).
+      s.probe_outstanding = false;
+      ++s.attempts;
+    }
+    if (s.pending_parent != sim::kNoNode) {
+      if (s.connect_attempts >= connect_cap) settle(s);  // root by exhaustion
+      return;
+    }
+    if (s.attempts >= budget) settle(s);  // no higher-ranked node found: root
+  }
+
+  [[nodiscard]] bool done(const sim::Network<DrrMsg>&) const { return unsettled == 0; }
+};
+
+}  // namespace
+
+DrrResult run_drr(std::uint32_t n, const RngFactory& rngs, sim::FaultModel faults,
+                  DrrConfig config) {
+  if (n < 2) throw std::invalid_argument("run_drr: need n >= 2");
+  sim::Network<DrrMsg> net{n, rngs, faults, /*purpose=*/0x11dd};
+  DrrProtocol proto{n, config};
+  proto.init_ranks(net);
+
+  // Probe budget rounds plus connection retries; done() usually fires
+  // earlier.  The +2 covers the final connect/ack exchange.
+  const std::uint32_t max_rounds = proto.budget + config.connect_attempt_cap + 2;
+  const std::uint32_t rounds = net.run(proto, max_rounds);
+
+  std::vector<NodeId> parent(n, kNoParent);
+  std::vector<bool> member(n, false);
+  std::vector<double> ranks(n, 0.0);
+  for (sim::NodeId v : net.alive_nodes()) {
+    member[v] = true;
+    parent[v] = proto.state[v].parent;
+    ranks[v] = proto.state[v].rank;
+  }
+
+  DrrResult result{Forest::from_parents(std::move(parent), std::move(member)),
+                   std::move(ranks), net.counters(), proto.total_probes, rounds};
+  return result;
+}
+
+}  // namespace drrg

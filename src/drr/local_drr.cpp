@@ -1,0 +1,145 @@
+#include "drr/local_drr.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+namespace {
+
+struct LocalMsg {
+  enum class Kind : std::uint8_t { kRank, kConnect, kConnectAck };
+  Kind kind;
+  double rank = 0.0;
+};
+
+struct LocalDrrProtocol {
+  LocalDrrProtocol(const Graph& graph, const LocalDrrConfig& cfg)
+      : g(graph),
+        exchange_rounds(cfg.exchange_rounds == 0 ? 1 : cfg.exchange_rounds),
+        connect_cap(cfg.connect_attempt_cap),
+        rank_bits(3 * address_bits(graph.size())),
+        addr_bits(address_bits(graph.size())),
+        state(graph.size()) {}
+
+  struct NodeState {
+    double rank = 0.0;
+    double best_rank = -1.0;            // highest neighbor rank heard so far
+    sim::NodeId best_neighbor = sim::kNoNode;
+    std::uint32_t connect_attempts = 0;
+    sim::NodeId parent = sim::kNoNode;  // acknowledged parent
+    bool settled = false;
+  };
+
+  const Graph& g;
+  std::uint32_t exchange_rounds;
+  std::uint32_t connect_cap;
+  std::uint32_t rank_bits;
+  std::uint32_t addr_bits;
+  std::vector<NodeState> state;
+  std::uint32_t unsettled = 0;
+
+  void init_ranks(sim::Network<LocalMsg>& net) {
+    for (sim::NodeId v : net.alive_nodes()) state[v].rank = net.node_rng(v).next_unit();
+    unsettled = static_cast<std::uint32_t>(net.alive_nodes().size());
+  }
+
+  void settle(NodeState& s) {
+    if (!s.settled) {
+      s.settled = true;
+      --unsettled;
+    }
+  }
+
+  void on_round(sim::Network<LocalMsg>& net, sim::NodeId v) {
+    NodeState& s = state[v];
+    if (net.round() < exchange_rounds) {
+      // Assumption (1) of §4: one round reaches all neighbors.
+      for (NodeId w : g.neighbors(v))
+        net.send(v, w, LocalMsg{LocalMsg::Kind::kRank, s.rank}, rank_bits);
+      return;
+    }
+    if (s.settled) return;
+    if (net.round() == exchange_rounds) {
+      // Exchange finished: decide between root and connection target.
+      if (s.best_neighbor == sim::kNoNode || s.best_rank <= s.rank) {
+        settle(s);  // local maximum (among heard neighbors): root
+        return;
+      }
+    }
+    if (s.best_neighbor != sim::kNoNode && s.best_rank > s.rank) {
+      ++s.connect_attempts;
+      net.send(v, s.best_neighbor, LocalMsg{LocalMsg::Kind::kConnect, 0.0}, addr_bits);
+    }
+  }
+
+  void on_message(sim::Network<LocalMsg>& net, sim::NodeId src, sim::NodeId dst,
+                  const LocalMsg& m) {
+    NodeState& s = state[dst];
+    switch (m.kind) {
+      case LocalMsg::Kind::kRank:
+        if (m.rank > s.best_rank || (m.rank == s.best_rank && src < s.best_neighbor)) {
+          s.best_rank = m.rank;
+          s.best_neighbor = src;
+        }
+        break;
+      case LocalMsg::Kind::kConnect:
+        net.reply(dst, src, LocalMsg{LocalMsg::Kind::kConnectAck, 0.0}, addr_bits);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void on_reply(sim::Network<LocalMsg>&, sim::NodeId src, sim::NodeId dst,
+                const LocalMsg& m) {
+    if (m.kind != LocalMsg::Kind::kConnectAck) return;
+    NodeState& s = state[dst];
+    s.parent = src;
+    settle(s);
+  }
+
+  void on_round_end(sim::Network<LocalMsg>& net, sim::NodeId v) {
+    if (net.round() < exchange_rounds) return;
+    NodeState& s = state[v];
+    if (!s.settled && s.connect_attempts >= connect_cap) settle(s);  // root by exhaustion
+  }
+
+  [[nodiscard]] bool done(const sim::Network<LocalMsg>& net) const {
+    return net.round() >= exchange_rounds && unsettled == 0;
+  }
+};
+
+}  // namespace
+
+LocalDrrResult run_local_drr(const Graph& g, const RngFactory& rngs,
+                             sim::FaultModel faults, LocalDrrConfig config) {
+  if (g.is_complete())
+    throw std::invalid_argument("run_local_drr: use run_drr for the complete graph");
+  if (g.size() < 2) throw std::invalid_argument("run_local_drr: need n >= 2");
+
+  sim::Network<LocalMsg> net{g.size(), rngs, faults, /*purpose=*/0x10ca1};
+  LocalDrrProtocol proto{g, config};
+  proto.init_ranks(net);
+
+  const std::uint32_t max_rounds =
+      proto.exchange_rounds + config.connect_attempt_cap + 2;
+  const std::uint32_t rounds = net.run(proto, max_rounds);
+
+  const std::uint32_t n = g.size();
+  std::vector<NodeId> parent(n, kNoParent);
+  std::vector<bool> member(n, false);
+  std::vector<double> ranks(n, 0.0);
+  for (sim::NodeId v : net.alive_nodes()) {
+    member[v] = true;
+    parent[v] = proto.state[v].parent;
+    ranks[v] = proto.state[v].rank;
+  }
+
+  return LocalDrrResult{Forest::from_parents(std::move(parent), std::move(member)),
+                        std::move(ranks), net.counters(), rounds};
+}
+
+}  // namespace drrg

@@ -1,0 +1,127 @@
+#include "forest/forest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drrg {
+
+Forest Forest::from_parents(std::vector<NodeId> parent, std::vector<bool> member) {
+  Forest f;
+  const auto n = static_cast<std::uint32_t>(parent.size());
+  if (member.empty()) member.assign(n, true);
+  if (member.size() != parent.size())
+    throw std::invalid_argument("Forest: member mask size mismatch");
+  f.parent_ = std::move(parent);
+  f.member_ = std::move(member);
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (!f.member_[v]) continue;
+    const NodeId p = f.parent_[v];
+    if (p == kNoParent) continue;
+    if (p >= n || !f.member_[p]) throw std::invalid_argument("Forest: parent not a member");
+    if (p == v) throw std::invalid_argument("Forest: self-parent");
+  }
+
+  // Children lists in CSR form.
+  std::vector<std::uint32_t> child_count(n, 0);
+  for (NodeId v = 0; v < n; ++v)
+    if (f.member_[v] && f.parent_[v] != kNoParent) ++child_count[f.parent_[v]];
+  f.child_offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) f.child_offsets_[v + 1] = f.child_offsets_[v] + child_count[v];
+  f.child_storage_.assign(f.child_offsets_[n], 0);
+  {
+    std::vector<std::uint64_t> cursor(f.child_offsets_.begin(), f.child_offsets_.end() - 1);
+    for (NodeId v = 0; v < n; ++v)
+      if (f.member_[v] && f.parent_[v] != kNoParent)
+        f.child_storage_[cursor[f.parent_[v]]++] = v;
+  }
+
+  // Depth/root via path walking with memoisation; also detects cycles
+  // (a cycle would walk more than n steps).
+  f.root_of_.assign(n, kNoParent);
+  f.depth_.assign(n, 0);
+  std::vector<NodeId> path;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!f.member_[v] || f.root_of_[v] != kNoParent) continue;
+    path.clear();
+    NodeId cur = v;
+    while (f.parent_[cur] != kNoParent && f.root_of_[cur] == kNoParent) {
+      path.push_back(cur);
+      cur = f.parent_[cur];
+      if (path.size() > n) throw std::invalid_argument("Forest: cycle detected");
+    }
+    NodeId root;
+    std::uint32_t base_depth;
+    if (f.root_of_[cur] != kNoParent) {
+      root = f.root_of_[cur];
+      base_depth = f.depth_[cur];
+    } else {
+      root = cur;
+      base_depth = 0;
+      f.root_of_[cur] = cur;
+      f.depth_[cur] = 0;
+    }
+    for (std::size_t i = path.size(); i-- > 0;) {
+      const NodeId u = path[i];
+      f.root_of_[u] = root;
+      f.depth_[u] = base_depth + static_cast<std::uint32_t>(path.size() - i);
+    }
+  }
+
+  f.tree_size_.assign(n, 0);
+  f.tree_height_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!f.member_[v]) continue;
+    const NodeId r = f.root_of_[v];
+    ++f.tree_size_[r];
+    f.tree_height_[r] = std::max(f.tree_height_[r], f.depth_[v]);
+    if (f.parent_[v] == kNoParent) f.roots_.push_back(v);
+  }
+  return f;
+}
+
+std::span<const NodeId> Forest::children(NodeId v) const noexcept {
+  return {child_storage_.data() + child_offsets_[v],
+          child_storage_.data() + child_offsets_[v + 1]};
+}
+
+std::uint32_t Forest::max_tree_size() const noexcept {
+  std::uint32_t m = 0;
+  for (NodeId r : roots_) m = std::max(m, tree_size_[r]);
+  return m;
+}
+
+std::uint32_t Forest::max_tree_height() const noexcept {
+  std::uint32_t m = 0;
+  for (NodeId r : roots_) m = std::max(m, tree_height_[r]);
+  return m;
+}
+
+std::vector<std::uint32_t> Forest::tree_sizes() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(roots_.size());
+  for (NodeId r : roots_) out.push_back(tree_size_[r]);
+  return out;
+}
+
+NodeId Forest::largest_tree_root() const noexcept {
+  NodeId best = kNoParent;
+  std::uint32_t best_size = 0;
+  for (NodeId r : roots_) {
+    if (tree_size_[r] > best_size || (tree_size_[r] == best_size && r < best)) {
+      best = r;
+      best_size = tree_size_[r];
+    }
+  }
+  return best;
+}
+
+bool Forest::respects_ranks(std::span<const double> rank) const noexcept {
+  for (NodeId v = 0; v < size(); ++v) {
+    if (!member_[v] || parent_[v] == kNoParent) continue;
+    if (!(rank[parent_[v]] > rank[v])) return false;
+  }
+  return true;
+}
+
+}  // namespace drrg

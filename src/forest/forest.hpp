@@ -1,0 +1,82 @@
+#pragma once
+// The ranking forest produced by Phase I (DRR / Local-DRR).
+//
+// A Forest is an immutable view over parent pointers: children lists,
+// per-tree roots, sizes, heights and per-node depths are derived once at
+// construction.  Phase II (convergecast/broadcast) walks these trees, and
+// the Theorem 2/3/11/13 benches read the derived statistics.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace drrg {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoParent = static_cast<NodeId>(-1);
+
+class Forest {
+ public:
+  /// Empty forest (useful as a default-constructed result slot).
+  Forest() = default;
+
+  /// Builds from parent pointers; parent[v] == kNoParent marks a root.
+  /// `member[v] == false` excludes v entirely (crashed nodes).  Throws
+  /// std::invalid_argument on cycles or edges to non-members.
+  static Forest from_parents(std::vector<NodeId> parent,
+                             std::vector<bool> member = {});
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(parent_.size());
+  }
+  [[nodiscard]] bool is_member(NodeId v) const noexcept { return member_[v]; }
+  [[nodiscard]] bool is_root(NodeId v) const noexcept {
+    return member_[v] && parent_[v] == kNoParent;
+  }
+  [[nodiscard]] NodeId parent(NodeId v) const noexcept { return parent_[v]; }
+  [[nodiscard]] std::span<const NodeId> children(NodeId v) const noexcept;
+  [[nodiscard]] const std::vector<NodeId>& roots() const noexcept { return roots_; }
+
+  /// Root of the tree containing v (v itself if root).
+  [[nodiscard]] NodeId root_of(NodeId v) const noexcept { return root_of_[v]; }
+  /// Number of nodes in the tree rooted at r (queried by any member).
+  [[nodiscard]] std::uint32_t tree_size(NodeId v) const noexcept {
+    return tree_size_[root_of_[v]];
+  }
+  /// Edge-count height of the tree containing v.
+  [[nodiscard]] std::uint32_t tree_height(NodeId v) const noexcept {
+    return tree_height_[root_of_[v]];
+  }
+  /// Depth of v below its root (root depth 0).
+  [[nodiscard]] std::uint32_t depth(NodeId v) const noexcept { return depth_[v]; }
+
+  [[nodiscard]] std::uint32_t num_trees() const noexcept {
+    return static_cast<std::uint32_t>(roots_.size());
+  }
+  [[nodiscard]] std::uint32_t max_tree_size() const noexcept;
+  [[nodiscard]] std::uint32_t max_tree_height() const noexcept;
+  /// Sizes of all trees (aligned with roots()).
+  [[nodiscard]] std::vector<std::uint32_t> tree_sizes() const;
+
+  /// The root owning the largest tree; ties broken towards the smaller
+  /// node id (matches the (size, id) ordering used by DRR-gossip-ave to
+  /// elect the data-spread source).
+  [[nodiscard]] NodeId largest_tree_root() const noexcept;
+
+  /// Checks the DRR invariant: every non-root member's parent has a
+  /// strictly higher rank.  Returns true iff it holds for all members.
+  [[nodiscard]] bool respects_ranks(std::span<const double> rank) const noexcept;
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<bool> member_;
+  std::vector<std::uint64_t> child_offsets_;
+  std::vector<NodeId> child_storage_;
+  std::vector<NodeId> roots_;
+  std::vector<NodeId> root_of_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> tree_size_;    // indexed by root id
+  std::vector<std::uint32_t> tree_height_;  // indexed by root id
+};
+
+}  // namespace drrg

@@ -1,0 +1,146 @@
+#include "rootgossip/gossip_ave.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+namespace {
+
+struct PsMsg {
+  double num = 0.0;
+  double den = 0.0;
+  // Contribution half-row (track_potential only; empty otherwise).  The
+  // vector is bookkeeping for the Lemma 8 measurement, not protocol
+  // payload -- bit accounting charges only the (num, den) pair.
+  std::vector<double> y;
+};
+
+struct PushSumProtocol {
+  PushSumProtocol(const Forest& f, std::span<const double> num0,
+                  std::span<const double> den0, const PushSumConfig& cfg,
+                  std::uint32_t n)
+      : forest(f),
+        forward(cfg.forward_via_trees),
+        track(cfg.track_potential),
+        num(n, 0.0),
+        den(n, 0.0),
+        root_index(n, 0),
+        push_rounds(static_cast<std::uint32_t>(
+                        cfg.rounds_multiplier * static_cast<double>(ceil_log2(n))) +
+                    cfg.extra_rounds),
+        pair_bits(2 * 64 + address_bits(n)) {
+    const auto& roots = f.roots();
+    for (std::uint32_t i = 0; i < roots.size(); ++i) root_index[roots[i]] = i;
+    for (NodeId r : roots) {
+      num[r] = num0[r];
+      den[r] = den0[r];
+    }
+    if (track) {
+      // y_{0,i} = e_i over the m roots.
+      Y.assign(roots.size(), std::vector<double>(roots.size(), 0.0));
+      for (std::uint32_t i = 0; i < roots.size(); ++i) Y[i][i] = 1.0;
+    }
+  }
+
+  const Forest& forest;
+  bool forward;
+  bool track;
+  std::vector<double> num;
+  std::vector<double> den;
+  std::vector<std::uint32_t> root_index;
+  std::vector<std::vector<double>> Y;  // contribution rows, root-index order
+  std::uint32_t push_rounds;
+  std::uint32_t pair_bits;
+
+  void on_round(sim::Network<PsMsg>& net, sim::NodeId v) {
+    if (!forest.is_root(v) || net.round() >= push_rounds) return;
+    // Keep half, send half (computed before any of this round's receipts).
+    num[v] *= 0.5;
+    den[v] *= 0.5;
+    PsMsg m{num[v], den[v], {}};
+    if (track) {
+      auto& row = Y[root_index[v]];
+      for (double& yj : row) yj *= 0.5;
+      m.y = row;
+    }
+    sim::NodeId target = net.sample_uniform(v);
+    if (!forward && forest.is_member(target)) {
+      // Analysis mode: the G~ edge collapses to one direct hop, with the
+      // selection probability still proportional to tree size.
+      target = forest.root_of(target);
+    }
+    net.send(v, target, std::move(m), pair_bits);
+  }
+
+  void on_message(sim::Network<PsMsg>& net, sim::NodeId, sim::NodeId dst, const PsMsg& m) {
+    if (!forest.is_root(dst)) {
+      net.send(dst, forest.root_of(dst), m, pair_bits);
+      return;
+    }
+    num[dst] += m.num;
+    den[dst] += m.den;
+    if (track && !m.y.empty()) {
+      auto& row = Y[root_index[dst]];
+      for (std::size_t j = 0; j < row.size(); ++j) row[j] += m.y[j];
+    }
+  }
+
+  /// Phi_t of Lemma 8 over the current contribution rows.
+  [[nodiscard]] double potential() const {
+    const auto m = static_cast<double>(Y.size());
+    double phi = 0.0;
+    for (const auto& row : Y) {
+      double w = 0.0;
+      for (double yj : row) w += yj;
+      const double target = w / m;
+      for (double yj : row) {
+        const double d = yj - target;
+        phi += d * d;
+      }
+    }
+    return phi;
+  }
+};
+
+}  // namespace
+
+PushSumResult run_root_push_sum(const Forest& forest, std::span<const double> num0,
+                                std::span<const double> den0, const RngFactory& rngs,
+                                sim::FaultModel faults, PushSumConfig config) {
+  const std::uint32_t n = forest.size();
+  if (num0.size() < n || den0.size() < n)
+    throw std::invalid_argument("run_root_push_sum: inputs too short");
+  if (config.track_potential && config.forward_via_trees)
+    throw std::invalid_argument(
+        "run_root_push_sum: potential tracking requires analysis mode "
+        "(forward_via_trees = false)");
+
+  sim::Network<PsMsg> net{n, rngs, faults, derive_seed(0xa4e, config.stream_tag)};
+  PushSumProtocol proto{forest, num0, den0, config, n};
+
+  PushSumResult result;
+  const NodeId z = forest.largest_tree_root();
+  const std::uint32_t drain = config.forward_via_trees ? 3 : 0;
+  for (std::uint32_t r = 0; r < proto.push_rounds + drain; ++r) {
+    net.step(proto);
+    if (config.track_potential) {
+      result.potential_per_round.push_back(proto.potential());
+      result.z_estimate_per_round.push_back(
+          proto.den[z] > 0.0 ? proto.num[z] / proto.den[z] : 0.0);
+    }
+  }
+
+  result.num = std::move(proto.num);
+  result.den = std::move(proto.den);
+  result.estimate.assign(n, 0.0);
+  for (NodeId r : forest.roots())
+    if (result.den[r] > 0.0) result.estimate[r] = result.num[r] / result.den[r];
+  result.counters = net.counters();
+  result.rounds = proto.push_rounds + drain;
+  return result;
+}
+
+}  // namespace drrg

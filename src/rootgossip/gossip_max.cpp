@@ -1,0 +1,132 @@
+#include "rootgossip/gossip_max.hpp"
+
+#include <stdexcept>
+
+#include "rootgossip/ordered_key.hpp"
+#include "sim/engine.hpp"
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+namespace {
+
+struct GmMsg {
+  enum class Kind : std::uint8_t { kGossip, kInquiry, kInquiryReply };
+  Kind kind;
+  std::uint64_t key = 0;
+  sim::NodeId origin = sim::kNoNode;  // inquiring root (kInquiry)
+};
+
+struct GossipMaxProtocol {
+  GossipMaxProtocol(const Forest& f, std::span<const std::uint64_t> init,
+                    const GossipMaxConfig& cfg, std::uint32_t n)
+      : forest(f),
+        key(n, kKeyBottom),
+        key_bits(64 + 2 * address_bits(n)),
+        gossip_rounds(static_cast<std::uint32_t>(
+            cfg.gossip_multiplier * static_cast<double>(ceil_log2(n)))),
+        sampling_rounds(static_cast<std::uint32_t>(
+            cfg.sampling_multiplier * static_cast<double>(ceil_log2(n)))),
+        drain(cfg.drain_rounds) {
+    for (NodeId r : f.roots()) key[r] = init[r];
+  }
+
+  const Forest& forest;
+  std::vector<std::uint64_t> key;
+  std::vector<std::uint64_t> key_after_gossip;  // filled by the runner
+  std::uint32_t key_bits;
+  std::uint32_t gossip_rounds;
+  std::uint32_t sampling_rounds;
+  std::uint32_t drain;
+
+  [[nodiscard]] std::uint32_t total_rounds() const {
+    return gossip_rounds + drain + sampling_rounds + drain;
+  }
+  [[nodiscard]] bool in_gossip(std::uint32_t r) const { return r < gossip_rounds; }
+  [[nodiscard]] bool in_sampling(std::uint32_t r) const {
+    return r >= gossip_rounds + drain && r < gossip_rounds + drain + sampling_rounds;
+  }
+
+  void on_round(sim::Network<GmMsg>& net, sim::NodeId v) {
+    if (!forest.is_root(v)) return;
+    const std::uint32_t r = net.round();
+    if (in_gossip(r)) {
+      const sim::NodeId target = net.sample_uniform(v);
+      net.send(v, target, GmMsg{GmMsg::Kind::kGossip, key[v], sim::kNoNode}, key_bits);
+    } else if (in_sampling(r)) {
+      const sim::NodeId target = net.sample_uniform(v);
+      net.send(v, target, GmMsg{GmMsg::Kind::kInquiry, 0, v}, key_bits);
+    }
+  }
+
+  void on_message(sim::Network<GmMsg>& net, sim::NodeId, sim::NodeId dst, const GmMsg& m) {
+    if (!forest.is_root(dst)) {
+      // Forward to this node's root: the address learned in Phase II.
+      // One extra round and message -- the second hop of the G~ edge.
+      net.send(dst, forest.root_of(dst), m, key_bits);
+      return;
+    }
+    switch (m.kind) {
+      case GmMsg::Kind::kGossip:
+        key[dst] = std::max(key[dst], m.key);
+        break;
+      case GmMsg::Kind::kInquiry:
+        // Reply directly to the inquiring root (its address travelled in
+        // the message): one hop on G.
+        net.send(dst, m.origin, GmMsg{GmMsg::Kind::kInquiryReply, key[dst], sim::kNoNode},
+                 key_bits);
+        break;
+      case GmMsg::Kind::kInquiryReply:
+        key[dst] = std::max(key[dst], m.key);
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+GossipMaxResult run_gossip_max(const Forest& forest,
+                               std::span<const std::uint64_t> init_key,
+                               const RngFactory& rngs, sim::FaultModel faults,
+                               GossipMaxConfig config) {
+  const std::uint32_t n = forest.size();
+  if (init_key.size() < n) throw std::invalid_argument("run_gossip_max: keys too short");
+
+  sim::Network<GmMsg> net{n, rngs, faults, derive_seed(0x3099, config.stream_tag)};
+  GossipMaxProtocol proto{forest, init_key, config, n};
+
+  // Run the gossip procedure (plus drain), snapshot for Theorem 5, then
+  // the sampling procedure (plus drain).
+  for (std::uint32_t r = 0; r < proto.gossip_rounds + proto.drain; ++r) net.step(proto);
+  proto.key_after_gossip = proto.key;
+  for (std::uint32_t r = 0; r < proto.sampling_rounds + proto.drain; ++r) net.step(proto);
+
+  GossipMaxResult result;
+  result.key = std::move(proto.key);
+  result.key_after_gossip = std::move(proto.key_after_gossip);
+  result.counters = net.counters();
+  result.rounds = proto.total_rounds();
+  return result;
+}
+
+GossipMaxResult run_data_spread(const Forest& forest, NodeId source_root,
+                                std::uint64_t key, const RngFactory& rngs,
+                                sim::FaultModel faults, GossipMaxConfig config) {
+  if (!forest.is_root(source_root))
+    throw std::invalid_argument("run_data_spread: source is not a root");
+  std::vector<std::uint64_t> init(forest.size(), kKeyBottom);
+  init[source_root] = key;
+  return run_gossip_max(forest, init, rngs, faults, config);
+}
+
+double fraction_of_roots_with_key(const Forest& forest,
+                                  std::span<const std::uint64_t> keys,
+                                  std::uint64_t key) {
+  if (forest.roots().empty()) return 0.0;
+  std::size_t holders = 0;
+  for (NodeId r : forest.roots())
+    if (keys[r] == key) ++holders;
+  return static_cast<double>(holders) / static_cast<double>(forest.roots().size());
+}
+
+}  // namespace drrg

@@ -1,0 +1,72 @@
+#pragma once
+// Phase III: Gossip-max (Algorithm 4) and Data-spread (Algorithm 5).
+//
+// All roots of the ranking forest run uniform gossip over the virtual
+// clique G~ = clique(V~).  In each round of the *gossip procedure* every
+// root selects a node uniformly at random from all of V and sends it its
+// current maximum; a non-root forwards the message to its root (one extra
+// round and message -- at most two hops of G per edge of G~, and the
+// non-address-oblivious step, since the forwarding uses the root address
+// learned in Phase II).  Theorem 5: after O(log n) such rounds a constant
+// fraction of the roots holds the global Max.  In the *sampling procedure*
+// every root inquires O(log n) random nodes; the inquired root replies
+// directly to the origin.  Theorem 6: afterwards all roots know Max whp.
+// Both procedures cost O(n) messages since |V~| = O(n / log n).
+//
+// Data-spread is Gossip-max started from a single root's key with every
+// other root at "-infinity" (kKeyBottom).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "forest/forest.hpp"
+#include "sim/counters.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+
+struct GossipMaxConfig {
+  /// Gossip-procedure rounds = gossip_multiplier * ceil(log2 n).
+  double gossip_multiplier = 4.0;
+  /// Sampling-procedure rounds = sampling_multiplier * ceil(log2 n).
+  double sampling_multiplier = 2.0;
+  /// Drain rounds appended after each procedure so in-flight forwarded
+  /// messages settle.
+  std::uint32_t drain_rounds = 4;
+  /// Disambiguates RNG streams when one pipeline runs the protocol twice.
+  std::uint64_t stream_tag = 0;
+};
+
+struct GossipMaxResult {
+  /// Final key at each node (meaningful at roots).
+  std::vector<std::uint64_t> key;
+  /// Snapshot of root keys when the gossip procedure ended (Theorem 5
+  /// inspects this: the sampling procedure has not run yet).
+  std::vector<std::uint64_t> key_after_gossip;
+  sim::Counters counters;
+  std::uint32_t rounds = 0;
+};
+
+/// Runs Gossip-max over the roots of `forest`.  `init_key[v]` is read for
+/// every root v (non-root entries ignored).
+[[nodiscard]] GossipMaxResult run_gossip_max(const Forest& forest,
+                                             std::span<const std::uint64_t> init_key,
+                                             const RngFactory& rngs,
+                                             sim::FaultModel faults = {},
+                                             GossipMaxConfig config = {});
+
+/// Data-spread (Algorithm 5): diffuses `key` from `source_root` to all
+/// roots; every other root starts at kKeyBottom.
+[[nodiscard]] GossipMaxResult run_data_spread(const Forest& forest, NodeId source_root,
+                                              std::uint64_t key, const RngFactory& rngs,
+                                              sim::FaultModel faults = {},
+                                              GossipMaxConfig config = {});
+
+/// Fraction of roots whose key equals `key` (used by the Theorem 5/6
+/// benches and the pipeline's consensus checks).
+[[nodiscard]] double fraction_of_roots_with_key(const Forest& forest,
+                                                std::span<const std::uint64_t> keys,
+                                                std::uint64_t key);
+
+}  // namespace drrg

@@ -1,0 +1,55 @@
+#pragma once
+// Order-preserving encodings used by Gossip-max.
+//
+// Gossip-max is agnostic to what it maximises: it diffuses 64-bit keys
+// under the max operator.  Two key families are used:
+//   * encode_ordered(double): a strictly order-preserving bijection from
+//     non-NaN doubles to uint64 (the classic IEEE-754 trick), so Max/Min
+//     of real values ride on integer comparison;
+//   * encode_size_id(size, id): lexicographic (tree size, smaller-id-wins)
+//     keys used by DRR-gossip-ave to elect the largest-tree root z.
+// Key 0 (kKeyBottom) is strictly below every encoded value, playing the
+// role of "-infinity" in Data-spread (Algorithm 5).
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace drrg {
+
+inline constexpr std::uint64_t kKeyBottom = 0;
+
+/// Strictly monotone double -> uint64 (NaN is the caller's bug).
+/// Every encoded value is > kKeyBottom (even -infinity).
+[[nodiscard]] inline std::uint64_t encode_ordered(double d) noexcept {
+  const auto bits = std::bit_cast<std::uint64_t>(d);
+  constexpr std::uint64_t sign = std::uint64_t{1} << 63;
+  return (bits & sign) ? ~bits : (bits | sign);
+}
+
+/// Inverse of encode_ordered.
+[[nodiscard]] inline double decode_ordered(std::uint64_t key) noexcept {
+  constexpr std::uint64_t sign = std::uint64_t{1} << 63;
+  const std::uint64_t bits = (key & sign) ? (key ^ sign) : ~key;
+  return std::bit_cast<double>(bits);
+}
+
+/// Key ordering (size asc, then id desc) so that max-diffusion elects the
+/// largest tree, breaking ties towards the smaller root id -- the same
+/// (size, id) order as Forest::largest_tree_root().
+[[nodiscard]] inline std::uint64_t encode_size_id(std::uint32_t size,
+                                                  std::uint32_t id) noexcept {
+  return (static_cast<std::uint64_t>(size) << 32) |
+         (std::numeric_limits<std::uint32_t>::max() - id);
+}
+
+[[nodiscard]] inline std::uint32_t decode_size(std::uint64_t key) noexcept {
+  return static_cast<std::uint32_t>(key >> 32);
+}
+
+[[nodiscard]] inline std::uint32_t decode_id(std::uint64_t key) noexcept {
+  return std::numeric_limits<std::uint32_t>::max() -
+         static_cast<std::uint32_t>(key & 0xffffffffULL);
+}
+
+}  // namespace drrg

@@ -1,0 +1,41 @@
+#pragma once
+// Message/round accounting.  The paper's claims are *counts*: rounds used
+// and messages sent.  Every send is tallied here, including messages that
+// the fault model subsequently drops (a lost message still consumed
+// bandwidth, which is what message complexity measures).
+
+#include <cstdint>
+
+namespace drrg::sim {
+
+struct Counters {
+  std::uint64_t sent = 0;       ///< messages handed to the network
+  std::uint64_t delivered = 0;  ///< messages that reached a live node
+  std::uint64_t lost = 0;       ///< dropped by the loss model or dead target
+  std::uint64_t bits = 0;       ///< total payload bits sent
+  std::uint32_t rounds = 0;     ///< synchronous rounds executed
+
+  constexpr Counters& operator+=(const Counters& o) noexcept {
+    sent += o.sent;
+    delivered += o.delivered;
+    lost += o.lost;
+    bits += o.bits;
+    rounds += o.rounds;
+    return *this;
+  }
+
+  constexpr void reset() noexcept { *this = Counters{}; }
+};
+
+/// Fault model of §2: a fraction of nodes may crash before the algorithm
+/// starts (they never send, and messages to them are lost), and each
+/// *call-initiating* message is lost independently with probability
+/// loss_prob.  Replies on an established call are reliable, matching
+/// "once a call is established ... information can be exchanged in both
+/// directions along the link".  The paper assumes 1/log n < δ < 1/8.
+struct FaultModel {
+  double loss_prob = 0.0;
+  double crash_fraction = 0.0;
+};
+
+}  // namespace drrg::sim

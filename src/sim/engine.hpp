@@ -1,0 +1,194 @@
+#pragma once
+// Synchronous random-phone-call network simulator (the model of §2).
+//
+// Time advances in discrete rounds.  In each round every live node gets an
+// on_round() upcall in which it may *call* other nodes by sending messages;
+// a message sent in round t is delivered at the delivery step of round t
+// (the call happens within the round).  A recipient may reply() on the
+// established call; replies are delivered in the same round and are
+// reliable, while call-initiating send()s are lost independently with
+// probability FaultModel::loss_prob.  Messages emitted *during* delivery
+// (forwarding) are queued for the next round: each forwarding hop costs one
+// round, exactly the "at most two hops of G per edge of G~" accounting the
+// paper uses for Phase III.
+//
+// Protocols are plain structs; the engine discovers optional hooks with
+// C++20 `requires`, so a protocol only implements what it needs:
+//
+//   void on_round(Network<Msg>&, NodeId)                      -- initiate calls
+//   void on_message(Network<Msg>&, NodeId src, NodeId dst, const Msg&)
+//   void on_reply(Network<Msg>&, NodeId src, NodeId dst, const Msg&)
+//   void on_round_end(Network<Msg>&, NodeId)                  -- detect lost calls
+//   bool done(const Network<Msg>&)                            -- early termination
+//
+// Determinism: all protocol randomness comes from per-node streams and all
+// engine randomness (loss, crashes) from separate engine streams, both
+// derived from one root seed; deliveries are processed in send order.
+
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "support/rng.hpp"
+
+namespace drrg::sim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+template <class Msg>
+class Network {
+ public:
+  /// `purpose` namespaces the per-node RNG streams so that consecutive
+  /// protocol phases sharing one RngFactory draw independent randomness.
+  Network(std::uint32_t n, const RngFactory& rngs, FaultModel faults = {},
+          std::uint64_t purpose = 0)
+      : n_(n),
+        faults_(faults),
+        loss_rng_(rngs.engine_stream(derive_seed(purpose, 0x105eULL))),
+        crashed_(n, false) {
+    node_rngs_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) node_rngs_.push_back(rngs.node_stream(i, purpose));
+    // The crash set is a pure function of the root seed (purpose-independent)
+    // so that every phase of a multi-phase pipeline sees the same crashed
+    // nodes -- the paper's model only allows crashes before the start.
+    if (faults_.crash_fraction > 0.0) {
+      Rng crash_rng = rngs.engine_stream(0xdeadULL);
+      const auto target = static_cast<std::uint32_t>(
+          faults_.crash_fraction * static_cast<double>(n));
+      std::uint32_t crashed = 0;
+      while (crashed < target && crashed < n - 1) {  // keep >= 1 node alive
+        const auto v = static_cast<NodeId>(crash_rng.next_below(n));
+        if (!crashed_[v]) {
+          crashed_[v] = true;
+          ++crashed;
+        }
+      }
+    }
+    alive_.reserve(n);
+    for (NodeId i = 0; i < n; ++i)
+      if (!crashed_[i]) alive_.push_back(i);
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return n_; }
+  [[nodiscard]] bool alive(NodeId v) const noexcept { return !crashed_[v]; }
+  [[nodiscard]] const std::vector<NodeId>& alive_nodes() const noexcept { return alive_; }
+  [[nodiscard]] std::uint32_t round() const noexcept { return round_; }
+  [[nodiscard]] Counters& counters() noexcept { return counters_; }
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const FaultModel& faults() const noexcept { return faults_; }
+
+  /// Per-node private randomness stream.
+  [[nodiscard]] Rng& node_rng(NodeId v) noexcept { return node_rngs_[v]; }
+
+  /// Samples a node independently and uniformly at random from all of V
+  /// (the random phone call primitive; crashed nodes can be sampled -- a
+  /// call to a crashed node is simply lost).
+  [[nodiscard]] NodeId sample_uniform(NodeId caller) noexcept {
+    return static_cast<NodeId>(node_rngs_[caller].next_below(n_));
+  }
+
+  /// Initiates a call: delivered this round at the delivery step, lost with
+  /// probability loss_prob.  `bits` is the payload size for the
+  /// O(log n + log s) message-size accounting.
+  void send(NodeId src, NodeId dst, Msg m, std::uint32_t bits) {
+    assert(dst < n_);
+    counters_.sent += 1;
+    counters_.bits += bits;
+    outbox_.push_back(Envelope{src, dst, std::move(m)});
+  }
+
+  /// Replies on an established call (only valid inside on_message).
+  /// Reliable and delivered in the same round's reply step.
+  void reply(NodeId src, NodeId dst, Msg m, std::uint32_t bits) {
+    assert(in_delivery_ && "reply() is only valid while handling a delivery");
+    counters_.sent += 1;
+    counters_.bits += bits;
+    replies_.push_back(Envelope{src, dst, std::move(m)});
+  }
+
+  /// Runs the protocol for at most max_rounds rounds; returns the number of
+  /// rounds executed (== max_rounds unless proto.done() fired earlier).
+  template <class P>
+  std::uint32_t run(P& proto, std::uint32_t max_rounds) {
+    std::uint32_t executed = 0;
+    for (std::uint32_t r = 0; r < max_rounds; ++r) {
+      step(proto);
+      ++executed;
+      if constexpr (requires { { proto.done(*this) } -> std::convertible_to<bool>; }) {
+        if (proto.done(*this)) break;
+      }
+    }
+    return executed;
+  }
+
+  /// Executes a single synchronous round (exposed for tests and for
+  /// pipelines that interleave protocols).
+  template <class P>
+  void step(P& proto) {
+    ++counters_.rounds;
+    for (NodeId v : alive_) {
+      if constexpr (requires { proto.on_round(*this, v); }) proto.on_round(*this, v);
+    }
+    deliver_queue(proto, outbox_, /*lossy=*/true, /*as_reply=*/false);
+    // Replies generated while delivering; drains until quiet so that a
+    // reply chain within one established call completes this round.
+    while (!replies_.empty()) {
+      deliver_queue(proto, replies_, /*lossy=*/false, /*as_reply=*/true);
+    }
+    for (NodeId v : alive_) {
+      if constexpr (requires { proto.on_round_end(*this, v); }) proto.on_round_end(*this, v);
+    }
+    ++round_;
+  }
+
+ private:
+  struct Envelope {
+    NodeId src;
+    NodeId dst;
+    Msg msg;
+  };
+
+  template <class P>
+  void deliver_queue(P& proto, std::vector<Envelope>& queue, bool lossy, bool as_reply) {
+    std::vector<Envelope> batch;
+    batch.swap(queue);  // sends made during delivery land in the next batch
+    in_delivery_ = true;
+    for (auto& e : batch) {
+      if (crashed_[e.dst] || (lossy && loss_rng_.next_bernoulli(faults_.loss_prob))) {
+        ++counters_.lost;
+        continue;
+      }
+      ++counters_.delivered;
+      if (as_reply) {
+        if constexpr (requires { proto.on_reply(*this, e.src, e.dst, e.msg); }) {
+          proto.on_reply(*this, e.src, e.dst, e.msg);
+        } else if constexpr (requires { proto.on_message(*this, e.src, e.dst, e.msg); }) {
+          proto.on_message(*this, e.src, e.dst, e.msg);
+        }
+      } else {
+        if constexpr (requires { proto.on_message(*this, e.src, e.dst, e.msg); }) {
+          proto.on_message(*this, e.src, e.dst, e.msg);
+        }
+      }
+    }
+    in_delivery_ = false;
+  }
+
+  std::uint32_t n_;
+  FaultModel faults_;
+  Rng loss_rng_;
+  std::vector<bool> crashed_;
+  std::vector<NodeId> alive_;
+  std::vector<Rng> node_rngs_;
+  std::vector<Envelope> outbox_;
+  std::vector<Envelope> replies_;
+  Counters counters_{};
+  std::uint32_t round_ = 0;
+  bool in_delivery_ = false;
+};
+
+}  // namespace drrg::sim

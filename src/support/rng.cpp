@@ -1,0 +1,11 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace drrg {
+
+double Rng::sqrt_ratio(double s) noexcept {
+  return std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace drrg

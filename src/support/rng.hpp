@@ -1,0 +1,154 @@
+#pragma once
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component of the system (node ranks, probe targets,
+// gossip partners, link loss, workload values) draws from an explicitly
+// seeded stream so that a whole simulation is reproducible from a single
+// 64-bit seed.  Per-node streams are derived with splitmix64 so that the
+// random choices of one node are statistically independent of another's
+// and independent of the engine's own loss coin-flips -- mirroring the
+// paper's assumption that nodes randomize independently.
+
+#include <cstdint>
+#include <limits>
+
+namespace drrg {
+
+/// splitmix64 step: used both as a stand-alone mixer for seed derivation
+/// and to bootstrap xoshiro state.  Passes BigCrush when used as a PRNG.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes an arbitrary tuple of 64-bit tags into a single derived seed.
+/// Used to build independent sub-streams: derive_seed(seed, node, purpose).
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t a, std::uint64_t b,
+                                                  std::uint64_t c = 0) noexcept {
+  std::uint64_t s = a;
+  std::uint64_t out = splitmix64(s);
+  s ^= 0x9e3779b97f4a7c15ULL * (b + 1);
+  out ^= splitmix64(s);
+  s ^= 0xc2b2ae3d27d4eb4fULL * (c + 1);
+  out ^= splitmix64(s);
+  return out;
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Small, fast, and strong enough for
+/// Monte-Carlo simulation.  Satisfies std::uniform_random_bit_generator so
+/// it can feed <random> distributions, though we provide the handful of
+/// distributions the algorithms need directly (faster and bit-reproducible
+/// across standard library implementations).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  Rng() noexcept : Rng(0xdeadbeefcafef00dULL) {}
+
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).  53-bit mantissa construction; this is the
+  /// distribution DRR ranks are drawn from (Algorithm 1 draws from [0,1]).
+  [[nodiscard]] double next_unit() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  Lemire's multiply-shift with rejection;
+  /// unbiased and branch-light.  bound must be nonzero.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t next_range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool next_bernoulli(double p) noexcept { return next_unit() < p; }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double next_uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_unit();
+  }
+
+  /// Standard normal via Marsaglia polar method (no cached spare: keeps the
+  /// generator state a pure function of the draw count).
+  [[nodiscard]] double next_normal() noexcept {
+    for (;;) {
+      const double u = next_uniform(-1.0, 1.0);
+      const double v = next_uniform(-1.0, 1.0);
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) return u * sqrt_ratio(s);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double sqrt_ratio(double s) noexcept;  // sqrt(-2 ln s / s), in .cpp
+
+  std::uint64_t state_[4]{};
+};
+
+/// Factory for the independent streams used across a simulation.  All
+/// derivations are pure functions of (root seed, tags), so any component can
+/// recreate its stream without coordination.
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t root_seed) noexcept : root_(root_seed) {}
+
+  [[nodiscard]] std::uint64_t root_seed() const noexcept { return root_; }
+
+  /// Stream for node-local decisions, disambiguated by purpose tag.
+  [[nodiscard]] Rng node_stream(std::uint32_t node, std::uint64_t purpose = 0) const noexcept {
+    return Rng{derive_seed(root_, node, purpose)};
+  }
+
+  /// Stream for engine-level randomness (message loss, crash selection).
+  [[nodiscard]] Rng engine_stream(std::uint64_t purpose) const noexcept {
+    return Rng{derive_seed(root_, 0xe6e6e6e6ULL, purpose)};
+  }
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace drrg

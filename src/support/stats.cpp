@@ -1,0 +1,162 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace drrg {
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStat::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.959963985 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::vector<double> v(sample.begin(), sample.end());
+  std::sort(v.begin(), v.end());
+  RunningStat rs;
+  for (double x : v) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = v.front();
+  s.max = v.back();
+  s.q25 = quantile_sorted(v, 0.25);
+  s.median = quantile_sorted(v, 0.50);
+  s.q75 = quantile_sorted(v, 0.75);
+  s.q95 = quantile_sorted(v, 0.95);
+  return s;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit f;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return f;
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  f.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return f;
+}
+
+LinearFit fit_power_law(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx, ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
+  for (std::size_t i = 0; i < std::min(xs.size(), ys.size()); ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  return fit_linear(lx, ly);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void Histogram::add(double x) noexcept {
+  const double span = hi_ - lo_;
+  std::size_t idx = 0;
+  if (span > 0.0) {
+    const double t = (x - lo_) / span;
+    const auto b = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+    idx = static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1));
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << '[';
+    os.width(10);
+    os << bucket_lo(i) << ", ";
+    os.width(10);
+    os << bucket_hi(i) << ") ";
+    os.width(10);
+    os << counts_[i] << ' ';
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+double chi_square_uniform(std::span<const std::uint64_t> observed) {
+  if (observed.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (auto c : observed) total += c;
+  if (total == 0) return 0.0;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  double chi = 0.0;
+  for (auto c : observed) {
+    const double d = static_cast<double>(c) - expected;
+    chi += d * d / expected;
+  }
+  return chi;
+}
+
+}  // namespace drrg

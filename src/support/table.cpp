@@ -1,0 +1,67 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace drrg {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (cells_.empty()) cells_.emplace_back();
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add_int(long long v) { return add(std::to_string(v)); }
+
+Table& Table::add_uint(unsigned long long v) { return add(std::to_string(v)); }
+
+Table& Table::add_real(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return add(os.str());
+}
+
+Table& Table::add_row(std::initializer_list<std::string> cells) {
+  row();
+  for (const auto& c : cells) add(c);
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : cells_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << r[c];
+      if (c + 1 < r.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(rule, '-') << '\n';
+  for (const auto& r : cells_) emit(r);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace drrg

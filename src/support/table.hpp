@@ -1,0 +1,40 @@
+#pragma once
+// Minimal aligned-console-table writer.  The bench binaries reproduce the
+// paper's Table 1 and per-theorem series as plain-text tables on stdout
+// (in addition to google-benchmark counters), and the examples use it to
+// report phase metrics.
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace drrg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; values are appended with add()/add_int()/add_real().
+  Table& row();
+  Table& add(std::string cell);
+  Table& add_int(long long v);
+  Table& add_uint(unsigned long long v);
+  Table& add_real(double v, int precision = 3);
+
+  /// Convenience: whole row at once.
+  Table& add_row(std::initializer_list<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+
+  /// Renders with per-column width alignment and a rule under the header.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace drrg

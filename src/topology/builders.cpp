@@ -1,0 +1,304 @@
+#include "topology/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "support/mathutil.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+
+namespace {
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+}  // namespace
+
+Graph make_ring(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("make_ring: need n >= 3");
+  EdgeList edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_path(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_path: need n >= 2");
+  EdgeList edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_star(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_star: need n >= 2");
+  EdgeList edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_grid(std::uint32_t rows, std::uint32_t cols, bool torus) {
+  if (rows < 2 || cols < 2) throw std::invalid_argument("make_grid: need rows, cols >= 2");
+  const std::uint32_t n = rows * cols;
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  std::set<std::pair<NodeId, NodeId>> edges;  // set: torus wrap on 2-wide dims duplicates
+  auto add = [&edges](NodeId a, NodeId b) {
+    if (a == b) return;
+    edges.insert({std::min(a, b), std::max(a, b)});
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) add(id(r, c), id(r, c + 1));
+      else if (torus) add(id(r, c), id(r, 0));
+      if (r + 1 < rows) add(id(r, c), id(r + 1, c));
+      else if (torus) add(id(r, c), id(0, c));
+    }
+  }
+  return Graph::from_edges(n, EdgeList(edges.begin(), edges.end()));
+}
+
+Graph make_hypercube(std::uint32_t dim) {
+  if (dim == 0 || dim > 24) throw std::invalid_argument("make_hypercube: dim in [1,24]");
+  const std::uint32_t n = 1u << dim;
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (NodeId v = 0; v < n; ++v)
+    for (std::uint32_t b = 0; b < dim; ++b) {
+      const NodeId w = v ^ (1u << b);
+      if (v < w) edges.emplace_back(v, w);
+    }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_binary_tree(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_binary_tree: need n >= 2");
+  EdgeList edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back(v, (v - 1) / 2);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_random_regular(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
+  if (d == 0 || d >= n) throw std::invalid_argument("make_random_regular: need 0 < d < n");
+  if ((static_cast<std::uint64_t>(n) * d) % 2 != 0)
+    throw std::invalid_argument("make_random_regular: n*d must be even");
+  Rng rng{derive_seed(seed, 0x2e97ULL)};
+  // Configuration model with edge-swap repair: pair up the n*d stubs, then
+  // fix each self-loop/multi-edge by a degree-preserving double swap with
+  // a random good edge (the standard approach; whole-matching restarts
+  // have vanishing success probability already for moderate d).
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  auto canon = [](NodeId a, NodeId b) {
+    return a < b ? std::pair<NodeId, NodeId>{a, b} : std::pair<NodeId, NodeId>{b, a};
+  };
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    stubs.clear();
+    for (NodeId v = 0; v < n; ++v)
+      for (std::uint32_t k = 0; k < d; ++k) stubs.push_back(v);
+    for (std::size_t i = stubs.size(); i > 1; --i)  // Fisher-Yates
+      std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+
+    std::set<std::pair<NodeId, NodeId>> edges;
+    std::vector<std::pair<NodeId, NodeId>> good;      // random-access view
+    std::vector<std::pair<NodeId, NodeId>> conflicts; // self-loops/dups
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const NodeId a = stubs[i], b = stubs[i + 1];
+      if (a != b && edges.insert(canon(a, b)).second) {
+        good.push_back(canon(a, b));
+      } else {
+        conflicts.push_back({a, b});
+      }
+    }
+
+    bool ok = true;
+    for (auto [a, b] : conflicts) {
+      bool fixed = false;
+      for (int tries = 0; tries < 400 && !good.empty(); ++tries) {
+        auto& slot = good[rng.next_below(good.size())];
+        auto [c, dd] = slot;
+        if (rng.next_bernoulli(0.5)) std::swap(c, dd);
+        // Rewire (a,b) + (c,dd) -> (a,c) + (b,dd).
+        if (a == c || b == dd) continue;
+        if (edges.count(canon(a, c)) != 0 || edges.count(canon(b, dd)) != 0) continue;
+        edges.erase(canon(c, dd));
+        slot = canon(a, c);
+        edges.insert(slot);
+        edges.insert(canon(b, dd));
+        good.push_back(canon(b, dd));
+        fixed = true;
+        break;
+      }
+      if (!fixed) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return Graph::from_edges(n, EdgeList(edges.begin(), edges.end()));
+  }
+  throw std::runtime_error("make_random_regular: configuration model did not converge");
+}
+
+Graph make_erdos_renyi(std::uint32_t n, double p, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("make_erdos_renyi: need n >= 2");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("make_erdos_renyi: p in [0,1]");
+  Rng rng{derive_seed(seed, 0xe23eULL)};
+  EdgeList edges;
+  // Geometric skipping enumerates present edges directly: O(n^2 p) expected.
+  if (p > 0.0) {
+    const double log1mp = std::log1p(-p);
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    std::uint64_t idx = 0;
+    auto unrank = [n](std::uint64_t k) {
+      // Map linear index k to the (u, v) pair in row-major upper triangle.
+      NodeId u = 0;
+      std::uint64_t rowlen = n - 1;
+      while (k >= rowlen) {
+        k -= rowlen;
+        ++u;
+        --rowlen;
+      }
+      return std::pair<NodeId, NodeId>{u, static_cast<NodeId>(u + 1 + k)};
+    };
+    if (p >= 1.0) {
+      for (std::uint64_t k = 0; k < total; ++k) edges.push_back(unrank(k));
+    } else {
+      while (true) {
+        const double u01 = std::max(rng.next_unit(), 1e-300);
+        const auto skip = static_cast<std::uint64_t>(std::log(u01) / log1mp);
+        if (skip > total || idx + skip >= total) break;
+        idx += skip;
+        edges.push_back(unrank(idx));
+        ++idx;
+        if (idx >= total) break;
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_geometric(std::uint32_t n, double radius, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("make_geometric: need n >= 2");
+  Rng rng{derive_seed(seed, 0x6e0ULL)};
+  std::vector<double> x(n), y(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    x[v] = rng.next_unit();
+    y[v] = rng.next_unit();
+  }
+  // Bucket grid of cell size radius: only 3x3 neighborhoods need checking.
+  const double r2 = radius * radius;
+  const auto cells = static_cast<std::uint32_t>(std::max(1.0, std::floor(1.0 / radius)));
+  std::vector<std::vector<NodeId>> grid(static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](NodeId v) {
+    auto cx = std::min<std::uint32_t>(static_cast<std::uint32_t>(x[v] * cells), cells - 1);
+    auto cy = std::min<std::uint32_t>(static_cast<std::uint32_t>(y[v] * cells), cells - 1);
+    return std::pair<std::uint32_t, std::uint32_t>{cx, cy};
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    auto [cx, cy] = cell_of(v);
+    grid[static_cast<std::size_t>(cx) * cells + cy].push_back(v);
+  }
+  EdgeList edges;
+  for (NodeId v = 0; v < n; ++v) {
+    auto [cx, cy] = cell_of(v);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const auto nx = static_cast<std::int64_t>(cx) + dx;
+        const auto ny = static_cast<std::int64_t>(cy) + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (NodeId w : grid[static_cast<std::size_t>(nx) * cells + static_cast<std::size_t>(ny)]) {
+          if (w <= v) continue;
+          const double ddx = x[v] - x[w];
+          const double ddy = y[v] - y[w];
+          if (ddx * ddx + ddy * ddy <= r2) edges.emplace_back(v, w);
+        }
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_small_world(std::uint32_t n, std::uint32_t k, double beta, std::uint64_t seed) {
+  if (n < 4) throw std::invalid_argument("make_small_world: need n >= 4");
+  if (k == 0 || 2 * k >= n) throw std::invalid_argument("make_small_world: need 1 <= k < n/2");
+  if (beta < 0.0 || beta > 1.0) throw std::invalid_argument("make_small_world: beta in [0,1]");
+  Rng rng{derive_seed(seed, 0x5311ULL)};
+  std::set<std::pair<NodeId, NodeId>> edges;
+  auto canon = [](NodeId a, NodeId b) {
+    return a < b ? std::pair<NodeId, NodeId>{a, b} : std::pair<NodeId, NodeId>{b, a};
+  };
+  // Ring lattice: v connected to its k clockwise successors.
+  for (NodeId v = 0; v < n; ++v)
+    for (std::uint32_t j = 1; j <= k; ++j) edges.insert(canon(v, (v + j) % n));
+  // Rewiring pass: each lattice edge (v, v+j) may move its far endpoint.
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t j = 1; j <= k; ++j) {
+      if (!rng.next_bernoulli(beta)) continue;
+      const NodeId old_w = (v + j) % n;
+      // A few attempts to find a fresh endpoint; keep the edge otherwise.
+      for (int tries = 0; tries < 16; ++tries) {
+        const auto w = static_cast<NodeId>(rng.next_below(n));
+        if (w == v || edges.count(canon(v, w)) != 0) continue;
+        edges.erase(canon(v, old_w));
+        edges.insert(canon(v, w));
+        break;
+      }
+    }
+  }
+  return Graph::from_edges(n, std::vector<std::pair<NodeId, NodeId>>(edges.begin(), edges.end()));
+}
+
+Graph make_preferential_attachment(std::uint32_t n, std::uint32_t m, std::uint64_t seed) {
+  if (m == 0 || m >= n) throw std::invalid_argument("make_preferential_attachment: 1 <= m < n");
+  Rng rng{derive_seed(seed, 0xba0aULL)};
+  const std::uint32_t seed_nodes = m + 1;
+  EdgeList edges;
+  // Seed clique so every early node has degree >= m.
+  for (NodeId a = 0; a < seed_nodes; ++a)
+    for (NodeId b = a + 1; b < seed_nodes; ++b) edges.emplace_back(a, b);
+  // Repeated-endpoints list: sampling a uniform entry is degree-biased.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * (static_cast<std::size_t>(n) * m + seed_nodes * seed_nodes));
+  for (const auto& [a, b] : edges) {
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  }
+  std::set<std::pair<NodeId, NodeId>> present(edges.begin(), edges.end());
+  for (NodeId v = seed_nodes; v < n; ++v) {
+    std::set<NodeId> targets;
+    int guard = 0;
+    while (targets.size() < m && guard++ < 1000) {
+      const NodeId t = endpoints[rng.next_below(endpoints.size())];
+      if (t != v) targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      const auto e = std::pair<NodeId, NodeId>{std::min(v, t), std::max(v, t)};
+      if (!present.insert(e).second) continue;
+      edges.push_back(e);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_chord_graph(std::uint32_t n) {
+  if (n < 4) throw std::invalid_argument("make_chord_graph: need n >= 4");
+  std::set<std::pair<NodeId, NodeId>> edges;
+  auto add = [&edges](NodeId a, NodeId b) {
+    if (a == b) return;
+    edges.insert({std::min(a, b), std::max(a, b)});
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    add(v, (v + 1) % n);  // successor
+    for (std::uint64_t step = 2; step < n; step <<= 1) {
+      add(v, static_cast<NodeId>((v + step) % n));  // fingers
+    }
+  }
+  return Graph::from_edges(n, std::vector<std::pair<NodeId, NodeId>>(edges.begin(), edges.end()));
+}
+
+}  // namespace drrg

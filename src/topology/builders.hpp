@@ -1,0 +1,61 @@
+#pragma once
+// Graph builders for the sparse-network experiments (§4) and examples.
+//
+// The paper evaluates Local-DRR "on an arbitrary undirected graph"; the
+// benches exercise it on the standard families below.  All randomized
+// builders are deterministic functions of their seed.
+
+#include <cstdint>
+
+#include "topology/graph.hpp"
+
+namespace drrg {
+
+/// Cycle 0-1-...-n-1-0.  Minimum-degree-2 worst case for tree height.
+[[nodiscard]] Graph make_ring(std::uint32_t n);
+
+/// Simple path 0-1-...-n-1.
+[[nodiscard]] Graph make_path(std::uint32_t n);
+
+/// Star: node 0 adjacent to all others (hub-and-spoke extreme).
+[[nodiscard]] Graph make_star(std::uint32_t n);
+
+/// rows x cols grid, 4-neighborhood; torus wraps both dimensions.
+[[nodiscard]] Graph make_grid(std::uint32_t rows, std::uint32_t cols, bool torus = false);
+
+/// Hypercube on n = 2^dim nodes.
+[[nodiscard]] Graph make_hypercube(std::uint32_t dim);
+
+/// Complete binary tree with n nodes (heap indexing).
+[[nodiscard]] Graph make_binary_tree(std::uint32_t n);
+
+/// Random d-regular graph via the configuration model with restarts
+/// (rejects self-loops/multi-edges).  Requires n*d even and d < n.
+[[nodiscard]] Graph make_random_regular(std::uint32_t n, std::uint32_t d, std::uint64_t seed);
+
+/// Erdos-Renyi G(n, p).
+[[nodiscard]] Graph make_erdos_renyi(std::uint32_t n, double p, std::uint64_t seed);
+
+/// Random geometric graph on the unit square: nodes at uniform positions,
+/// edge iff distance <= radius (the standard sensor-network model).
+[[nodiscard]] Graph make_geometric(std::uint32_t n, double radius, std::uint64_t seed);
+
+/// The static Chord graph: node i on a ring of n ids with successor edge
+/// and finger edges to (i + 2^k) mod n.  (The full Chord overlay with
+/// routing lives in src/chord; this builder only exposes its topology so
+/// Local-DRR can run on it.)
+[[nodiscard]] Graph make_chord_graph(std::uint32_t n);
+
+/// Watts-Strogatz small world: ring lattice with k nearest neighbors per
+/// side, each edge rewired with probability beta (endpoints never
+/// duplicated).  Requires 1 <= k < n/2.
+[[nodiscard]] Graph make_small_world(std::uint32_t n, std::uint32_t k, double beta,
+                                     std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: starts from a small clique,
+/// every new node attaches m edges biased towards high-degree nodes --
+/// the classic heavy-tailed P2P degree profile.  Requires 1 <= m < n.
+[[nodiscard]] Graph make_preferential_attachment(std::uint32_t n, std::uint32_t m,
+                                                 std::uint64_t seed);
+
+}  // namespace drrg

@@ -1,0 +1,109 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace drrg {
+
+Graph Graph::from_edges(std::uint32_t n,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  Graph g;
+  g.n_ = n;
+  g.complete_ = false;
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const auto& [u, v] : edges) {
+    if (u >= n || v >= n) throw std::invalid_argument("Graph: vertex out of range");
+    if (u == v) throw std::invalid_argument("Graph: self-loop");
+    ++deg[u];
+    ++deg[v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (std::uint32_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.adjacency_.assign(g.offsets_[n], 0);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+    if (std::adjacent_find(begin, end) != end)
+      throw std::invalid_argument("Graph: duplicate edge");
+  }
+  return g;
+}
+
+Graph Graph::complete(std::uint32_t n) {
+  Graph g;
+  g.n_ = n;
+  g.complete_ = true;
+  return g;
+}
+
+std::uint64_t Graph::edge_count() const noexcept {
+  if (complete_) return static_cast<std::uint64_t>(n_) * (n_ - 1) / 2;
+  return adjacency_.size() / 2;
+}
+
+std::uint32_t Graph::degree(NodeId v) const noexcept {
+  if (complete_) return n_ > 0 ? n_ - 1 : 0;
+  return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const noexcept {
+  if (complete_) return {};
+  return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u == v || u >= n_ || v >= n_) return false;
+  if (complete_) return true;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+bool Graph::connected() const {
+  if (n_ == 0) return true;
+  if (complete_) return true;
+  std::vector<bool> seen(n_, false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::uint32_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId w : neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        frontier.push(w);
+      }
+    }
+  }
+  return visited == n_;
+}
+
+std::uint32_t Graph::min_degree() const noexcept {
+  if (n_ == 0) return 0;
+  std::uint32_t m = degree(0);
+  for (NodeId v = 1; v < n_; ++v) m = std::min(m, degree(v));
+  return m;
+}
+
+std::uint32_t Graph::max_degree() const noexcept {
+  std::uint32_t m = 0;
+  for (NodeId v = 0; v < n_; ++v) m = std::max(m, degree(v));
+  return m;
+}
+
+double Graph::inverse_degree_plus_one_sum() const noexcept {
+  double s = 0.0;
+  for (NodeId v = 0; v < n_; ++v) s += 1.0 / (static_cast<double>(degree(v)) + 1.0);
+  return s;
+}
+
+}  // namespace drrg

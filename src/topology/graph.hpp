@@ -1,0 +1,62 @@
+#pragma once
+// Undirected graph abstraction for the sparse-network setting of §4.
+//
+// Two storage modes:
+//   * explicit: CSR adjacency (offsets + flat neighbor array), built once
+//     and immutable afterwards -- cache-friendly iteration for the
+//     per-round neighbor scans of Local-DRR;
+//   * implicit complete graph: the dense phases (§2-§3 assume every pair
+//     can communicate) would need O(n^2) memory explicitly, so K_n is
+//     represented by its size alone.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace drrg {
+
+using NodeId = std::uint32_t;
+
+class Graph {
+ public:
+  /// Builds an explicit graph from an edge list (u, v) over n vertices.
+  /// Self-loops and duplicate edges are rejected (throws std::invalid_argument).
+  static Graph from_edges(std::uint32_t n,
+                          const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  /// Implicit complete graph K_n.
+  static Graph complete(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return n_; }
+  [[nodiscard]] bool is_complete() const noexcept { return complete_; }
+  [[nodiscard]] std::uint64_t edge_count() const noexcept;
+
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept;
+
+  /// Neighbors of v; valid only for explicit graphs (complete graphs would
+  /// materialise n-1 entries -- callers special-case them).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept;
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// True if every node can reach every other (BFS).
+  [[nodiscard]] bool connected() const;
+
+  [[nodiscard]] std::uint32_t min_degree() const noexcept;
+  [[nodiscard]] std::uint32_t max_degree() const noexcept;
+
+  /// Sum over nodes of 1/(deg+1): the Theorem 13 prediction for the number
+  /// of Local-DRR trees.
+  [[nodiscard]] double inverse_degree_plus_one_sum() const noexcept;
+
+ private:
+  Graph() = default;
+
+  std::uint32_t n_ = 0;
+  bool complete_ = false;
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;       // sorted within each node's slice
+};
+
+}  // namespace drrg

@@ -1,0 +1,129 @@
+#include "trees/broadcast.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+namespace {
+
+struct BcMsg {
+  enum class Kind : std::uint8_t { kValue, kAck };
+  Kind kind;
+  double payload = 0.0;
+};
+
+struct BcProtocol {
+  BcProtocol(const Forest& f, std::span<const double> payload, std::uint32_t n,
+             bool simultaneous)
+      : forest(f), all_children_at_once(simultaneous), value_bits(64 + address_bits(n)),
+        state(n) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!f.is_member(v)) continue;
+      ++uninformed;
+      state[v].child_acked.assign(f.children(v).size(), false);
+      if (f.is_root(v)) {
+        state[v].informed = true;
+        state[v].payload = payload[v];
+        --uninformed;
+      }
+    }
+  }
+
+  struct NodeState {
+    bool informed = false;
+    double payload = 0.0;
+    std::vector<bool> child_acked;
+    std::uint32_t acked_count = 0;
+  };
+
+  const Forest& forest;
+  bool all_children_at_once;
+  std::uint32_t value_bits;
+  std::vector<NodeState> state;
+  std::uint32_t uninformed = 0;
+
+  void on_round(sim::Network<BcMsg>& net, sim::NodeId v) {
+    NodeState& s = state[v];
+    if (!s.informed || s.acked_count == s.child_acked.size()) return;
+    const auto children = forest.children(v);
+    if (all_children_at_once) {
+      // §4 Assumption (1): one round reaches all (graph-neighbor) children.
+      for (std::size_t i = 0; i < children.size(); ++i)
+        if (!s.child_acked[i])
+          net.send(v, children[i], BcMsg{BcMsg::Kind::kValue, s.payload}, value_bits);
+    } else {
+      // Random phone call model: one call per round; (re)send to the first
+      // child that has not acknowledged yet.
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (!s.child_acked[i]) {
+          net.send(v, children[i], BcMsg{BcMsg::Kind::kValue, s.payload}, value_bits);
+          break;
+        }
+      }
+    }
+  }
+
+  void on_message(sim::Network<BcMsg>& net, sim::NodeId src, sim::NodeId dst,
+                  const BcMsg& m) {
+    if (m.kind != BcMsg::Kind::kValue) return;
+    NodeState& s = state[dst];
+    if (!s.informed) {
+      s.informed = true;
+      s.payload = m.payload;
+      --uninformed;
+    }
+    net.reply(dst, src, BcMsg{BcMsg::Kind::kAck, 0.0}, 1);
+  }
+
+  void on_reply(sim::Network<BcMsg>&, sim::NodeId src, sim::NodeId dst, const BcMsg& m) {
+    if (m.kind != BcMsg::Kind::kAck) return;
+    NodeState& s = state[dst];
+    const auto children = forest.children(dst);
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (children[i] == src && !s.child_acked[i]) {
+        s.child_acked[i] = true;
+        ++s.acked_count;
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool done(const sim::Network<BcMsg>&) const { return uninformed == 0; }
+};
+
+}  // namespace
+
+BroadcastResult run_broadcast(const Forest& forest, std::span<const double> payload,
+                              const RngFactory& rngs, sim::FaultModel faults,
+                              BroadcastConfig config) {
+  const std::uint32_t n = forest.size();
+  if (payload.size() < n) throw std::invalid_argument("run_broadcast: payload too short");
+
+  sim::Network<BcMsg> net{n, rngs, faults, derive_seed(0xbc, config.stream_tag)};
+  BcProtocol proto{forest, payload, n, config.simultaneous_children};
+
+  std::uint32_t max_rounds = config.max_rounds;
+  if (max_rounds == 0) {
+    max_rounds = config.simultaneous_children
+                     ? 8 * (forest.max_tree_height() + 2) + 64
+                     : 8 * (forest.max_tree_size() + 2) + 64;
+  }
+  const std::uint32_t rounds = net.run(proto, max_rounds);
+
+  BroadcastResult result;
+  result.received.assign(n, 0.0);
+  result.informed.assign(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    result.received[v] = proto.state[v].payload;
+    result.informed[v] = proto.state[v].informed;
+  }
+  result.counters = net.counters();
+  result.rounds = rounds;
+  result.complete = proto.uninformed == 0;
+  return result;
+}
+
+}  // namespace drrg

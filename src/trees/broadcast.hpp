@@ -1,0 +1,50 @@
+#pragma once
+// Phase II, downward half: tree broadcast.
+//
+// After convergecast each root disseminates a payload down its tree: first
+// its own address (so Phase III forwarding becomes possible -- the
+// non-address-oblivious ingredient), and after Phase III the global
+// aggregate itself.  A node informs one child per round (a node initiates
+// at most one call per round in the model of §2); sends are acknowledged
+// and retried under loss.  Time is O(tree size) worst case, exactly the
+// paper's Phase II bound, and messages are O(n) in total.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "forest/forest.hpp"
+#include "sim/counters.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+
+struct BroadcastConfig {
+  /// 0 = auto: generous bound from max tree size plus loss slack.
+  std::uint32_t max_rounds = 0;
+  /// Disambiguates RNG streams when one pipeline runs the protocol twice.
+  std::uint64_t stream_tag = 0;
+  /// Sparse-network mode (§4 Assumption 1): a node may message all of its
+  /// children (graph neighbors) in one round, making broadcast
+  /// O(height) instead of O(tree size).
+  bool simultaneous_children = false;
+};
+
+struct BroadcastResult {
+  /// Payload each node ended with (roots keep their own input).
+  std::vector<double> received;
+  /// Whether the node was informed (false only on retry exhaustion).
+  std::vector<bool> informed;
+  sim::Counters counters;
+  std::uint32_t rounds = 0;
+  bool complete = false;  ///< all member nodes informed
+};
+
+/// Broadcasts `payload[root]` from every root down its tree.
+[[nodiscard]] BroadcastResult run_broadcast(const Forest& forest,
+                                            std::span<const double> payload,
+                                            const RngFactory& rngs,
+                                            sim::FaultModel faults = {},
+                                            BroadcastConfig config = {});
+
+}  // namespace drrg

@@ -1,0 +1,128 @@
+#include "trees/convergecast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+namespace {
+
+struct CcMsg {
+  enum class Kind : std::uint8_t { kValue, kAck };
+  Kind kind;
+  double a = 0.0;  // aggregate
+  double b = 0.0;  // weight (kSum)
+};
+
+struct CcProtocol {
+  CcProtocol(const Forest& f, std::span<const double> values, ConvergecastOp o,
+             std::uint32_t n)
+      : forest(f), op(o), value_bits(64 + address_bits(n)), state(n) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!f.is_member(v)) continue;
+      NodeState& s = state[v];
+      s.acc_a = values[v];
+      s.acc_b = 1.0;
+      s.pending_children = static_cast<std::uint32_t>(f.children(v).size());
+      if (!f.is_root(v)) ++unfinished;
+    }
+    for (NodeId r : f.roots())
+      if (state[r].pending_children > 0) ++unfinished_roots;
+  }
+
+  struct NodeState {
+    double acc_a = 0.0;
+    double acc_b = 0.0;
+    std::uint32_t pending_children = 0;
+    bool sent_up = false;  // parent acknowledged
+  };
+
+  const Forest& forest;
+  ConvergecastOp op;
+  std::uint32_t value_bits;
+  std::vector<NodeState> state;
+  std::uint32_t unfinished = 0;        // non-roots that have not been acked
+  std::uint32_t unfinished_roots = 0;  // roots still waiting on children
+
+  void absorb(NodeState& s, double a, double b) {
+    switch (op) {
+      case ConvergecastOp::kMax: s.acc_a = std::max(s.acc_a, a); break;
+      case ConvergecastOp::kMin: s.acc_a = std::min(s.acc_a, a); break;
+      case ConvergecastOp::kSum:
+        s.acc_a += a;
+        s.acc_b += b;
+        break;
+    }
+  }
+
+  void on_round(sim::Network<CcMsg>& net, sim::NodeId v) {
+    if (forest.is_root(v) || !forest.is_member(v)) return;
+    NodeState& s = state[v];
+    if (s.sent_up || s.pending_children > 0) return;
+    // All children reported: push the partial aggregate to the parent,
+    // repeating each round until the ack arrives.
+    net.send(v, forest.parent(v), CcMsg{CcMsg::Kind::kValue, s.acc_a, s.acc_b}, value_bits);
+  }
+
+  void on_message(sim::Network<CcMsg>& net, sim::NodeId src, sim::NodeId dst,
+                  const CcMsg& m) {
+    if (m.kind != CcMsg::Kind::kValue) return;
+    NodeState& s = state[dst];
+    absorb(s, m.a, m.b);
+    --s.pending_children;
+    if (s.pending_children == 0 && forest.is_root(dst) && unfinished_roots > 0)
+      --unfinished_roots;
+    net.reply(dst, src, CcMsg{CcMsg::Kind::kAck, 0.0, 0.0}, 1);
+  }
+
+  void on_reply(sim::Network<CcMsg>&, sim::NodeId, sim::NodeId dst, const CcMsg& m) {
+    if (m.kind != CcMsg::Kind::kAck) return;
+    NodeState& s = state[dst];
+    if (!s.sent_up) {
+      s.sent_up = true;
+      --unfinished;
+    }
+  }
+
+  [[nodiscard]] bool done(const sim::Network<CcMsg>&) const {
+    return unfinished == 0 && unfinished_roots == 0;
+  }
+};
+
+}  // namespace
+
+ConvergecastResult run_convergecast(const Forest& forest, std::span<const double> values,
+                                    ConvergecastOp op, const RngFactory& rngs,
+                                    sim::FaultModel faults, ConvergecastConfig config) {
+  const std::uint32_t n = forest.size();
+  if (values.size() < n) throw std::invalid_argument("run_convergecast: values too short");
+
+  sim::Network<CcMsg> net{n, rngs, faults, derive_seed(0xcc, config.stream_tag)};
+  CcProtocol proto{forest, values, op, n};
+
+  std::uint32_t max_rounds = config.max_rounds;
+  if (max_rounds == 0) {
+    // height rounds at delta = 0; each level adds a geometric number of
+    // retries under loss (delta < 1/8), so a 8x + 64 slack is far beyond
+    // the whp horizon.
+    max_rounds = 8 * (forest.max_tree_height() + 2) + 64;
+  }
+  const std::uint32_t rounds = net.run(proto, max_rounds);
+
+  ConvergecastResult result;
+  result.aggregate.assign(n, 0.0);
+  result.weight.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    result.aggregate[v] = proto.state[v].acc_a;
+    result.weight[v] = proto.state[v].acc_b;
+  }
+  result.counters = net.counters();
+  result.rounds = rounds;
+  result.complete = proto.done(net);
+  return result;
+}
+
+}  // namespace drrg

@@ -1,0 +1,243 @@
+// Tests of the comparison baselines: Kempe uniform gossip (push-max,
+// push-sum), Karp push-pull rumor spreading, Kashyap-style efficient
+// gossip, and uniform gossip on Chord.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "baselines/chord_uniform.hpp"
+#include "baselines/efficient_gossip.hpp"
+#include "baselines/uniform_gossip.hpp"
+#include "support/mathutil.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+namespace {
+
+std::vector<double> make_values(std::uint32_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_uniform(-10.0, 90.0);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// uniform_push_max (Kempe / Table 1 row 2, and the Theorem 15 companion)
+
+TEST(UniformPushMax, ReachesConsensusInLogRounds) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const std::uint32_t n = 1024;
+    const auto values = make_values(n, seed);
+    const auto r = uniform_push_max(n, values, seed);
+    EXPECT_TRUE(r.consensus);
+    EXPECT_LE(r.rounds_to_consensus, 4 * ceil_log2(n));
+    EXPECT_GE(r.rounds_to_consensus, ceil_log2(n) / 2);
+  }
+}
+
+TEST(UniformPushMax, MessagesScaleAsNLogN) {
+  // messages/(n log n) roughly flat; messages/n grows with n.
+  const auto r1 = uniform_push_max(512, make_values(512, 4), 4);
+  const auto r2 = uniform_push_max(8192, make_values(8192, 4), 4);
+  const double k1 = static_cast<double>(r1.messages_to_consensus) / (512.0 * log2_clamped(512));
+  const double k2 =
+      static_cast<double>(r2.messages_to_consensus) / (8192.0 * log2_clamped(8192));
+  EXPECT_LT(k2, 2.0 * k1);
+  EXPECT_GT(k2, k1 / 2.0);
+  const double per1 = static_cast<double>(r1.messages_to_consensus) / 512.0;
+  const double per2 = static_cast<double>(r2.messages_to_consensus) / 8192.0;
+  EXPECT_GT(per2, per1);  // strictly superlinear total
+}
+
+TEST(UniformPushMax, ConsensusUnderLoss) {
+  const std::uint32_t n = 1024;
+  const auto values = make_values(n, 5);
+  const auto r = uniform_push_max(n, values, 5, sim::FaultModel{0.125, 0.0});
+  EXPECT_TRUE(r.consensus);
+}
+
+TEST(UniformPushMax, HonoursRoundCap) {
+  UniformPushMaxConfig cfg;
+  cfg.round_multiplier = 0.1;  // far too few rounds
+  cfg.stop_on_consensus = false;
+  const auto r = uniform_push_max(4096, make_values(4096, 6), 6, {}, cfg);
+  EXPECT_FALSE(r.consensus);
+}
+
+// ---------------------------------------------------------------------------
+// uniform_push_sum (Kempe push-sum)
+
+TEST(UniformPushSum, ConvergesToAverage) {
+  const std::uint32_t n = 1024;
+  const auto values = make_values(n, 7);
+  const auto r = uniform_push_sum(n, values, 7);
+  const double ave = std::accumulate(values.begin(), values.end(), 0.0) / n;
+  for (std::uint32_t v = 0; v < n; ++v)
+    ASSERT_NEAR(r.estimate[v], ave, 1e-3 * std::max(1.0, std::fabs(ave)));
+}
+
+TEST(UniformPushSum, ErrorDecaysGeometrically) {
+  const std::uint32_t n = 2048;
+  const auto values = make_values(n, 8);
+  const auto r = uniform_push_sum(n, values, 8);
+  ASSERT_GE(r.error_per_round.size(), 30u);
+  // Error after 30 rounds should be orders of magnitude below round 2.
+  EXPECT_LT(r.error_per_round[29], r.error_per_round[1] / 100.0);
+}
+
+TEST(UniformPushSum, MassConservation) {
+  // With delta = 0 the final estimates are a convex recombination: the
+  // weighted mean of estimates (weights w) equals the true average.
+  const std::uint32_t n = 512;
+  const auto values = make_values(n, 9);
+  const auto r = uniform_push_sum(n, values, 9);
+  // estimate-weighted mass: sum w_v * est_v = sum s_v = sum values.
+  // (We only exposed estimates; reconstruct via the known invariant on
+  // the final round error being tiny instead.)
+  EXPECT_LT(r.max_relative_error, 1e-3);
+}
+
+TEST(UniformPushSum, EpsilonRoundRecorded) {
+  UniformPushSumConfig cfg;
+  cfg.epsilon = 1e-3;
+  cfg.round_multiplier = 6.0;
+  const auto r = uniform_push_sum(1024, make_values(1024, 10), 10, {}, cfg);
+  EXPECT_GT(r.rounds_to_epsilon, 0u);
+  EXPECT_GT(r.messages_to_epsilon, 0u);
+  EXPECT_LE(r.rounds_to_epsilon, 6 * ceil_log2(1024) + 8);
+}
+
+// ---------------------------------------------------------------------------
+// karp_push_pull (rumor spreading)
+
+TEST(KarpPushPull, InformsEveryoneInLogRounds) {
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const std::uint32_t n = 4096;
+    const auto r = karp_push_pull(n, seed);
+    EXPECT_TRUE(r.all_informed) << seed;
+    EXPECT_LE(r.rounds, 3 * ceil_log2(n));
+  }
+}
+
+TEST(KarpPushPull, TransmissionsPerNodeIsLogLog) {
+  // transmissions/n should grow like log log n: very slowly.
+  const auto r1 = karp_push_pull(256, 14);
+  const auto r2 = karp_push_pull(65536, 14);
+  const double t1 = static_cast<double>(r1.transmissions) / 256.0;
+  const double t2 = static_cast<double>(r2.transmissions) / 65536.0;
+  EXPECT_LT(t2, 2.5 * t1);  // 256x more nodes, ~constant per-node cost
+  // And strictly below the push-only cost which is Theta(log n) per node.
+  EXPECT_LT(t2, log2_clamped(65536));
+}
+
+TEST(KarpPushPull, RobustToLoss) {
+  const auto r = karp_push_pull(2048, 15, sim::FaultModel{0.125, 0.0});
+  EXPECT_TRUE(r.all_informed);
+}
+
+// ---------------------------------------------------------------------------
+// efficient_gossip (Kashyap reconstruction)
+
+TEST(EfficientGossip, MaxExact) {
+  for (std::uint64_t seed : {21ull, 22ull}) {
+    const std::uint32_t n = 1024;
+    const auto values = make_values(n, seed);
+    const auto r = efficient_gossip_max(n, values, seed);
+    EXPECT_DOUBLE_EQ(r.value, *std::max_element(values.begin(), values.end()));
+    EXPECT_TRUE(r.consensus) << seed;
+    // Every node fetched the result.
+    for (std::uint32_t v = 0; v < n; ++v)
+      ASSERT_DOUBLE_EQ(r.per_node[v], r.value) << v;
+  }
+}
+
+TEST(EfficientGossip, AveAccurate) {
+  const std::uint32_t n = 1024;
+  const auto values = make_values(n, 23);
+  EfficientGossipConfig cfg;
+  cfg.push_sum.rounds_multiplier = 8.0;
+  const auto r = efficient_gossip_ave(n, values, 23, {}, cfg);
+  const double ave = std::accumulate(values.begin(), values.end(), 0.0) / n;
+  EXPECT_NEAR(r.value, ave, 1e-2 * std::max(1.0, std::fabs(ave)));
+  EXPECT_TRUE(r.consensus);
+}
+
+TEST(EfficientGossip, GroupsFormAndGrow) {
+  const std::uint32_t n = 4096;
+  const auto r = efficient_gossip_max(n, make_values(n, 24), 24);
+  // Groups must be significantly consolidated (far fewer than n) and the
+  // largest group must have grown to ~2^phases.
+  EXPECT_LT(r.num_groups, n / 2);
+  EXPECT_GE(r.max_group_size, 8u);
+}
+
+TEST(EfficientGossip, ScheduledTimeIsLogTimesLogLog) {
+  // The merge stage runs its full schedule: phases * phase_rounds.
+  const std::uint32_t n = 4096;  // log2 = 12, loglog = ceil(log2 12) = 4
+  const auto r = efficient_gossip_max(n, make_values(n, 25), 25);
+  EXPECT_GE(r.rounds_total, 4u * 12);
+}
+
+TEST(EfficientGossip, SlowerThanLogButMessageLean) {
+  // Table 1 shape at a fixed n: efficient gossip uses more rounds than
+  // uniform gossip's O(log n) but asymptotically fewer messages; check
+  // messages/n grows slower than uniform's log n factor.
+  const std::uint32_t n = 8192;
+  const auto values = make_values(n, 26);
+  const auto eg = efficient_gossip_max(n, values, 26);
+  const auto um = uniform_push_max(n, values, 26);
+  EXPECT_GT(eg.rounds_total, um.rounds_to_consensus);
+}
+
+TEST(EfficientGossip, SurvivesModelLoss) {
+  const std::uint32_t n = 1024;
+  const auto values = make_values(n, 27);
+  const auto r = efficient_gossip_max(n, values, 27, sim::FaultModel{0.125, 0.0});
+  EXPECT_DOUBLE_EQ(r.value, *std::max_element(values.begin(), values.end()));
+}
+
+TEST(EfficientGossip, Deterministic) {
+  const auto values = make_values(512, 28);
+  const auto a = efficient_gossip_ave(512, values, 28);
+  const auto b = efficient_gossip_ave(512, values, 28);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+  EXPECT_EQ(a.counters.sent, b.counters.sent);
+}
+
+// ---------------------------------------------------------------------------
+// chord uniform gossip
+
+TEST(ChordUniform, PushMaxConsensus) {
+  const std::uint32_t n = 1024;
+  ChordOverlay chord{n, 31};
+  const auto values = make_values(n, 31);
+  const auto r = chord_uniform_push_max(chord, values, 31);
+  EXPECT_TRUE(r.consensus);
+}
+
+TEST(ChordUniform, PushSumAccurateWithLongerSchedule) {
+  const std::uint32_t n = 512;
+  ChordOverlay chord{n, 32};
+  const auto values = make_values(n, 32);
+  ChordUniformConfig cfg;
+  cfg.round_multiplier = 24.0;
+  const auto r = chord_uniform_push_sum(chord, values, 32, 0.0, cfg);
+  EXPECT_LT(r.max_relative_error, 1e-2);
+}
+
+TEST(ChordUniform, MessagesCarryTheRoutingFactor) {
+  // Each logical push costs Theta(log n) messages: total >> n * rounds.
+  const std::uint32_t n = 1024;
+  ChordOverlay chord{n, 33};
+  const auto values = make_values(n, 33);
+  const auto r = chord_uniform_push_max(chord, values, 33);
+  const double logical_sends = static_cast<double>(n) * 8.0 * ceil_log2(n);
+  EXPECT_GT(static_cast<double>(r.counters.sent), 2.0 * logical_sends);
+}
+
+}  // namespace
+}  // namespace drrg

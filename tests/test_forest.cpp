@@ -1,0 +1,143 @@
+// Tests of the Forest data structure (Phase I output representation).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "forest/forest.hpp"
+
+namespace drrg {
+namespace {
+
+// A small fixed forest:
+//        4            5
+//       / \           |
+//      2   3          6
+//     / \
+//    0   1
+Forest sample_forest() {
+  std::vector<NodeId> parent{2, 2, 4, 4, kNoParent, kNoParent, 5};
+  return Forest::from_parents(parent);
+}
+
+TEST(Forest, RootsAndParents) {
+  Forest f = sample_forest();
+  EXPECT_EQ(f.size(), 7u);
+  EXPECT_EQ(f.num_trees(), 2u);
+  EXPECT_TRUE(f.is_root(4));
+  EXPECT_TRUE(f.is_root(5));
+  EXPECT_FALSE(f.is_root(2));
+  EXPECT_EQ(f.parent(0), 2u);
+  EXPECT_EQ(f.parent(4), kNoParent);
+}
+
+TEST(Forest, Children) {
+  Forest f = sample_forest();
+  auto c4 = f.children(4);
+  EXPECT_EQ(std::vector<NodeId>(c4.begin(), c4.end()), (std::vector<NodeId>{2, 3}));
+  auto c2 = f.children(2);
+  EXPECT_EQ(std::vector<NodeId>(c2.begin(), c2.end()), (std::vector<NodeId>{0, 1}));
+  EXPECT_TRUE(f.children(0).empty());
+}
+
+TEST(Forest, RootOfAndDepth) {
+  Forest f = sample_forest();
+  EXPECT_EQ(f.root_of(0), 4u);
+  EXPECT_EQ(f.root_of(3), 4u);
+  EXPECT_EQ(f.root_of(6), 5u);
+  EXPECT_EQ(f.root_of(4), 4u);
+  EXPECT_EQ(f.depth(4), 0u);
+  EXPECT_EQ(f.depth(2), 1u);
+  EXPECT_EQ(f.depth(0), 2u);
+}
+
+TEST(Forest, SizesAndHeights) {
+  Forest f = sample_forest();
+  EXPECT_EQ(f.tree_size(0), 5u);
+  EXPECT_EQ(f.tree_size(6), 2u);
+  EXPECT_EQ(f.tree_height(1), 2u);
+  EXPECT_EQ(f.tree_height(5), 1u);
+  EXPECT_EQ(f.max_tree_size(), 5u);
+  EXPECT_EQ(f.max_tree_height(), 2u);
+  auto sizes = f.tree_sizes();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0] + sizes[1], 7u);
+}
+
+TEST(Forest, LargestTreeRoot) {
+  Forest f = sample_forest();
+  EXPECT_EQ(f.largest_tree_root(), 4u);
+}
+
+TEST(Forest, LargestTreeRootTieBreaksToSmallerId) {
+  // Two singleton trees: ids 0 and 1, equal size -> pick 0.
+  Forest f = Forest::from_parents({kNoParent, kNoParent});
+  EXPECT_EQ(f.largest_tree_root(), 0u);
+}
+
+TEST(Forest, DetectsCycle) {
+  EXPECT_THROW(Forest::from_parents({1, 2, 0}), std::invalid_argument);
+}
+
+TEST(Forest, DetectsSelfParent) {
+  EXPECT_THROW(Forest::from_parents({0}), std::invalid_argument);
+}
+
+TEST(Forest, DetectsParentOutOfRange) {
+  EXPECT_THROW(Forest::from_parents({5, kNoParent}), std::invalid_argument);
+}
+
+TEST(Forest, MemberMaskExcludesNodes) {
+  std::vector<NodeId> parent{kNoParent, 0, kNoParent, kNoParent};
+  std::vector<bool> member{true, true, false, true};
+  Forest f = Forest::from_parents(parent, member);
+  EXPECT_TRUE(f.is_member(0));
+  EXPECT_FALSE(f.is_member(2));
+  EXPECT_FALSE(f.is_root(2));
+  EXPECT_EQ(f.num_trees(), 2u);  // 0 and 3
+}
+
+TEST(Forest, ParentMustBeMember) {
+  std::vector<NodeId> parent{kNoParent, 0};
+  std::vector<bool> member{false, true};
+  EXPECT_THROW(Forest::from_parents(parent, member), std::invalid_argument);
+}
+
+TEST(Forest, RespectsRanks) {
+  Forest f = sample_forest();
+  // parent rank must be strictly higher.
+  std::vector<double> good{0.1, 0.2, 0.5, 0.4, 0.9, 0.8, 0.3};
+  EXPECT_TRUE(f.respects_ranks(good));
+  std::vector<double> bad{0.1, 0.2, 0.95, 0.4, 0.9, 0.8, 0.3};  // rank(2) > rank(4)
+  EXPECT_FALSE(f.respects_ranks(bad));
+}
+
+TEST(Forest, DeepChainDepths) {
+  // 0 <- 1 <- 2 <- ... <- 99 (parent of i is i-1): root is 0.
+  const std::uint32_t n = 100;
+  std::vector<NodeId> parent(n);
+  parent[0] = kNoParent;
+  for (NodeId v = 1; v < n; ++v) parent[v] = v - 1;
+  Forest f = Forest::from_parents(parent);
+  EXPECT_EQ(f.num_trees(), 1u);
+  EXPECT_EQ(f.max_tree_height(), n - 1);
+  EXPECT_EQ(f.depth(n - 1), n - 1);
+  EXPECT_EQ(f.root_of(n - 1), 0u);
+}
+
+TEST(Forest, EmptyForest) {
+  Forest f;
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.num_trees(), 0u);
+  EXPECT_EQ(f.max_tree_size(), 0u);
+}
+
+TEST(Forest, AllSingletons) {
+  Forest f = Forest::from_parents(std::vector<NodeId>(10, kNoParent));
+  EXPECT_EQ(f.num_trees(), 10u);
+  EXPECT_EQ(f.max_tree_size(), 1u);
+  EXPECT_EQ(f.max_tree_height(), 0u);
+}
+
+}  // namespace
+}  // namespace drrg

@@ -1,0 +1,154 @@
+// Tests of the sparse-network pipeline (§4 / Theorem 14): Local-DRR +
+// routed root gossip on the Chord overlay.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "aggregate/sparse.hpp"
+#include "baselines/chord_uniform.hpp"
+#include "support/mathutil.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+namespace {
+
+std::vector<double> make_values(std::uint32_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_uniform(0.0, 100.0);
+  return v;
+}
+
+TEST(OverlayGraph, ConnectedWithLogDegrees) {
+  ChordOverlay chord{1024, 3};
+  const Graph g = overlay_graph(chord);
+  EXPECT_EQ(g.size(), 1024u);
+  EXPECT_TRUE(g.connected());
+  // Successor + distinct fingers (+ incoming): Theta(log n).
+  EXPECT_GE(g.min_degree(), 2u);
+  EXPECT_LE(g.max_degree(), 12 * ceil_log2(1024));
+  // Every overlay link is present as an edge.
+  for (NodeId v = 0; v < chord.size(); v += 37) {
+    EXPECT_TRUE(g.has_edge(v, chord.successor(v)) || v == chord.successor(v));
+    for (std::uint32_t k = 0; k < chord.ring_bits(); k += 5) {
+      const NodeId f = chord.finger(v, k);
+      if (f != v) EXPECT_TRUE(g.has_edge(v, f));
+    }
+  }
+}
+
+TEST(SparsePipeline, MaxExactAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const std::uint32_t n = 512;
+    ChordOverlay chord{n, seed};
+    const Graph links = overlay_graph(chord);
+    const auto values = make_values(n, seed + 100);
+    const auto r = sparse_drr_gossip_max(chord, links, values, seed);
+    EXPECT_DOUBLE_EQ(r.value, *std::max_element(values.begin(), values.end()));
+    EXPECT_TRUE(r.consensus) << seed;
+  }
+}
+
+TEST(SparsePipeline, AveAccurate) {
+  for (std::uint64_t seed : {4ull, 5ull}) {
+    const std::uint32_t n = 512;
+    ChordOverlay chord{n, seed};
+    const Graph links = overlay_graph(chord);
+    const auto values = make_values(n, seed + 200);
+    SparseGossipConfig cfg;
+    cfg.push_sum.rounds_multiplier = 8.0;
+    const auto r = sparse_drr_gossip_ave(chord, links, values, seed, {}, cfg);
+    const double ave = std::accumulate(values.begin(), values.end(), 0.0) / n;
+    EXPECT_TRUE(r.consensus) << seed;
+    EXPECT_NEAR(r.value, ave, 1e-2 * ave);
+  }
+}
+
+TEST(SparsePipeline, PerNodeDissemination) {
+  const std::uint32_t n = 256;
+  ChordOverlay chord{n, 9};
+  const Graph links = overlay_graph(chord);
+  const auto values = make_values(n, 500);
+  const auto r = sparse_drr_gossip_max(chord, links, values, 9);
+  const double mx = *std::max_element(values.begin(), values.end());
+  for (std::uint32_t v = 0; v < n; ++v) ASSERT_DOUBLE_EQ(r.per_node[v], mx);
+}
+
+TEST(SparsePipeline, SurvivesModelLoss) {
+  const std::uint32_t n = 512;
+  ChordOverlay chord{n, 11};
+  const Graph links = overlay_graph(chord);
+  const auto values = make_values(n, 600);
+  SparseGossipConfig cfg;
+  cfg.gossip_max.gossip_multiplier = 6.0;
+  cfg.gossip_max.sampling_multiplier = 4.0;
+  const auto r = sparse_drr_gossip_max(chord, links, values, 11,
+                                       sim::FaultModel{0.125, 0.0}, cfg);
+  EXPECT_DOUBLE_EQ(r.value, *std::max_element(values.begin(), values.end()));
+  EXPECT_TRUE(r.consensus);
+}
+
+TEST(SparsePipeline, Theorem14TimePolylog) {
+  // Time O(log^2 n): across a 16x growth in n, rounds grow by at most
+  // ~(log ratio)^2, nowhere near linearly.
+  const std::uint32_t n1 = 256, n2 = 4096;
+  ChordOverlay c1{n1, 7}, c2{n2, 7};
+  const Graph g1 = overlay_graph(c1), g2 = overlay_graph(c2);
+  const auto r1 = sparse_drr_gossip_max(c1, g1, make_values(n1, 1), 7);
+  const auto r2 = sparse_drr_gossip_max(c2, g2, make_values(n2, 1), 7);
+  const double lr = log2_clamped(n2) / log2_clamped(n1);  // 1.5
+  EXPECT_LT(static_cast<double>(r2.rounds_total),
+            3.0 * lr * lr * static_cast<double>(r1.rounds_total));
+}
+
+TEST(SparsePipeline, Theorem14MessagesNLogN) {
+  // Messages O(n log n): normalised constant bounded across 16x growth.
+  const std::uint32_t n1 = 256, n2 = 4096;
+  ChordOverlay c1{n1, 8}, c2{n2, 8};
+  const Graph g1 = overlay_graph(c1), g2 = overlay_graph(c2);
+  const auto r1 = sparse_drr_gossip_max(c1, g1, make_values(n1, 2), 8);
+  const auto r2 = sparse_drr_gossip_max(c2, g2, make_values(n2, 2), 8);
+  const double k1 = static_cast<double>(r1.metrics.total().sent) / (n1 * log2_clamped(n1));
+  const double k2 = static_cast<double>(r2.metrics.total().sent) / (n2 * log2_clamped(n2));
+  EXPECT_LT(k2, 2.5 * k1);
+}
+
+TEST(SparsePipeline, BeatsUniformGossipOnMessages) {
+  // The §4 headline: DRR-gossip needs a log n factor fewer messages than
+  // uniform gossip on the same overlay.
+  const std::uint32_t n = 2048;
+  ChordOverlay chord{n, 12};
+  const Graph links = overlay_graph(chord);
+  const auto values = make_values(n, 700);
+  const auto drr = sparse_drr_gossip_max(chord, links, values, 12);
+  const auto uni = chord_uniform_push_max(chord, values, 12);
+  EXPECT_TRUE(drr.consensus);
+  EXPECT_TRUE(uni.consensus);
+  EXPECT_LT(static_cast<double>(drr.metrics.total().sent) * 2.0,
+            static_cast<double>(uni.counters.sent));
+}
+
+TEST(SparsePipeline, Deterministic) {
+  const std::uint32_t n = 256;
+  ChordOverlay chord{n, 13};
+  const Graph links = overlay_graph(chord);
+  const auto values = make_values(n, 800);
+  const auto a = sparse_drr_gossip_ave(chord, links, values, 13);
+  const auto b = sparse_drr_gossip_ave(chord, links, values, 13);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+  EXPECT_EQ(a.metrics.total().sent, b.metrics.total().sent);
+}
+
+TEST(SparsePipeline, RejectsMismatchedGraph) {
+  ChordOverlay chord{64, 1};
+  const Graph wrong = overlay_graph(ChordOverlay{128, 1});
+  std::vector<double> values(128, 1.0);
+  EXPECT_THROW((void)sparse_drr_gossip_max(chord, wrong, values, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drrg

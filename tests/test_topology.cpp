@@ -1,0 +1,199 @@
+// Tests of the graph abstraction and topology builders.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "topology/builders.hpp"
+#include "topology/graph.hpp"
+
+namespace drrg {
+namespace {
+
+TEST(Graph, FromEdgesBasics) {
+  Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_FALSE(g.is_complete());
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g = Graph::from_edges(5, {{3, 1}, {3, 0}, {3, 4}, {3, 2}});
+  auto nb = g.neighbors(3);
+  ASSERT_EQ(nb.size(), 4u);
+  for (std::size_t i = 1; i < nb.size(); ++i) EXPECT_LT(nb[i - 1], nb[i]);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph::from_edges(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  EXPECT_THROW(Graph::from_edges(3, {{0, 3}}), std::invalid_argument);
+}
+
+TEST(Graph, CompleteImplicit) {
+  Graph g = Graph::complete(1000);
+  EXPECT_TRUE(g.is_complete());
+  EXPECT_EQ(g.degree(0), 999u);
+  EXPECT_EQ(g.edge_count(), 1000ull * 999 / 2);
+  EXPECT_TRUE(g.has_edge(0, 999));
+  EXPECT_FALSE(g.has_edge(5, 5));
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, DisconnectedDetected) {
+  Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, InverseDegreeSum) {
+  Graph g = make_ring(10);  // all degree 2 -> sum = 10/3
+  EXPECT_NEAR(g.inverse_degree_plus_one_sum(), 10.0 / 3.0, 1e-12);
+}
+
+TEST(Builders, Ring) {
+  Graph g = make_ring(17);
+  EXPECT_EQ(g.size(), 17u);
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(g.has_edge(16, 0));
+}
+
+TEST(Builders, Path) {
+  Graph g = make_path(10);
+  EXPECT_EQ(g.edge_count(), 9u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Builders, Star) {
+  Graph g = make_star(10);
+  EXPECT_EQ(g.degree(0), 9u);
+  EXPECT_EQ(g.degree(5), 1u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Builders, Grid) {
+  Graph g = make_grid(4, 5);
+  EXPECT_EQ(g.size(), 20u);
+  EXPECT_EQ(g.edge_count(), 4u * 4 + 3 * 5);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.min_degree(), 2u);  // corners
+}
+
+TEST(Builders, Torus) {
+  Graph g = make_grid(4, 5, /*torus=*/true);
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.edge_count(), 2u * 20);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Builders, Hypercube) {
+  Graph g = make_hypercube(5);
+  EXPECT_EQ(g.size(), 32u);
+  EXPECT_EQ(g.min_degree(), 5u);
+  EXPECT_EQ(g.max_degree(), 5u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(g.has_edge(0, 16));
+}
+
+TEST(Builders, BinaryTree) {
+  Graph g = make_binary_tree(15);
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(14), 1u);
+}
+
+TEST(Builders, RandomRegularDegrees) {
+  Graph g = make_random_regular(100, 6, 42);
+  EXPECT_EQ(g.min_degree(), 6u);
+  EXPECT_EQ(g.max_degree(), 6u);
+  EXPECT_EQ(g.edge_count(), 300u);
+}
+
+TEST(Builders, RandomRegularDeterministic) {
+  Graph a = make_random_regular(60, 4, 7);
+  Graph b = make_random_regular(60, 4, 7);
+  for (NodeId v = 0; v < 60; ++v) {
+    auto na = a.neighbors(v), nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(Builders, RandomRegularRejectsOddProduct) {
+  EXPECT_THROW(make_random_regular(5, 3, 1), std::invalid_argument);
+}
+
+TEST(Builders, ErdosRenyiDensity) {
+  const double p = 0.02;
+  Graph g = make_erdos_renyi(500, p, 11);
+  const double expected = p * 500 * 499 / 2;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, 4 * std::sqrt(expected));
+}
+
+TEST(Builders, ErdosRenyiEdgeCasesOfP) {
+  EXPECT_EQ(make_erdos_renyi(20, 0.0, 1).edge_count(), 0u);
+  EXPECT_EQ(make_erdos_renyi(20, 1.0, 1).edge_count(), 190u);
+}
+
+TEST(Builders, GeometricMatchesBruteForce) {
+  const std::uint32_t n = 200;
+  const double radius = 0.15;
+  Graph g = make_geometric(n, radius, 5);
+  // Rebuild positions with the same stream and verify each edge length.
+  Rng rng{derive_seed(5, 0x6e0ULL)};
+  std::vector<double> x(n), y(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    x[v] = rng.next_unit();
+    y[v] = rng.next_unit();
+  }
+  std::uint64_t brute_edges = 0;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double d2 = (x[u] - x[v]) * (x[u] - x[v]) + (y[u] - y[v]) * (y[u] - y[v]);
+      if (d2 <= radius * radius) {
+        ++brute_edges;
+        EXPECT_TRUE(g.has_edge(u, v)) << u << "," << v;
+      }
+    }
+  EXPECT_EQ(g.edge_count(), brute_edges);
+}
+
+TEST(Builders, ChordGraphDegreesLogarithmic) {
+  Graph g = make_chord_graph(1024);
+  EXPECT_TRUE(g.connected());
+  // Successor + fingers + reverse edges: degree Theta(log n).
+  EXPECT_GE(g.min_degree(), 9u);
+  EXPECT_LE(g.max_degree(), 22u);
+}
+
+TEST(Builders, InvalidArguments) {
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+  EXPECT_THROW(make_grid(1, 5), std::invalid_argument);
+  EXPECT_THROW(make_hypercube(0), std::invalid_argument);
+  EXPECT_THROW(make_erdos_renyi(10, 1.5, 0), std::invalid_argument);
+  EXPECT_THROW(make_random_regular(10, 10, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drrg

@@ -1,0 +1,284 @@
+// drrg_cli -- command-line driver for the library: run any algorithm /
+// aggregate combination on a synthetic workload and print the result with
+// its cost, optionally as CSV for scripting sweeps.
+//
+//   drrg_cli --algo drr --agg ave --n 8192 --loss 0.1 --trials 5
+//   drrg_cli --algo uniform --agg max --n 65536 --csv
+//   drrg_cli --algo chord-drr --agg max --n 4096
+//   drrg_cli --list
+//
+// Algorithms: drr (DRR-gossip), uniform (Kempe), efficient (Kashyap),
+//             pairwise (Boyd et al.), extrema (Mosk-Aoyama & Shah Count),
+//             chord-drr / chord-uniform (§4 sparse pipelines).
+// Aggregates: max min ave sum count rank median leader (availability
+//             depends on the algorithm; --list prints the matrix).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "drrg.hpp"
+
+namespace {
+
+struct Options {
+  std::string algo = "drr";
+  std::string agg = "ave";
+  std::uint32_t n = 4096;
+  std::uint64_t seed = 42;
+  double loss = 0.0;
+  double crash = 0.0;
+  double rank_threshold = 0.0;
+  int trials = 1;
+  bool csv = false;
+};
+
+struct RunRow {
+  double value = 0.0;
+  double truth = 0.0;
+  bool consensus = false;
+  std::uint64_t messages = 0;
+  std::uint32_t rounds = 0;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: drrg_cli [--algo A] [--agg G] [--n N] [--seed S]\n"
+               "                [--loss D] [--crash F] [--threshold X]\n"
+               "                [--trials T] [--csv] [--list]\n"
+               "  A: drr uniform efficient pairwise extrema chord-drr chord-uniform\n"
+               "  G: max min ave sum count rank median leader\n");
+  std::exit(code);
+}
+
+void list_matrix() {
+  std::printf("algorithm      aggregates\n");
+  std::printf("-------------  -------------------------------------\n");
+  std::printf("drr            max min ave sum count rank median leader\n");
+  std::printf("uniform        max ave\n");
+  std::printf("efficient      max ave\n");
+  std::printf("pairwise       ave\n");
+  std::printf("extrema        count sum\n");
+  std::printf("chord-drr      max ave\n");
+  std::printf("chord-uniform  max ave\n");
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--algo") opt.algo = next("--algo");
+    else if (arg == "--agg") opt.agg = next("--agg");
+    else if (arg == "--n") opt.n = static_cast<std::uint32_t>(std::atoll(next("--n")));
+    else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    else if (arg == "--loss") opt.loss = std::atof(next("--loss"));
+    else if (arg == "--crash") opt.crash = std::atof(next("--crash"));
+    else if (arg == "--threshold") opt.rank_threshold = std::atof(next("--threshold"));
+    else if (arg == "--trials") opt.trials = std::atoi(next("--trials"));
+    else if (arg == "--csv") opt.csv = true;
+    else if (arg == "--list") { list_matrix(); std::exit(0); }
+    else if (arg == "--help" || arg == "-h") usage(0);
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (opt.n < 4) {
+    std::fprintf(stderr, "--n must be >= 4\n");
+    usage(2);
+  }
+  if (opt.trials < 1) opt.trials = 1;
+  return opt;
+}
+
+std::vector<double> workload(std::uint32_t n, std::uint64_t seed, bool positive) {
+  drrg::Rng rng{drrg::derive_seed(seed, 0xc11ULL)};
+  std::vector<double> v(n);
+  for (auto& x : v) x = positive ? rng.next_uniform(1.0, 100.0) : rng.next_uniform(-50.0, 150.0);
+  return v;
+}
+
+struct Truths {
+  double max, min, sum, ave, count, rank, median;
+};
+
+Truths truths_over(const std::vector<double>& values, const std::vector<bool>& alive,
+                   double threshold) {
+  std::vector<double> live;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (alive.empty() || alive[i]) live.push_back(values[i]);
+  std::sort(live.begin(), live.end());
+  Truths t{};
+  t.count = static_cast<double>(live.size());
+  t.min = live.front();
+  t.max = live.back();
+  t.sum = 0.0;
+  t.rank = 0.0;
+  for (double v : live) {
+    t.sum += v;
+    if (v < threshold) ++t.rank;
+  }
+  t.ave = t.sum / t.count;
+  t.median = live[live.size() / 2];
+  return t;
+}
+
+RunRow run_once(const Options& opt, std::uint64_t seed) {
+  using namespace drrg;
+  const sim::FaultModel faults{opt.loss, opt.crash};
+  const bool positive = opt.algo == "extrema";
+  const auto values = workload(opt.n, seed, positive);
+
+  RunRow row;
+  auto fill_from_outcome = [&](const AggregateOutcome& o, double truth) {
+    row.value = o.value;
+    row.truth = truth;
+    row.consensus = o.consensus;
+    row.messages = o.metrics.total().sent;
+    row.rounds = o.rounds_total;
+  };
+
+  if (opt.algo == "drr") {
+    AggregateOutcome o;
+    if (opt.agg == "max") o = drr_gossip_max(opt.n, values, seed, faults);
+    else if (opt.agg == "min") o = drr_gossip_min(opt.n, values, seed, faults);
+    else if (opt.agg == "ave") o = drr_gossip_ave(opt.n, values, seed, faults);
+    else if (opt.agg == "sum") o = drr_gossip_sum(opt.n, values, seed, faults);
+    else if (opt.agg == "count") o = drr_gossip_count(opt.n, seed, faults);
+    else if (opt.agg == "rank")
+      o = drr_gossip_rank(opt.n, values, opt.rank_threshold, seed, faults);
+    else if (opt.agg == "median") {
+      const auto q = drr_gossip_median(opt.n, values, seed, faults);
+      const auto t = truths_over(values, {}, opt.rank_threshold);
+      return RunRow{q.value, t.median, true, q.total.sent, 0};
+    } else if (opt.agg == "leader") {
+      const auto l = drr_gossip_elect_leader(opt.n, seed, faults);
+      fill_from_outcome(l.detail, l.detail.value);
+      return row;
+    } else usage(2);
+    const auto t = truths_over(values, o.participating, opt.rank_threshold);
+    double truth = 0.0;
+    if (opt.agg == "max") truth = t.max;
+    else if (opt.agg == "min") truth = t.min;
+    else if (opt.agg == "ave") truth = t.ave;
+    else if (opt.agg == "sum") truth = t.sum;
+    else if (opt.agg == "count") truth = t.count;
+    else if (opt.agg == "rank") truth = t.rank;
+    fill_from_outcome(o, truth);
+    return row;
+  }
+
+  const auto t_all = truths_over(values, {}, opt.rank_threshold);
+  if (opt.algo == "uniform") {
+    if (opt.agg == "max") {
+      const auto r = uniform_push_max(opt.n, values, seed, faults);
+      const double held = *std::max_element(r.value.begin(), r.value.end());
+      return RunRow{held, t_all.max, r.consensus, r.counters.sent, r.rounds_to_consensus};
+    }
+    if (opt.agg == "ave") {
+      const auto r = uniform_push_sum(opt.n, values, seed, faults);
+      double first = 0.0;
+      for (double e : r.estimate)
+        if (e != 0.0) {
+          first = e;
+          break;
+        }
+      return RunRow{first, t_all.ave, r.max_relative_error < 1e-3, r.counters.sent,
+                    r.counters.rounds};
+    }
+    usage(2);
+  }
+  if (opt.algo == "efficient") {
+    const auto r = opt.agg == "max" ? efficient_gossip_max(opt.n, values, seed, faults)
+                 : opt.agg == "ave" ? efficient_gossip_ave(opt.n, values, seed, faults)
+                                    : (usage(2), EfficientGossipResult{});
+    return RunRow{r.value, opt.agg == "max" ? t_all.max : t_all.ave, r.consensus,
+                  r.counters.sent, r.rounds_total};
+  }
+  if (opt.algo == "pairwise") {
+    if (opt.agg != "ave") usage(2);
+    const auto r = pairwise_average(opt.n, values, seed, faults);
+    return RunRow{r.value.front(), t_all.ave, r.max_relative_error < 1e-3,
+                  r.counters.sent, r.counters.rounds};
+  }
+  if (opt.algo == "extrema") {
+    const auto r = opt.agg == "count" ? drr_gossip_count_extrema(opt.n, seed, faults)
+                 : opt.agg == "sum" ? drr_gossip_sum_extrema(opt.n, values, seed, faults)
+                                    : (usage(2), ExtremaOutcome{});
+    const double truth = opt.agg == "count" ? t_all.count : t_all.sum;
+    return RunRow{r.estimate, truth, r.consensus, r.counters.sent, r.rounds_total};
+  }
+  if (opt.algo == "chord-drr" || opt.algo == "chord-uniform") {
+    const ChordOverlay chord{opt.n, seed};
+    if (opt.algo == "chord-drr") {
+      const Graph links = overlay_graph(chord);
+      const auto o = opt.agg == "max"
+                         ? sparse_drr_gossip_max(chord, links, values, seed, faults)
+                         : opt.agg == "ave"
+                               ? sparse_drr_gossip_ave(chord, links, values, seed, faults)
+                               : (usage(2), AggregateOutcome{});
+      return RunRow{o.value, opt.agg == "max" ? t_all.max : t_all.ave, o.consensus,
+                    o.metrics.total().sent, o.rounds_total};
+    }
+    const auto r = opt.agg == "max"
+                       ? chord_uniform_push_max(chord, values, seed, opt.loss)
+                       : opt.agg == "ave"
+                             ? chord_uniform_push_sum(chord, values, seed, opt.loss)
+                             : (usage(2), ChordUniformResult{});
+    return RunRow{r.value.front(), opt.agg == "max" ? t_all.max : t_all.ave,
+                  opt.agg == "max" ? r.consensus : r.max_relative_error < 1e-2,
+                  r.counters.sent, r.rounds};
+  }
+  usage(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  if (opt.csv) {
+    std::printf("algo,agg,n,seed,loss,crash,value,truth,consensus,messages,rounds\n");
+  } else {
+    std::printf("%s / %s on n = %u (loss %.3f, crash %.3f, %d trial%s)\n",
+                opt.algo.c_str(), opt.agg.c_str(), opt.n, opt.loss, opt.crash,
+                opt.trials, opt.trials == 1 ? "" : "s");
+  }
+
+  drrg::Table table{{"seed", "value", "truth", "consensus", "messages", "rounds",
+                     "msgs/n"}};
+  for (int t = 0; t < opt.trials; ++t) {
+    const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(t);
+    const RunRow row = run_once(opt, seed);
+    if (opt.csv) {
+      std::printf("%s,%s,%u,%llu,%.4f,%.4f,%.8g,%.8g,%d,%llu,%u\n", opt.algo.c_str(),
+                  opt.agg.c_str(), opt.n, static_cast<unsigned long long>(seed),
+                  opt.loss, opt.crash, row.value, row.truth, row.consensus ? 1 : 0,
+                  static_cast<unsigned long long>(row.messages), row.rounds);
+    } else {
+      table.row()
+          .add_uint(seed)
+          .add_real(row.value, 6)
+          .add_real(row.truth, 6)
+          .add(row.consensus ? "yes" : "no")
+          .add_uint(row.messages)
+          .add_uint(row.rounds)
+          .add_real(static_cast<double>(row.messages) / opt.n, 2);
+    }
+  }
+  if (!opt.csv) {
+    std::string rendered = table.to_string();
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
+}
