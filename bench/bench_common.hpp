@@ -2,33 +2,33 @@
 // Shared helpers for the experiment harnesses.
 //
 // Every bench binary reproduces one table/figure/theorem of the paper (see
-// DESIGN.md's per-experiment index).  Each benchmark case runs the full
-// simulation across a handful of seeds and reports the measured quantities
-// as google-benchmark counters -- the printed counter columns are the
-// reproduced table rows.  Wall-clock time of the simulation itself is
-// irrelevant to the paper's claims; all cases therefore run one iteration.
+// the algorithm/aggregate matrix and per-experiment notes in README.md).
+// Each benchmark case runs the full simulation across a handful of seeds
+// and reports the measured quantities as google-benchmark counters -- the
+// printed counter columns are the reproduced table rows.  Wall-clock time
+// of the simulation itself is irrelevant to the paper's claims; all cases
+// therefore run one iteration.
+//
+// Workload generation lives in support/workload.hpp so the benches, the
+// CLI, the examples and the tests all draw the same per-seed values; the
+// aliases below keep the historical bench:: spellings working.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <vector>
 
-#include "support/rng.hpp"
+#include "support/workload.hpp"
 
 namespace drrg::bench {
 
 inline std::vector<double> make_values(std::uint32_t n, std::uint64_t seed) {
-  Rng rng{derive_seed(seed, 0xbe9c)};
-  std::vector<double> v(n);
-  for (auto& x : v) x = rng.next_uniform(-25.0, 75.0);
-  return v;
+  return workload::make_values(n, seed);
 }
 
 /// Seeds used for Monte-Carlo repetition inside one bench case.
 inline std::vector<std::uint64_t> trial_seeds(int trials, std::uint64_t base = 1000) {
-  std::vector<std::uint64_t> s(trials);
-  for (int i = 0; i < trials; ++i) s[i] = base + static_cast<std::uint64_t>(i);
-  return s;
+  return workload::trial_seeds(trials, base);
 }
 
 }  // namespace drrg::bench

@@ -4,18 +4,15 @@
 //   fail with a certain probability delta", with 1/log n < delta < 1/8.
 //
 // Sweeps delta and the crash fraction and reports, for DRR-gossip-max and
-// DRR-gossip-ave:
+// DRR-gossip-ave (run through the drrg::api facade, which also supplies
+// the per-trial ground truth over the surviving nodes):
 //   * correctness (Max exact over survivors; Ave relative error),
 //   * consensus rate across seeds,
-//   * cost inflation (messages normalised by the delta = 0 run).
+//   * cost inflation (messages normalised by n).
 
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
-#include <cmath>
-
-#include "aggregate/drr_gossip.hpp"
-#include "aggregate/extrema.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "support/stats.hpp"
 
@@ -25,6 +22,22 @@ namespace {
 constexpr int kTrials = 5;
 constexpr std::uint32_t kN = 2048;
 
+/// Facade spec shared by the failure sweeps.
+api::RunSpec failure_spec(api::Aggregate agg, std::uint64_t seed, double loss,
+                          double crash, bool robust_push_sum = false) {
+  api::RunSpec spec;
+  spec.n = kN;
+  spec.aggregate = agg;
+  spec.seed = seed;
+  spec.faults = sim::FaultModel{loss, crash};
+  if (robust_push_sum) {
+    DrrGossipConfig cfg;
+    cfg.push_sum.rounds_multiplier = 8.0;
+    spec.config = cfg;
+  }
+  return spec;
+}
+
 // Arg encoding: delta in per-mille.
 void BM_MaxUnderLoss(benchmark::State& state) {
   const double delta = static_cast<double>(state.range(0)) / 1000.0;
@@ -32,11 +45,10 @@ void BM_MaxUnderLoss(benchmark::State& state) {
   RunningStat msgs;
   for (auto _ : state) {
     for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
-      const auto values = bench::make_values(kN, seed);
-      const auto r = drr_gossip_max(kN, values, seed, sim::FaultModel{delta, 0.0});
-      exact += r.value == *std::max_element(values.begin(), values.end()) ? 1 : 0;
+      const auto r = api::run("drr", failure_spec(api::Aggregate::kMax, seed, delta, 0.0));
+      exact += r.value == r.truth ? 1 : 0;
       consensus += r.consensus ? 1 : 0;
-      msgs.add(static_cast<double>(r.metrics.total().sent));
+      msgs.add(static_cast<double>(r.cost.sent));
     }
   }
   state.counters["delta"] = delta;
@@ -53,16 +65,11 @@ void BM_AveUnderLoss(benchmark::State& state) {
   int consensus = 0;
   for (auto _ : state) {
     for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
-      const auto values = bench::make_values(kN, seed);
-      DrrGossipConfig cfg;
-      cfg.push_sum.rounds_multiplier = 8.0;
-      const auto r = drr_gossip_ave(kN, values, seed, sim::FaultModel{delta, 0.0}, cfg);
-      double sum = 0.0;
-      for (double v : values) sum += v;
-      const double ave = sum / kN;
-      rel_err.add(std::fabs(r.value - ave) / std::max(1.0, std::fabs(ave)));
+      const auto r = api::run(
+          "drr", failure_spec(api::Aggregate::kAve, seed, delta, 0.0, /*robust=*/true));
+      rel_err.add(r.rel_error());
       consensus += r.consensus ? 1 : 0;
-      msgs.add(static_cast<double>(r.metrics.total().sent));
+      msgs.add(static_cast<double>(r.cost.sent));
     }
   }
   state.counters["delta"] = delta;
@@ -79,12 +86,9 @@ void BM_MaxUnderCrashes(benchmark::State& state) {
   int exact = 0, consensus = 0;
   for (auto _ : state) {
     for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
-      const auto values = bench::make_values(kN, seed);
-      const auto r = drr_gossip_max(kN, values, seed, sim::FaultModel{0.0, crash});
-      double true_max = -1e300;
-      for (std::uint32_t v = 0; v < kN; ++v)
-        if (r.participating[v]) true_max = std::max(true_max, values[v]);
-      exact += r.value == true_max ? 1 : 0;
+      const auto r = api::run("drr", failure_spec(api::Aggregate::kMax, seed, 0.0, crash));
+      // r.truth is the exact Max over the surviving nodes.
+      exact += r.value == r.truth ? 1 : 0;
       consensus += r.consensus ? 1 : 0;
     }
   }
@@ -100,20 +104,9 @@ void BM_AveUnderCrashesAndLoss(benchmark::State& state) {
   RunningStat rel_err;
   for (auto _ : state) {
     for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
-      const auto values = bench::make_values(kN, seed);
-      DrrGossipConfig cfg;
-      cfg.push_sum.rounds_multiplier = 8.0;
-      const auto r = drr_gossip_ave(kN, values, seed, sim::FaultModel{0.125, crash}, cfg);
-      double sum = 0.0;
-      std::uint32_t alive = 0;
-      for (std::uint32_t v = 0; v < kN; ++v) {
-        if (r.participating[v]) {
-          sum += values[v];
-          ++alive;
-        }
-      }
-      const double ave = sum / alive;
-      rel_err.add(std::fabs(r.value - ave) / std::max(1.0, std::fabs(ave)));
+      const auto r = api::run(
+          "drr", failure_spec(api::Aggregate::kAve, seed, 0.125, crash, /*robust=*/true));
+      rel_err.add(r.rel_error());
     }
   }
   state.counters["crash_fraction"] = crash;
@@ -131,14 +124,15 @@ void BM_CountUnderLoss(benchmark::State& state) {
   RunningStat pushsum_err, extrema_err;
   for (auto _ : state) {
     for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
-      DrrGossipConfig cfg;
-      cfg.push_sum.rounds_multiplier = 8.0;
-      const auto ps = drr_gossip_count(kN, seed, sim::FaultModel{delta, 0.0}, cfg);
-      pushsum_err.add(std::fabs(ps.value - kN) / kN);
+      const auto ps = api::run(
+          "drr", failure_spec(api::Aggregate::kCount, seed, delta, 0.0, /*robust=*/true));
+      pushsum_err.add(ps.rel_error());
+      auto espec = failure_spec(api::Aggregate::kCount, seed, delta, 0.0);
       ExtremaConfig ecfg;
       ecfg.k = 256;  // rse ~ 6.3%
-      const auto ex = drr_gossip_count_extrema(kN, seed, sim::FaultModel{delta, 0.0}, ecfg);
-      extrema_err.add(std::fabs(ex.estimate - kN) / kN);
+      espec.config = ecfg;
+      const auto ex = api::run("extrema", espec);
+      extrema_err.add(ex.rel_error());
     }
   }
   state.counters["delta"] = delta;

@@ -5,9 +5,10 @@
 //   uniform gossip  [9]  O(log n)        O(n log n)        yes
 //   DRR-gossip (paper)   O(log n)        O(n log log n)    no
 //
-// Each case computes the global Average with one of the three algorithms
-// and reports measured rounds and messages, plus the normalised columns
-// that make the asymptotic class visible:
+// Each case computes the global Average with one of the algorithms --
+// invoked uniformly through the drrg::api facade -- and reports measured
+// rounds and messages, plus the normalised columns that make the
+// asymptotic class visible:
 //   rounds_per_log      = rounds / log2 n         (flat => O(log n))
 //   rounds_per_loglog2  = rounds / (log2 n loglog2 n)
 //   msgs_per_nlog       = msgs / (n log2 n)       (flat => O(n log n))
@@ -15,10 +16,9 @@
 
 #include <benchmark/benchmark.h>
 
-#include "aggregate/drr_gossip.hpp"
-#include "baselines/efficient_gossip.hpp"
-#include "baselines/pairwise_averaging.hpp"
-#include "baselines/uniform_gossip.hpp"
+#include <string>
+
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "support/mathutil.hpp"
 
@@ -37,66 +37,36 @@ void set_columns(benchmark::State& state, std::uint32_t n, double rounds, double
   state.counters["msgs_per_nloglog"] = msgs / (n * loglog2_clamped(n));
 }
 
-void BM_UniformGossipAve(benchmark::State& state) {
+/// One Table 1 row: `trials` facade runs of (algorithm, Ave) at size n.
+void run_ave_case(benchmark::State& state, const std::string& algorithm) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   double rounds = 0, msgs = 0;
   for (auto _ : state) {
     for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
-      const auto values = bench::make_values(n, seed);
-      const auto r = uniform_push_sum(n, values, seed);
-      rounds += r.counters.rounds;
-      msgs += static_cast<double>(r.counters.sent);
+      api::RunSpec spec;
+      spec.n = n;
+      spec.aggregate = api::Aggregate::kAve;
+      spec.seed = seed;
+      const api::RunReport r = api::run(algorithm, spec);
+      rounds += r.rounds;
+      msgs += static_cast<double>(r.cost.sent);
     }
   }
   set_columns(state, n, rounds / kTrials, msgs / kTrials);
 }
+
+void BM_UniformGossipAve(benchmark::State& state) { run_ave_case(state, "uniform"); }
 BENCHMARK(BM_UniformGossipAve)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Iterations(1);
 
-void BM_EfficientGossipAve(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  double rounds = 0, msgs = 0;
-  for (auto _ : state) {
-    for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
-      const auto values = bench::make_values(n, seed);
-      const auto r = efficient_gossip_ave(n, values, seed);
-      rounds += r.rounds_total;
-      msgs += static_cast<double>(r.counters.sent);
-    }
-  }
-  set_columns(state, n, rounds / kTrials, msgs / kTrials);
-}
+void BM_EfficientGossipAve(benchmark::State& state) { run_ave_case(state, "efficient"); }
 BENCHMARK(BM_EfficientGossipAve)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Iterations(1);
 
 // Supplementary row: pairwise averaging (Boyd et al. [1]) -- the second
 // address-oblivious Average baseline; also Theta(n log n) messages.
-void BM_PairwiseAve(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  double rounds = 0, msgs = 0;
-  for (auto _ : state) {
-    for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
-      const auto values = bench::make_values(n, seed);
-      const auto r = pairwise_average(n, values, seed);
-      rounds += r.counters.rounds;
-      msgs += static_cast<double>(r.counters.sent);
-    }
-  }
-  set_columns(state, n, rounds / kTrials, msgs / kTrials);
-}
+void BM_PairwiseAve(benchmark::State& state) { run_ave_case(state, "pairwise"); }
 BENCHMARK(BM_PairwiseAve)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Iterations(1);
 
-void BM_DrrGossipAve(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  double rounds = 0, msgs = 0;
-  for (auto _ : state) {
-    for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
-      const auto values = bench::make_values(n, seed);
-      const auto r = drr_gossip_ave(n, values, seed);
-      rounds += r.rounds_total;
-      msgs += static_cast<double>(r.metrics.total().sent);
-    }
-  }
-  set_columns(state, n, rounds / kTrials, msgs / kTrials);
-}
+void BM_DrrGossipAve(benchmark::State& state) { run_ave_case(state, "drr"); }
 BENCHMARK(BM_DrrGossipAve)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Iterations(1);
 
 }  // namespace

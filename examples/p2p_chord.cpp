@@ -5,18 +5,21 @@
 // n peers form a Chord overlay.  The example computes the average file
 // count and the maximum file size with the sparse DRR-gossip pipeline
 // (Theorem 14) and contrasts its cost with routed uniform gossip on the
-// same overlay -- the log n message gap of §4.
+// same overlay -- the log n message gap of §4.  Both pipelines run
+// through the drrg::api facade: "chord-drr" and "chord-uniform" rebuild
+// the identical overlay from (n, seed), so the comparison is
+// like-with-like.
 //
 //   ./p2p_chord [n] [seed]
 
-#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "aggregate/sparse.hpp"
-#include "baselines/chord_uniform.hpp"
+#include "api/registry.hpp"
 #include "support/mathutil.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -42,55 +45,54 @@ int main(int argc, char** argv) {
     max_file_mb[v] = rng.next_uniform(1.0, 4096.0);
   }
 
-  double true_count_sum = 0.0;
-  for (double c : file_count) true_count_sum += c;
-  const double true_max_mb = *std::max_element(max_file_mb.begin(), max_file_mb.end());
+  auto spec_for = [&](api::Aggregate agg, const std::vector<double>& values,
+                      std::uint64_t s) {
+    api::RunSpec spec;
+    spec.n = n;
+    spec.aggregate = agg;
+    spec.seed = s;
+    spec.values = values;
+    return spec;
+  };
 
-  // DRR-gossip on the overlay.
-  const auto ave = sparse_drr_gossip_ave(chord, links, file_count, seed);
-  const auto mx = sparse_drr_gossip_max(chord, links, max_file_mb, seed + 1);
+  // DRR-gossip on the overlay.  (Seeds match the overlay seed so the
+  // facade reconstructs the same ring; distinct seeds would mean distinct
+  // overlays, which is fine but not the story this example tells.)
+  const auto ave = api::run("chord-drr", spec_for(api::Aggregate::kAve, file_count, seed));
+  const auto mx =
+      api::run("chord-drr", spec_for(api::Aggregate::kMax, max_file_mb, seed));
 
   std::printf("\naggregates via sparse DRR-gossip (Local-DRR + routed root gossip):\n");
   std::printf("  avg files/peer : %.3f   (truth %.3f)  consensus=%s\n", ave.value,
-              true_count_sum / n, ave.consensus ? "yes" : "no");
+              ave.truth, ave.consensus ? "yes" : "no");
   std::printf("  max file [MB]  : %.3f   (truth %.3f)  consensus=%s\n", mx.value,
-              true_max_mb, mx.consensus ? "yes" : "no");
+              mx.truth, mx.consensus ? "yes" : "no");
   std::printf("  forest: %u trees (roots), largest %u peers, height %u\n",
               ave.forest.num_trees, ave.forest.max_tree_size, ave.forest.max_tree_height);
 
   // The §4 comparison: routed uniform gossip on the same overlay.
-  const auto uni_max = chord_uniform_push_max(chord, max_file_mb, seed + 2);
-  const auto uni_ave = chord_uniform_push_sum(chord, file_count, seed + 3);
+  const auto uni_max =
+      api::run("chord-uniform", spec_for(api::Aggregate::kMax, max_file_mb, seed));
+  const auto uni_ave =
+      api::run("chord-uniform", spec_for(api::Aggregate::kAve, file_count, seed));
 
   Table t{{"algorithm", "statistic", "overlay msgs", "msgs/(n log n)", "rounds"}};
   const double nlog = n * log2_clamped(n);
-  t.row()
-      .add("DRR-gossip")
-      .add("max")
-      .add_uint(mx.metrics.total().sent)
-      .add_real(static_cast<double>(mx.metrics.total().sent) / nlog, 3)
-      .add_uint(mx.rounds_total);
-  t.row()
-      .add("uniform gossip")
-      .add("max")
-      .add_uint(uni_max.counters.sent)
-      .add_real(static_cast<double>(uni_max.counters.sent) / nlog, 3)
-      .add_uint(uni_max.rounds);
-  t.row()
-      .add("DRR-gossip")
-      .add("ave")
-      .add_uint(ave.metrics.total().sent)
-      .add_real(static_cast<double>(ave.metrics.total().sent) / nlog, 3)
-      .add_uint(ave.rounds_total);
-  t.row()
-      .add("uniform gossip")
-      .add("ave")
-      .add_uint(uni_ave.counters.sent)
-      .add_real(static_cast<double>(uni_ave.counters.sent) / nlog, 3)
-      .add_uint(uni_ave.rounds);
+  auto row = [&](const char* algo, const char* stat, const api::RunReport& r) {
+    t.row()
+        .add(algo)
+        .add(stat)
+        .add_uint(r.cost.sent)
+        .add_real(static_cast<double>(r.cost.sent) / nlog, 3)
+        .add_uint(r.rounds);
+  };
+  row("DRR-gossip", "max", mx);
+  row("uniform gossip", "max", uni_max);
+  row("DRR-gossip", "ave", ave);
+  row("uniform gossip", "ave", uni_ave);
   std::printf("\n%s", t.to_string().c_str());
   std::printf("\nmessage advantage (uniform/DRR, max): %.2fx  -- grows ~ log n (§4)\n",
-              static_cast<double>(uni_max.counters.sent) /
-                  static_cast<double>(mx.metrics.total().sent));
+              static_cast<double>(uni_max.cost.sent) /
+                  static_cast<double>(mx.cost.sent));
   return (ave.consensus && mx.consensus) ? 0 : 1;
 }

@@ -1,58 +1,59 @@
 // Quickstart: compute the global average of n node values with
-// DRR-gossip-ave (Algorithm 8) on the random phone call model, and print
-// the per-phase cost breakdown.
+// DRR-gossip-ave (Algorithm 8) on the random phone call model through the
+// drrg::api facade, and print the per-phase cost breakdown.
 //
 //   ./quickstart [n] [seed]
 
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
-#include "aggregate/drr_gossip.hpp"
+#include "api/registry.hpp"
 #include "support/mathutil.hpp"
-#include "support/rng.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4096;
   const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
 
-  // Every node holds one value; here: a synthetic measurement.
-  drrg::Rng rng{seed};
-  std::vector<double> values(n);
-  double sum = 0.0;
-  for (auto& v : values) {
-    v = rng.next_uniform(0.0, 100.0);
-    sum += v;
+  // One facade call: a synthetic measurement in [0, 100) at every node
+  // (derived from the seed), averaged by the full three-phase pipeline.
+  // The report carries the exact ground truth alongside the computed value.
+  drrg::api::RunSpec spec;
+  spec.n = n;
+  spec.aggregate = drrg::api::Aggregate::kAve;
+  spec.seed = seed;
+  spec.workload_range = {0.0, 100.0};
+  const drrg::api::RunReport out = drrg::api::run("drr", spec);
+  if (!out.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", out.error.c_str());
+    return 1;
   }
-
-  // One call computes the average at every node.
-  const drrg::AggregateOutcome out = drrg::drr_gossip_ave(n, values, seed);
 
   std::printf("DRR-gossip-ave on n = %u nodes (seed %llu)\n", n,
               static_cast<unsigned long long>(seed));
-  std::printf("  true average       : %.6f\n", sum / n);
-  std::printf("  computed average   : %.6f\n", out.value);
+  std::printf("  true average       : %.6f\n", out.truth);
+  std::printf("  computed average   : %.6f  (rel. error %.2e)\n", out.value,
+              out.rel_error());
   std::printf("  consensus reached  : %s\n", out.consensus ? "yes" : "no");
   std::printf("  forest             : %u trees, largest %u nodes, height %u\n",
               out.forest.num_trees, out.forest.max_tree_size, out.forest.max_tree_height);
-  std::printf("  total rounds       : %u  (O(log n); log2 n = %u)\n", out.rounds_total,
+  std::printf("  total rounds       : %u  (O(log n); log2 n = %u)\n", out.rounds,
               drrg::ceil_log2(n));
 
   drrg::Table t{{"phase", "messages", "lost", "rounds"}};
   auto row = [&t](const char* name, const drrg::sim::Counters& c) {
     t.row().add(name).add_uint(c.sent).add_uint(c.lost).add_uint(c.rounds);
   };
-  row("I   DRR", out.metrics.drr);
-  row("II  convergecast", out.metrics.convergecast);
-  row("II  root broadcast", out.metrics.root_broadcast);
-  row("III gossip", out.metrics.gossip);
-  row("III data-spread", out.metrics.spread);
-  row("    value broadcast", out.metrics.value_broadcast);
-  row("total", out.metrics.total());
+  row("I   DRR", out.phases.drr);
+  row("II  convergecast", out.phases.convergecast);
+  row("II  root broadcast", out.phases.root_broadcast);
+  row("III gossip", out.phases.gossip);
+  row("III data-spread", out.phases.spread);
+  row("    value broadcast", out.phases.value_broadcast);
+  row("total", out.cost);
   std::printf("\n%s", t.to_string().c_str());
 
-  const double per_node = static_cast<double>(out.metrics.total().sent) / n;
+  const double per_node = static_cast<double>(out.cost.sent) / n;
   std::printf("\nmessages per node: %.2f  (O(log log n); log2 log2 n = %.2f)\n", per_node,
               drrg::loglog2_clamped(n));
   return out.consensus ? 0 : 1;

@@ -1,0 +1,367 @@
+// Built-in registry entries: one invoke adapter per algorithm family,
+// mapping the uniform RunSpec onto each family's native signature and its
+// native result struct back onto the uniform RunReport.
+//
+// Conventions shared by every adapter:
+//   * inputs: spec.values when provided, else a synthetic workload
+//     derived from the seed (positive-only where the algorithm needs it);
+//   * truth: workload::compute_truth over the participating nodes when
+//     the algorithm tracks crashes, over all nodes otherwise;
+//   * consensus for the epsilon-convergent averagers (push-sum, pairwise)
+//     keeps the historical CLI meaning: max relative error below the
+//     family's epsilon threshold.
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "api/registry.hpp"
+#include "aggregate/derived.hpp"
+#include "aggregate/drr_gossip.hpp"
+#include "sim/engine.hpp"
+
+namespace drrg::api {
+namespace detail {
+namespace {
+
+using workload::compute_truth;
+using workload::Truth;
+
+/// spec.config as a T: monostate -> defaults; wrong alternative -> error.
+template <class T>
+[[nodiscard]] T config_as(const RunSpec& spec, RunReport& report) {
+  if (std::holds_alternative<std::monostate>(spec.config)) return T{};
+  if (const T* cfg = std::get_if<T>(&spec.config)) return *cfg;
+  report.error = "config variant does not hold the algorithm's config type";
+  return T{};
+}
+
+[[nodiscard]] RunReport make_report(const RunSpec& spec, std::string name) {
+  RunReport report;
+  report.algorithm = std::move(name);
+  report.aggregate = spec.aggregate;
+  report.n = spec.n;
+  report.seed = spec.seed;
+  return report;
+}
+
+[[nodiscard]] std::vector<double> materialize_values(const RunSpec& spec,
+                                                     bool positive_only) {
+  if (!spec.values.empty()) return spec.values;
+  workload::ValueRange range = spec.workload_range;
+  if (positive_only && range.lo <= 0.0) range = workload::positive_range();
+  return workload::make_values(spec.n, spec.seed, range);
+}
+
+/// Alive mask for algorithms whose result struct carries none: every
+/// top-level entry point builds RngFactory{seed}, so the crash set their
+/// engines will draw is reproducible here (empty mask when nobody crashes).
+[[nodiscard]] std::vector<bool> participating_mask(const RunSpec& spec) {
+  if (spec.faults.crash_fraction <= 0.0) return {};
+  const auto crashed =
+      sim::crash_mask(spec.n, RngFactory{spec.seed}, spec.faults.crash_fraction);
+  std::vector<bool> participating(crashed.size());
+  for (std::size_t v = 0; v < crashed.size(); ++v) participating[v] = !crashed[v];
+  return participating;
+}
+
+/// Copies an AggregateOutcome (the DRR-family result) into a report.
+void fill_from_outcome(RunReport& report, const AggregateOutcome& o) {
+  report.value = o.value;
+  report.consensus = o.consensus;
+  report.rounds = o.rounds_total;
+  report.phases = o.metrics;
+  report.cost = o.metrics.total();
+  report.forest = o.forest;
+  report.participating = o.participating;
+}
+
+[[nodiscard]] double truth_for(Aggregate agg, const Truth& t) {
+  switch (agg) {
+    case Aggregate::kMax: return t.max;
+    case Aggregate::kMin: return t.min;
+    case Aggregate::kAve: return t.ave;
+    case Aggregate::kSum: return t.sum;
+    case Aggregate::kCount: return t.count;
+    case Aggregate::kRank: return t.rank;
+    case Aggregate::kMedian: return t.median;
+    case Aggregate::kLeader: return 0.0;  // set by the leader adapter
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// drr: the full DRR-gossip pipelines (Algorithms 7-8 + derived aggregates).
+
+RunReport run_drr(const RunSpec& spec) {
+  RunReport report = make_report(spec, "drr");
+  const auto values = materialize_values(spec, /*positive_only=*/false);
+
+  if (spec.aggregate == Aggregate::kMedian) {
+    // Accepts either a QuantileConfig or a plain DrrGossipConfig (used as
+    // the per-query pipeline config of the rank bisection).
+    QuantileConfig cfg;
+    if (const QuantileConfig* qc = std::get_if<QuantileConfig>(&spec.config)) {
+      cfg = *qc;
+    } else {
+      cfg.pipeline = config_as<DrrGossipConfig>(spec, report);
+      if (!report.error.empty()) return report;
+    }
+    const QuantileOutcome q =
+        drr_gossip_median(spec.n, values, spec.seed, spec.faults, cfg);
+    report.value = q.value;
+    report.consensus = true;  // every query run reached consensus internally
+    report.cost = q.total;
+    report.rounds = q.total.rounds;
+    // No participating mask: the bisection's sub-runs are seeded with
+    // derive_seed(seed, ...), so each draws its own crash set and no
+    // single survivor population exists (see ROADMAP).  Truth is the
+    // all-nodes median; under crashes the estimate is approximate anyway.
+    report.truth = compute_truth(values).median;
+    return report;
+  }
+
+  const auto cfg = config_as<DrrGossipConfig>(spec, report);
+  if (!report.error.empty()) return report;
+
+  if (spec.aggregate == Aggregate::kLeader) {
+    const LeaderOutcome l = drr_gossip_elect_leader(spec.n, spec.seed, spec.faults, cfg);
+    fill_from_outcome(report, l.detail);
+    report.value = static_cast<double>(l.leader);
+    // The elected leader must be the largest participating id.
+    double expect = 0.0;
+    for (std::uint32_t v = 0; v < spec.n; ++v)
+      if (l.detail.participating.empty() || l.detail.participating[v])
+        expect = static_cast<double>(v);
+    report.truth = expect;
+    return report;
+  }
+
+  AggregateOutcome o;
+  switch (spec.aggregate) {
+    case Aggregate::kMax:
+      o = drr_gossip_max(spec.n, values, spec.seed, spec.faults, cfg);
+      break;
+    case Aggregate::kMin:
+      o = drr_gossip_min(spec.n, values, spec.seed, spec.faults, cfg);
+      break;
+    case Aggregate::kAve:
+      o = drr_gossip_ave(spec.n, values, spec.seed, spec.faults, cfg);
+      break;
+    case Aggregate::kSum:
+      o = drr_gossip_sum(spec.n, values, spec.seed, spec.faults, cfg);
+      break;
+    case Aggregate::kCount:
+      o = drr_gossip_count(spec.n, spec.seed, spec.faults, cfg);
+      break;
+    case Aggregate::kRank:
+      o = drr_gossip_rank(spec.n, values, spec.rank_threshold, spec.seed, spec.faults,
+                          cfg);
+      break;
+    default: break;  // unreachable: handled above / filtered by the registry
+  }
+  fill_from_outcome(report, o);
+  report.truth = truth_for(spec.aggregate,
+                           compute_truth(values, o.participating, spec.rank_threshold));
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// uniform: address-oblivious uniform gossip (Kempe et al. [9]).
+
+RunReport run_uniform(const RunSpec& spec) {
+  RunReport report = make_report(spec, "uniform");
+  const auto values = materialize_values(spec, /*positive_only=*/false);
+  report.participating = participating_mask(spec);
+  const Truth t = compute_truth(values, report.participating, spec.rank_threshold);
+
+  if (spec.aggregate == Aggregate::kMax) {
+    const auto cfg = config_as<UniformPushMaxConfig>(spec, report);
+    if (!report.error.empty()) return report;
+    const UniformPushMaxResult r =
+        uniform_push_max(spec.n, values, spec.seed, spec.faults, cfg);
+    // Max over survivors only: a crashed node keeps its stale initial
+    // value, which may exceed the survivor maximum.
+    double held = -std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < r.value.size(); ++v)
+      if (report.participating.empty() || report.participating[v])
+        held = std::max(held, r.value[v]);
+    report.value = held;
+    report.consensus = r.consensus;
+    report.rounds = r.rounds_to_consensus;
+    report.cost = r.counters;
+    report.truth = t.max;
+    return report;
+  }
+
+  const auto cfg = config_as<UniformPushSumConfig>(spec, report);
+  if (!report.error.empty()) return report;
+  const UniformPushSumResult r =
+      uniform_push_sum(spec.n, values, spec.seed, spec.faults, cfg);
+  double first = 0.0;
+  for (double e : r.estimate)
+    if (e != 0.0) {
+      first = e;
+      break;
+    }
+  report.value = first;
+  report.consensus = r.max_relative_error < 1e-3;
+  report.rounds = r.counters.rounds;
+  report.cost = r.counters;
+  report.truth = t.ave;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// efficient: Kashyap et al. [8] group-merge gossip.
+
+RunReport run_efficient(const RunSpec& spec) {
+  RunReport report = make_report(spec, "efficient");
+  const auto cfg = config_as<EfficientGossipConfig>(spec, report);
+  if (!report.error.empty()) return report;
+  const auto values = materialize_values(spec, /*positive_only=*/false);
+  report.participating = participating_mask(spec);
+  const Truth t = compute_truth(values, report.participating, spec.rank_threshold);
+  const EfficientGossipResult r =
+      spec.aggregate == Aggregate::kMax
+          ? efficient_gossip_max(spec.n, values, spec.seed, spec.faults, cfg)
+          : efficient_gossip_ave(spec.n, values, spec.seed, spec.faults, cfg);
+  report.value = r.value;
+  report.consensus = r.consensus;
+  report.rounds = r.rounds_total;
+  report.cost = r.counters;
+  report.truth = spec.aggregate == Aggregate::kMax ? t.max : t.ave;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// pairwise: randomized pairwise averaging (Boyd et al. [1]).
+
+RunReport run_pairwise(const RunSpec& spec) {
+  RunReport report = make_report(spec, "pairwise");
+  const auto cfg = config_as<PairwiseConfig>(spec, report);
+  if (!report.error.empty()) return report;
+  const auto values = materialize_values(spec, /*positive_only=*/false);
+  report.participating = participating_mask(spec);
+  const PairwiseResult r = pairwise_average(spec.n, values, spec.seed, spec.faults, cfg);
+  // First surviving node's value (node 0 may have crashed with its input).
+  report.value = r.value.front();
+  for (std::size_t v = 0; v < r.value.size(); ++v)
+    if (report.participating.empty() || report.participating[v]) {
+      report.value = r.value[v];
+      break;
+    }
+  report.consensus = r.max_relative_error < 1e-3;
+  report.rounds = r.counters.rounds;
+  report.cost = r.counters;
+  report.truth = compute_truth(values, report.participating).ave;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// extrema: loss-robust Count/Sum via extrema propagation ([16]).
+
+RunReport run_extrema(const RunSpec& spec) {
+  RunReport report = make_report(spec, "extrema");
+  const auto cfg = config_as<ExtremaConfig>(spec, report);
+  if (!report.error.empty()) return report;
+  const auto values = materialize_values(spec, /*positive_only=*/true);
+  const auto participating = participating_mask(spec);
+  const Truth t = compute_truth(values, participating);
+  const ExtremaOutcome r =
+      spec.aggregate == Aggregate::kCount
+          ? drr_gossip_count_extrema(spec.n, spec.seed, spec.faults, cfg)
+          : drr_gossip_sum_extrema(spec.n, values, spec.seed, spec.faults, cfg);
+  report.value = r.estimate;
+  report.consensus = r.consensus;
+  report.rounds = r.rounds_total;
+  report.cost = r.counters;
+  report.participating = participating;
+  report.truth = spec.aggregate == Aggregate::kCount ? t.count : t.sum;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// chord-drr / chord-uniform: the §4 sparse pipelines on a Chord overlay.
+
+RunReport run_chord_drr(const RunSpec& spec) {
+  RunReport report = make_report(spec, "chord-drr");
+  const auto cfg = config_as<SparseGossipConfig>(spec, report);
+  if (!report.error.empty()) return report;
+  const auto values = materialize_values(spec, /*positive_only=*/false);
+  const ChordOverlay chord{spec.n, spec.seed};
+  const Graph links = overlay_graph(chord);
+  const AggregateOutcome o =
+      spec.aggregate == Aggregate::kMax
+          ? sparse_drr_gossip_max(chord, links, values, spec.seed, spec.faults, cfg)
+          : sparse_drr_gossip_ave(chord, links, values, spec.seed, spec.faults, cfg);
+  fill_from_outcome(report, o);
+  const Truth t = compute_truth(values, o.participating);
+  report.truth = spec.aggregate == Aggregate::kMax ? t.max : t.ave;
+  return report;
+}
+
+RunReport run_chord_uniform(const RunSpec& spec) {
+  RunReport report = make_report(spec, "chord-uniform");
+  if (spec.faults.crash_fraction > 0.0) {
+    // The chord-uniform baseline models message loss only; silently
+    // dropping the crash fraction would make fault sweeps against
+    // chord-drr like-for-unlike.
+    report.error = "chord-uniform does not simulate node crashes (loss only)";
+    return report;
+  }
+  const auto cfg = config_as<ChordUniformConfig>(spec, report);
+  if (!report.error.empty()) return report;
+  const auto values = materialize_values(spec, /*positive_only=*/false);
+  const ChordOverlay chord{spec.n, spec.seed};
+  const Truth t = compute_truth(values);
+  const ChordUniformResult r =
+      spec.aggregate == Aggregate::kMax
+          ? chord_uniform_push_max(chord, values, spec.seed, spec.faults.loss_prob, cfg)
+          : chord_uniform_push_sum(chord, values, spec.seed, spec.faults.loss_prob, cfg);
+  report.value = r.value.front();
+  report.consensus =
+      spec.aggregate == Aggregate::kMax ? r.consensus : r.max_relative_error < 1e-2;
+  report.rounds = r.rounds;
+  report.cost = r.counters;
+  report.truth = spec.aggregate == Aggregate::kMax ? t.max : t.ave;
+  return report;
+}
+
+}  // namespace
+
+void register_builtin_algorithms(Registry& registry) {
+  using A = Aggregate;
+  registry.add({.name = "drr",
+                .description = "DRR-gossip pipelines (Algorithms 7-8 + derived)",
+                .aggregates = {A::kMax, A::kMin, A::kAve, A::kSum, A::kCount, A::kRank,
+                               A::kMedian, A::kLeader},
+                .invoke = run_drr});
+  registry.add({.name = "uniform",
+                .description = "uniform gossip / push-sum (Kempe et al. [9])",
+                .aggregates = {A::kMax, A::kAve},
+                .invoke = run_uniform});
+  registry.add({.name = "efficient",
+                .description = "group-merge gossip (Kashyap et al. [8])",
+                .aggregates = {A::kMax, A::kAve},
+                .invoke = run_efficient});
+  registry.add({.name = "pairwise",
+                .description = "pairwise averaging (Boyd et al. [1])",
+                .aggregates = {A::kAve},
+                .invoke = run_pairwise});
+  registry.add({.name = "extrema",
+                .description = "loss-robust Count/Sum via extrema propagation [16]",
+                .aggregates = {A::kCount, A::kSum},
+                .invoke = run_extrema});
+  registry.add({.name = "chord-drr",
+                .description = "sparse DRR-gossip on a Chord overlay (Theorem 14)",
+                .aggregates = {A::kMax, A::kAve},
+                .invoke = run_chord_drr});
+  registry.add({.name = "chord-uniform",
+                .description = "routed uniform gossip on Chord (loss only; §4 baseline)",
+                .aggregates = {A::kMax, A::kAve},
+                .invoke = run_chord_uniform});
+}
+
+}  // namespace detail
+}  // namespace drrg::api

@@ -1,0 +1,125 @@
+#pragma once
+// drrg::api -- the uniform runner facade over every algorithm in the
+// library.
+//
+// The library grew as ~10 free-function families (the DRR-gossip
+// pipelines, four baselines, the §4 sparse/Chord variants), each with
+// its own signature and result struct.  This layer gives all of them one
+// vocabulary:
+//
+//   * Aggregate        -- what is being computed (Max .. Leader);
+//   * RunSpec          -- one run's inputs: n, values (or a synthetic
+//                         workload derived from the seed), faults, an
+//                         optional per-algorithm config, and the
+//                         aggregate (plus its rank threshold);
+//   * RunReport        -- one run's outputs: computed value, exact
+//                         ground truth, errors, consensus, and the
+//                         message/round accounting (per-phase where the
+//                         algorithm has phases);
+//   * Registry         -- see api/registry.hpp: named algorithms with
+//                         declared aggregate support and an
+//                         invoke(RunSpec) -> RunReport adapter.
+//
+// The CLI, the bench harnesses, the examples and the matrix tests all
+// sit on this seam, so a newly registered algorithm (or aggregate)
+// becomes visible to every consumer at once.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "aggregate/extrema.hpp"
+#include "aggregate/quantile.hpp"
+#include "aggregate/sparse.hpp"
+#include "aggregate/types.hpp"
+#include "baselines/chord_uniform.hpp"
+#include "baselines/efficient_gossip.hpp"
+#include "baselines/pairwise_averaging.hpp"
+#include "baselines/uniform_gossip.hpp"
+#include "sim/counters.hpp"
+#include "support/workload.hpp"
+
+namespace drrg::api {
+
+/// The aggregate families of the paper's abstract (§1), plus the derived
+/// Leader election of §6.
+enum class Aggregate : std::uint8_t {
+  kMax,
+  kMin,
+  kAve,
+  kSum,
+  kCount,
+  kRank,
+  kMedian,
+  kLeader,
+};
+
+/// Every aggregate, in a fixed order (for matrix enumeration).
+inline constexpr Aggregate kAllAggregates[] = {
+    Aggregate::kMax,  Aggregate::kMin,    Aggregate::kAve,    Aggregate::kSum,
+    Aggregate::kCount, Aggregate::kRank,  Aggregate::kMedian, Aggregate::kLeader,
+};
+
+[[nodiscard]] std::string_view to_string(Aggregate agg) noexcept;
+[[nodiscard]] std::optional<Aggregate> aggregate_from_name(std::string_view name) noexcept;
+
+/// Per-algorithm configuration.  std::monostate selects the algorithm's
+/// defaults (the paper's parameters); otherwise the variant must hold the
+/// config type of the algorithm being invoked, else the run is rejected.
+using AlgorithmConfig =
+    std::variant<std::monostate, DrrGossipConfig, UniformPushMaxConfig,
+                 UniformPushSumConfig, PairwiseConfig, EfficientGossipConfig,
+                 ExtremaConfig, QuantileConfig, SparseGossipConfig, ChordUniformConfig>;
+
+/// Everything one run needs.  Deterministic: two identical RunSpecs
+/// produce identical RunReports.
+struct RunSpec {
+  std::uint32_t n = 4096;
+  Aggregate aggregate = Aggregate::kAve;
+  std::uint64_t seed = 42;
+  sim::FaultModel faults{};
+  /// Per-node inputs.  Empty = synthesize workload::make_values(n, seed,
+  /// workload_range) (algorithms requiring positive inputs substitute
+  /// workload::positive_range() when the range admits values <= 0).
+  std::vector<double> values;
+  workload::ValueRange workload_range{};
+  /// Threshold x of the Rank aggregate: |{ alive v : values[v] < x }|.
+  double rank_threshold = 0.0;
+  AlgorithmConfig config{};
+};
+
+/// Uniform result of one run, whichever algorithm produced it.
+struct RunReport {
+  std::string algorithm;
+  Aggregate aggregate = Aggregate::kAve;
+  std::uint32_t n = 0;
+  std::uint64_t seed = 0;
+
+  /// False iff the algorithm does not implement the requested aggregate.
+  bool supported = true;
+  /// Non-empty when the run could not produce a value (unsupported pair,
+  /// config type mismatch, or an exception from the algorithm).
+  std::string error;
+
+  double value = 0.0;  ///< the consensus value the algorithm computed
+  double truth = 0.0;  ///< exact aggregate over the participating nodes
+  bool consensus = false;
+  std::uint32_t rounds = 0;
+  sim::Counters cost;    ///< whole-run message/round accounting
+  PhaseMetrics phases;   ///< per-phase breakdown (zeroed where the
+                         ///< algorithm has no DRR-gossip phase structure)
+  ForestSummary forest;  ///< Phase I forest shape (DRR family only)
+  /// Alive mask (empty when the algorithm does not track crashes).
+  std::vector<bool> participating;
+
+  [[nodiscard]] bool ok() const noexcept { return supported && error.empty(); }
+  [[nodiscard]] double abs_error() const noexcept;
+  /// abs_error / max(1, |truth|): the guarded relative error used by the
+  /// failure benches (finite even when the truth is near zero).
+  [[nodiscard]] double rel_error() const noexcept;
+};
+
+}  // namespace drrg::api

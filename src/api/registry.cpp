@@ -1,0 +1,136 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+namespace drrg::api {
+
+namespace {
+
+constexpr std::string_view kAggregateNames[] = {
+    "max", "min", "ave", "sum", "count", "rank", "median", "leader",
+};
+
+}  // namespace
+
+std::string_view to_string(Aggregate agg) noexcept {
+  return kAggregateNames[static_cast<std::size_t>(agg)];
+}
+
+std::optional<Aggregate> aggregate_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < std::size(kAggregateNames); ++i)
+    if (kAggregateNames[i] == name) return static_cast<Aggregate>(i);
+  return std::nullopt;
+}
+
+double RunReport::abs_error() const noexcept { return std::fabs(value - truth); }
+
+double RunReport::rel_error() const noexcept {
+  return abs_error() / std::max(1.0, std::fabs(truth));
+}
+
+bool AlgorithmInfo::supports(Aggregate agg) const noexcept {
+  return std::find(aggregates.begin(), aggregates.end(), agg) != aggregates.end();
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  static std::once_flag builtins_once;
+  std::call_once(builtins_once, [] { detail::register_builtin_algorithms(registry); });
+  return registry;
+}
+
+void Registry::add(AlgorithmInfo info) {
+  if (info.name.empty()) throw std::invalid_argument("algorithm name must be non-empty");
+  if (!info.invoke)
+    throw std::invalid_argument("algorithm '" + info.name + "' has no invoke adapter");
+  if (find(info.name) != nullptr)
+    throw std::invalid_argument("algorithm '" + info.name + "' registered twice");
+  algos_.push_back(std::move(info));
+}
+
+const AlgorithmInfo* Registry::find(std::string_view name) const noexcept {
+  for (const AlgorithmInfo& a : algos_)
+    if (a.name == name) return &a;
+  return nullptr;
+}
+
+std::vector<const AlgorithmInfo*> Registry::algorithms() const {
+  std::vector<const AlgorithmInfo*> out;
+  out.reserve(algos_.size());
+  for (const AlgorithmInfo& a : algos_) out.push_back(&a);
+  return out;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(algos_.size());
+  for (const AlgorithmInfo& a : algos_) out.push_back(a.name);
+  return out;
+}
+
+Registration::Registration(AlgorithmInfo info) {
+  Registry::instance().add(std::move(info));
+}
+
+RunReport run(std::string_view algorithm, const RunSpec& spec) {
+  RunReport report;
+  report.algorithm = std::string{algorithm};
+  report.aggregate = spec.aggregate;
+  report.n = spec.n;
+  report.seed = spec.seed;
+
+  const AlgorithmInfo* algo = Registry::instance().find(algorithm);
+  if (algo == nullptr) {
+    report.supported = false;
+    report.error = "unknown algorithm '" + report.algorithm + "'";
+    return report;
+  }
+  if (!algo->supports(spec.aggregate)) {
+    report.supported = false;
+    report.error = "aggregate '" + std::string{to_string(spec.aggregate)} +
+                   "' not supported by '" + algo->name + "'";
+    return report;
+  }
+  try {
+    report = algo->invoke(spec);
+  } catch (const std::exception& e) {
+    report.error = e.what();
+  } catch (...) {
+    report.error = "algorithm '" + algo->name + "' threw a non-std::exception";
+  }
+  report.algorithm = algo->name;
+  report.aggregate = spec.aggregate;
+  report.n = spec.n;
+  report.seed = spec.seed;
+  return report;
+}
+
+std::vector<RunReport> run_trials(std::string_view algorithm, const RunSpec& spec,
+                                  int trials) {
+  std::vector<RunReport> reports;
+  reports.reserve(static_cast<std::size_t>(trials > 0 ? trials : 0));
+  for (int t = 0; t < trials; ++t) {
+    RunSpec trial = spec;
+    trial.seed = spec.seed + static_cast<std::uint64_t>(t);
+    reports.push_back(run(algorithm, trial));
+  }
+  return reports;
+}
+
+std::vector<RunReport> run_matrix(const RunSpec& base) {
+  std::vector<RunReport> reports;
+  for (const AlgorithmInfo* algo : Registry::instance().algorithms()) {
+    for (Aggregate agg : kAllAggregates) {
+      RunSpec spec = base;
+      spec.aggregate = agg;
+      reports.push_back(run(algo->name, spec));
+    }
+  }
+  return reports;
+}
+
+}  // namespace drrg::api

@@ -41,7 +41,8 @@ UniformPushMaxResult run_uniform_max(std::uint32_t n, std::span<const double> va
                                      const UniformPushMaxConfig& config, bool pull) {
   if (values.size() < n) throw std::invalid_argument("uniform_push_max: values too short");
   RngFactory rngs{seed};
-  sim::Network<MaxMsg> net{n, rngs, faults, /*purpose=*/pull ? 0x0b5f : 0x0b5e};
+  sim::Network<MaxMsg> net{n, rngs, faults,
+                           /*purpose=*/pull ? std::uint64_t{0x0b5f} : std::uint64_t{0x0b5e}};
 
   PushMaxProtocol proto{std::vector<double>(values.begin(), values.begin() + n),
                         64 + address_bits(n), pull};

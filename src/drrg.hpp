@@ -4,6 +4,11 @@
 //   #include "drrg.hpp"
 //   auto out = drrg::drr_gossip_ave(n, values, seed);
 //
+// or, through the uniform runner facade (any algorithm, any aggregate):
+//
+//   drrg::api::RunSpec spec{.n = n, .aggregate = drrg::api::Aggregate::kAve};
+//   auto report = drrg::api::run("drr", spec);
+//
 // Fine-grained headers remain available for users who want a single
 // subsystem (e.g. only the simulator or only the Chord overlay).
 
@@ -12,6 +17,8 @@
 #include "aggregate/extrema.hpp"       // loss-robust Count/Sum extension
 #include "aggregate/quantile.hpp"      // quantile/median via Rank
 #include "aggregate/sparse.hpp"        // §4: Local-DRR + routed gossip on Chord
+#include "api/api.hpp"                 // uniform RunSpec/RunReport vocabulary
+#include "api/registry.hpp"            // algorithm registry + run/run_trials/run_matrix
 #include "baselines/chord_uniform.hpp"
 #include "baselines/efficient_gossip.hpp"
 #include "baselines/pairwise_averaging.hpp"

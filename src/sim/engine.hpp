@@ -39,6 +39,28 @@ namespace drrg::sim {
 using NodeId = std::uint32_t;
 inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 
+/// The crash set every Network sharing `rngs` draws: crashed[v] == true iff
+/// node v is down from the start.  A pure function of the root seed
+/// (purpose-independent) so that all phases of a multi-phase pipeline --
+/// and result adapters that need survivor ground truth for algorithms
+/// whose outcome struct carries no alive mask -- agree on the same set.
+[[nodiscard]] inline std::vector<bool> crash_mask(std::uint32_t n, const RngFactory& rngs,
+                                                  double crash_fraction) {
+  std::vector<bool> crashed(n, false);
+  if (crash_fraction <= 0.0) return crashed;
+  Rng crash_rng = rngs.engine_stream(0xdeadULL);
+  const auto target = static_cast<std::uint32_t>(crash_fraction * static_cast<double>(n));
+  std::uint32_t count = 0;
+  while (count < target && count < n - 1) {  // keep >= 1 node alive
+    const auto v = static_cast<NodeId>(crash_rng.next_below(n));
+    if (!crashed[v]) {
+      crashed[v] = true;
+      ++count;
+    }
+  }
+  return crashed;
+}
+
 template <class Msg>
 class Network {
  public:
@@ -49,25 +71,9 @@ class Network {
       : n_(n),
         faults_(faults),
         loss_rng_(rngs.engine_stream(derive_seed(purpose, 0x105eULL))),
-        crashed_(n, false) {
+        crashed_(crash_mask(n, rngs, faults.crash_fraction)) {
     node_rngs_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) node_rngs_.push_back(rngs.node_stream(i, purpose));
-    // The crash set is a pure function of the root seed (purpose-independent)
-    // so that every phase of a multi-phase pipeline sees the same crashed
-    // nodes -- the paper's model only allows crashes before the start.
-    if (faults_.crash_fraction > 0.0) {
-      Rng crash_rng = rngs.engine_stream(0xdeadULL);
-      const auto target = static_cast<std::uint32_t>(
-          faults_.crash_fraction * static_cast<double>(n));
-      std::uint32_t crashed = 0;
-      while (crashed < target && crashed < n - 1) {  // keep >= 1 node alive
-        const auto v = static_cast<NodeId>(crash_rng.next_below(n));
-        if (!crashed_[v]) {
-          crashed_[v] = true;
-          ++crashed;
-        }
-      }
-    }
     alive_.reserve(n);
     for (NodeId i = 0; i < n; ++i)
       if (!crashed_[i]) alive_.push_back(i);

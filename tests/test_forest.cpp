@@ -11,9 +11,9 @@ namespace {
 
 // A small fixed forest:
 //        4            5
-//       / \           |
+//       / \           |      .
 //      2   3          6
-//     / \
+//     / \                    .
 //    0   1
 Forest sample_forest() {
   std::vector<NodeId> parent{2, 2, 4, 4, kNoParent, kNoParent, 5};

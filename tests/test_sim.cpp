@@ -154,8 +154,11 @@ TEST(Engine, CrashedNodesNeitherSendNorReceive) {
     void on_message(Network<Ping>&, NodeId, NodeId dst, const Ping&) { ++received[dst]; }
   } proto;
   net.run(proto, 10);
-  for (NodeId v = 0; v < 100; ++v)
-    if (!net.alive(v)) EXPECT_EQ(proto.received[v], 0) << "crashed node received";
+  for (NodeId v = 0; v < 100; ++v) {
+    if (!net.alive(v)) {
+      EXPECT_EQ(proto.received[v], 0) << "crashed node received";
+    }
+  }
   // Messages to crashed nodes are counted lost.
   EXPECT_GT(net.counters().lost, 0u);
 }

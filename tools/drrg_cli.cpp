@@ -1,26 +1,24 @@
-// drrg_cli -- command-line driver for the library: run any algorithm /
-// aggregate combination on a synthetic workload and print the result with
-// its cost, optionally as CSV for scripting sweeps.
+// drrg_cli -- command-line driver for the library: run any registered
+// algorithm / aggregate combination on a synthetic workload and print the
+// result with its cost, as a table, as CSV, or as JSON-lines for
+// scripting sweeps.
 //
 //   drrg_cli --algo drr --agg ave --n 8192 --loss 0.1 --trials 5
 //   drrg_cli --algo uniform --agg max --n 65536 --csv
-//   drrg_cli --algo chord-drr --agg max --n 4096
+//   drrg_cli --algo chord-drr --agg max --n 4096 --json
 //   drrg_cli --list
 //
-// Algorithms: drr (DRR-gossip), uniform (Kempe), efficient (Kashyap),
-//             pairwise (Boyd et al.), extrema (Mosk-Aoyama & Shah Count),
-//             chord-drr / chord-uniform (§4 sparse pipelines).
-// Aggregates: max min ave sum count rank median leader (availability
-//             depends on the algorithm; --list prints the matrix).
+// Dispatch and --list are driven by the drrg::api::Registry: an algorithm
+// registered there is immediately runnable and listed here, with no CLI
+// changes.
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "drrg.hpp"
+#include "api/registry.hpp"
+#include "support/table.hpp"
 
 namespace {
 
@@ -34,36 +32,43 @@ struct Options {
   double rank_threshold = 0.0;
   int trials = 1;
   bool csv = false;
-};
-
-struct RunRow {
-  double value = 0.0;
-  double truth = 0.0;
-  bool consensus = false;
-  std::uint64_t messages = 0;
-  std::uint32_t rounds = 0;
+  bool json = false;
 };
 
 [[noreturn]] void usage(int code) {
+  std::string algos, aggs;
+  for (const auto* a : drrg::api::Registry::instance().algorithms()) {
+    if (!algos.empty()) algos += ' ';
+    algos += a->name;
+  }
+  for (drrg::api::Aggregate g : drrg::api::kAllAggregates) {
+    if (!aggs.empty()) aggs += ' ';
+    aggs += std::string{drrg::api::to_string(g)};
+  }
   std::fprintf(stderr,
                "usage: drrg_cli [--algo A] [--agg G] [--n N] [--seed S]\n"
                "                [--loss D] [--crash F] [--threshold X]\n"
-               "                [--trials T] [--csv] [--list]\n"
-               "  A: drr uniform efficient pairwise extrema chord-drr chord-uniform\n"
-               "  G: max min ave sum count rank median leader\n");
+               "                [--trials T] [--csv] [--json] [--list]\n"
+               "  A: %s\n"
+               "  G: %s\n",
+               algos.c_str(), aggs.c_str());
   std::exit(code);
 }
 
+/// Prints the algorithm x aggregate matrix straight from the registry.
 void list_matrix() {
-  std::printf("algorithm      aggregates\n");
-  std::printf("-------------  -------------------------------------\n");
-  std::printf("drr            max min ave sum count rank median leader\n");
-  std::printf("uniform        max ave\n");
-  std::printf("efficient      max ave\n");
-  std::printf("pairwise       ave\n");
-  std::printf("extrema        count sum\n");
-  std::printf("chord-drr      max ave\n");
-  std::printf("chord-uniform  max ave\n");
+  std::printf("%-14s %-42s %s\n", "algorithm", "aggregates", "description");
+  std::printf("%-14s %-42s %s\n", "-------------",
+              "-----------------------------------------", "-----------");
+  for (const auto* a : drrg::api::Registry::instance().algorithms()) {
+    std::string aggs;
+    for (drrg::api::Aggregate g : a->aggregates) {
+      if (!aggs.empty()) aggs += ' ';
+      aggs += std::string{drrg::api::to_string(g)};
+    }
+    std::printf("%-14s %-42s %s\n", a->name.c_str(), aggs.c_str(),
+                a->description.c_str());
+  }
 }
 
 Options parse(int argc, char** argv) {
@@ -86,6 +91,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--threshold") opt.rank_threshold = std::atof(next("--threshold"));
     else if (arg == "--trials") opt.trials = std::atoi(next("--trials"));
     else if (arg == "--csv") opt.csv = true;
+    else if (arg == "--json") opt.json = true;
     else if (arg == "--list") { list_matrix(); std::exit(0); }
     else if (arg == "--help" || arg == "-h") usage(0);
     else {
@@ -97,188 +103,97 @@ Options parse(int argc, char** argv) {
     std::fprintf(stderr, "--n must be >= 4\n");
     usage(2);
   }
+  if (opt.csv && opt.json) {
+    std::fprintf(stderr, "--csv and --json are mutually exclusive\n");
+    usage(2);
+  }
   if (opt.trials < 1) opt.trials = 1;
   return opt;
 }
 
-std::vector<double> workload(std::uint32_t n, std::uint64_t seed, bool positive) {
-  drrg::Rng rng{drrg::derive_seed(seed, 0xc11ULL)};
-  std::vector<double> v(n);
-  for (auto& x : v) x = positive ? rng.next_uniform(1.0, 100.0) : rng.next_uniform(-50.0, 150.0);
-  return v;
-}
-
-struct Truths {
-  double max, min, sum, ave, count, rank, median;
-};
-
-Truths truths_over(const std::vector<double>& values, const std::vector<bool>& alive,
-                   double threshold) {
-  std::vector<double> live;
-  for (std::size_t i = 0; i < values.size(); ++i)
-    if (alive.empty() || alive[i]) live.push_back(values[i]);
-  std::sort(live.begin(), live.end());
-  Truths t{};
-  t.count = static_cast<double>(live.size());
-  t.min = live.front();
-  t.max = live.back();
-  t.sum = 0.0;
-  t.rank = 0.0;
-  for (double v : live) {
-    t.sum += v;
-    if (v < threshold) ++t.rank;
-  }
-  t.ave = t.sum / t.count;
-  t.median = live[live.size() / 2];
-  return t;
-}
-
-RunRow run_once(const Options& opt, std::uint64_t seed) {
-  using namespace drrg;
-  const sim::FaultModel faults{opt.loss, opt.crash};
-  const bool positive = opt.algo == "extrema";
-  const auto values = workload(opt.n, seed, positive);
-
-  RunRow row;
-  auto fill_from_outcome = [&](const AggregateOutcome& o, double truth) {
-    row.value = o.value;
-    row.truth = truth;
-    row.consensus = o.consensus;
-    row.messages = o.metrics.total().sent;
-    row.rounds = o.rounds_total;
-  };
-
-  if (opt.algo == "drr") {
-    AggregateOutcome o;
-    if (opt.agg == "max") o = drr_gossip_max(opt.n, values, seed, faults);
-    else if (opt.agg == "min") o = drr_gossip_min(opt.n, values, seed, faults);
-    else if (opt.agg == "ave") o = drr_gossip_ave(opt.n, values, seed, faults);
-    else if (opt.agg == "sum") o = drr_gossip_sum(opt.n, values, seed, faults);
-    else if (opt.agg == "count") o = drr_gossip_count(opt.n, seed, faults);
-    else if (opt.agg == "rank")
-      o = drr_gossip_rank(opt.n, values, opt.rank_threshold, seed, faults);
-    else if (opt.agg == "median") {
-      const auto q = drr_gossip_median(opt.n, values, seed, faults);
-      const auto t = truths_over(values, {}, opt.rank_threshold);
-      return RunRow{q.value, t.median, true, q.total.sent, 0};
-    } else if (opt.agg == "leader") {
-      const auto l = drr_gossip_elect_leader(opt.n, seed, faults);
-      fill_from_outcome(l.detail, l.detail.value);
-      return row;
-    } else usage(2);
-    const auto t = truths_over(values, o.participating, opt.rank_threshold);
-    double truth = 0.0;
-    if (opt.agg == "max") truth = t.max;
-    else if (opt.agg == "min") truth = t.min;
-    else if (opt.agg == "ave") truth = t.ave;
-    else if (opt.agg == "sum") truth = t.sum;
-    else if (opt.agg == "count") truth = t.count;
-    else if (opt.agg == "rank") truth = t.rank;
-    fill_from_outcome(o, truth);
-    return row;
-  }
-
-  const auto t_all = truths_over(values, {}, opt.rank_threshold);
-  if (opt.algo == "uniform") {
-    if (opt.agg == "max") {
-      const auto r = uniform_push_max(opt.n, values, seed, faults);
-      const double held = *std::max_element(r.value.begin(), r.value.end());
-      return RunRow{held, t_all.max, r.consensus, r.counters.sent, r.rounds_to_consensus};
-    }
-    if (opt.agg == "ave") {
-      const auto r = uniform_push_sum(opt.n, values, seed, faults);
-      double first = 0.0;
-      for (double e : r.estimate)
-        if (e != 0.0) {
-          first = e;
-          break;
-        }
-      return RunRow{first, t_all.ave, r.max_relative_error < 1e-3, r.counters.sent,
-                    r.counters.rounds};
-    }
-    usage(2);
-  }
-  if (opt.algo == "efficient") {
-    const auto r = opt.agg == "max" ? efficient_gossip_max(opt.n, values, seed, faults)
-                 : opt.agg == "ave" ? efficient_gossip_ave(opt.n, values, seed, faults)
-                                    : (usage(2), EfficientGossipResult{});
-    return RunRow{r.value, opt.agg == "max" ? t_all.max : t_all.ave, r.consensus,
-                  r.counters.sent, r.rounds_total};
-  }
-  if (opt.algo == "pairwise") {
-    if (opt.agg != "ave") usage(2);
-    const auto r = pairwise_average(opt.n, values, seed, faults);
-    return RunRow{r.value.front(), t_all.ave, r.max_relative_error < 1e-3,
-                  r.counters.sent, r.counters.rounds};
-  }
-  if (opt.algo == "extrema") {
-    const auto r = opt.agg == "count" ? drr_gossip_count_extrema(opt.n, seed, faults)
-                 : opt.agg == "sum" ? drr_gossip_sum_extrema(opt.n, values, seed, faults)
-                                    : (usage(2), ExtremaOutcome{});
-    const double truth = opt.agg == "count" ? t_all.count : t_all.sum;
-    return RunRow{r.estimate, truth, r.consensus, r.counters.sent, r.rounds_total};
-  }
-  if (opt.algo == "chord-drr" || opt.algo == "chord-uniform") {
-    const ChordOverlay chord{opt.n, seed};
-    if (opt.algo == "chord-drr") {
-      const Graph links = overlay_graph(chord);
-      const auto o = opt.agg == "max"
-                         ? sparse_drr_gossip_max(chord, links, values, seed, faults)
-                         : opt.agg == "ave"
-                               ? sparse_drr_gossip_ave(chord, links, values, seed, faults)
-                               : (usage(2), AggregateOutcome{});
-      return RunRow{o.value, opt.agg == "max" ? t_all.max : t_all.ave, o.consensus,
-                    o.metrics.total().sent, o.rounds_total};
-    }
-    const auto r = opt.agg == "max"
-                       ? chord_uniform_push_max(chord, values, seed, opt.loss)
-                       : opt.agg == "ave"
-                             ? chord_uniform_push_sum(chord, values, seed, opt.loss)
-                             : (usage(2), ChordUniformResult{});
-    return RunRow{r.value.front(), opt.agg == "max" ? t_all.max : t_all.ave,
-                  opt.agg == "max" ? r.consensus : r.max_relative_error < 1e-2,
-                  r.counters.sent, r.rounds};
-  }
-  usage(2);
+void print_json(const Options& opt, const drrg::api::RunReport& r) {
+  std::printf("{\"algo\":\"%s\",\"agg\":\"%s\",\"n\":%u,\"seed\":%llu,"
+              "\"loss\":%.4f,\"crash\":%.4f,\"value\":%.17g,\"truth\":%.17g,"
+              "\"abs_error\":%.17g,\"rel_error\":%.17g,\"consensus\":%s,"
+              "\"messages\":%llu,\"delivered\":%llu,\"bits\":%llu,\"rounds\":%u}\n",
+              r.algorithm.c_str(), std::string{drrg::api::to_string(r.aggregate)}.c_str(),
+              r.n, static_cast<unsigned long long>(r.seed), opt.loss, opt.crash,
+              r.value, r.truth, r.abs_error(), r.rel_error(),
+              r.consensus ? "true" : "false",
+              static_cast<unsigned long long>(r.cost.sent),
+              static_cast<unsigned long long>(r.cost.delivered),
+              static_cast<unsigned long long>(r.cost.bits), r.rounds);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace drrg;
   const Options opt = parse(argc, argv);
+
+  const api::AlgorithmInfo* algo = api::Registry::instance().find(opt.algo);
+  if (algo == nullptr) {
+    std::fprintf(stderr, "unknown algorithm: %s\n", opt.algo.c_str());
+    usage(2);
+  }
+  const auto agg = api::aggregate_from_name(opt.agg);
+  if (!agg.has_value()) {
+    std::fprintf(stderr, "unknown aggregate: %s\n", opt.agg.c_str());
+    usage(2);
+  }
+  if (!algo->supports(*agg)) {
+    std::fprintf(stderr, "'%s' does not support '%s' (see --list)\n",
+                 opt.algo.c_str(), opt.agg.c_str());
+    usage(2);
+  }
+
+  api::RunSpec spec;
+  spec.n = opt.n;
+  spec.aggregate = *agg;
+  spec.seed = opt.seed;
+  spec.faults = sim::FaultModel{opt.loss, opt.crash};
+  spec.rank_threshold = opt.rank_threshold;
 
   if (opt.csv) {
     std::printf("algo,agg,n,seed,loss,crash,value,truth,consensus,messages,rounds\n");
-  } else {
+  } else if (!opt.json) {
     std::printf("%s / %s on n = %u (loss %.3f, crash %.3f, %d trial%s)\n",
                 opt.algo.c_str(), opt.agg.c_str(), opt.n, opt.loss, opt.crash,
                 opt.trials, opt.trials == 1 ? "" : "s");
   }
 
-  drrg::Table table{{"seed", "value", "truth", "consensus", "messages", "rounds",
-                     "msgs/n"}};
-  for (int t = 0; t < opt.trials; ++t) {
-    const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(t);
-    const RunRow row = run_once(opt, seed);
+  Table table{{"seed", "value", "truth", "consensus", "messages", "rounds",
+               "msgs/n"}};
+  bool all_ok = true;
+  for (const api::RunReport& r : api::run_trials(opt.algo, spec, opt.trials)) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "run failed (seed %llu): %s\n",
+                   static_cast<unsigned long long>(r.seed), r.error.c_str());
+      all_ok = false;
+      continue;
+    }
     if (opt.csv) {
-      std::printf("%s,%s,%u,%llu,%.4f,%.4f,%.8g,%.8g,%d,%llu,%u\n", opt.algo.c_str(),
-                  opt.agg.c_str(), opt.n, static_cast<unsigned long long>(seed),
-                  opt.loss, opt.crash, row.value, row.truth, row.consensus ? 1 : 0,
-                  static_cast<unsigned long long>(row.messages), row.rounds);
+      std::printf("%s,%s,%u,%llu,%.4f,%.4f,%.8g,%.8g,%d,%llu,%u\n",
+                  r.algorithm.c_str(), opt.agg.c_str(), r.n,
+                  static_cast<unsigned long long>(r.seed), opt.loss, opt.crash,
+                  r.value, r.truth, r.consensus ? 1 : 0,
+                  static_cast<unsigned long long>(r.cost.sent), r.rounds);
+    } else if (opt.json) {
+      print_json(opt, r);
     } else {
       table.row()
-          .add_uint(seed)
-          .add_real(row.value, 6)
-          .add_real(row.truth, 6)
-          .add(row.consensus ? "yes" : "no")
-          .add_uint(row.messages)
-          .add_uint(row.rounds)
-          .add_real(static_cast<double>(row.messages) / opt.n, 2);
+          .add_uint(r.seed)
+          .add_real(r.value, 6)
+          .add_real(r.truth, 6)
+          .add(r.consensus ? "yes" : "no")
+          .add_uint(r.cost.sent)
+          .add_uint(r.rounds)
+          .add_real(static_cast<double>(r.cost.sent) / opt.n, 2);
     }
   }
-  if (!opt.csv) {
+  if (!opt.csv && !opt.json) {
     std::string rendered = table.to_string();
     std::fputs(rendered.c_str(), stdout);
   }
-  return 0;
+  return all_ok ? 0 : 1;
 }
