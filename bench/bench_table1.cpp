@@ -13,12 +13,24 @@
 //   rounds_per_loglog2  = rounds / (log2 n loglog2 n)
 //   msgs_per_nlog       = msgs / (n log2 n)       (flat => O(n log n))
 //   msgs_per_nloglog    = msgs / (n loglog2 n)    (flat => O(n log log n))
+//
+// Scenario knobs (stripped before google-benchmark sees the arg list):
+//   --table1_topology=NAME   complete | chord-ring | random-regular | grid
+//   --table1_churn=R:F[,..]  crash F of the then-alive nodes at round R
+//   --table1_threads=W       parallel trial executor width (bit-identical)
+//   --table1_json=PATH       machine-readable rows for perf tracking:
+//                            one JSON object per line, so future PRs can
+//                            diff rounds/msgs per (algorithm, n, scenario).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "api/registry.hpp"
+#include "api/scenario_text.hpp"
 #include "bench_common.hpp"
 #include "support/mathutil.hpp"
 
@@ -26,6 +38,57 @@ namespace drrg {
 namespace {
 
 constexpr int kTrials = 3;
+
+struct Table1Options {
+  sim::TopologySpec topology{};
+  std::vector<sim::CrashEvent> churn;
+  std::string churn_text;
+  unsigned threads = 1;
+  std::string json_path;
+};
+
+Table1Options& options() {
+  static Table1Options opt;
+  return opt;
+}
+
+struct JsonRow {
+  std::string algorithm;
+  std::uint32_t n = 0;
+  double rounds = 0.0;
+  double msgs = 0.0;
+  double rel_error = 0.0;
+};
+
+std::vector<JsonRow>& json_rows() {
+  static std::vector<JsonRow> rows;
+  return rows;
+}
+
+void write_json() {
+  if (options().json_path.empty()) return;
+  std::FILE* f = std::fopen(options().json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_table1: cannot write %s\n",
+                 options().json_path.c_str());
+    return;
+  }
+  for (const JsonRow& row : json_rows()) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"table1\",\"algo\":\"%s\",\"agg\":\"ave\",\"n\":%u,"
+        "\"topology\":\"%s\",\"churn\":\"%s\",\"trials\":%d,"
+        "\"rounds\":%.17g,\"msgs\":%.17g,\"rel_error\":%.17g,"
+        "\"rounds_per_log\":%.17g,\"msgs_per_nlog\":%.17g,"
+        "\"msgs_per_nloglog\":%.17g}\n",
+        row.algorithm.c_str(), row.n,
+        std::string{sim::to_string(options().topology.kind)}.c_str(),
+        options().churn_text.c_str(), kTrials, row.rounds, row.msgs, row.rel_error,
+        row.rounds / log2_clamped(row.n), row.msgs / (row.n * log2_clamped(row.n)),
+        row.msgs / (row.n * loglog2_clamped(row.n)));
+  }
+  std::fclose(f);
+}
 
 void set_columns(benchmark::State& state, std::uint32_t n, double rounds, double msgs) {
   state.counters["rounds"] = rounds;
@@ -37,22 +100,29 @@ void set_columns(benchmark::State& state, std::uint32_t n, double rounds, double
   state.counters["msgs_per_nloglog"] = msgs / (n * loglog2_clamped(n));
 }
 
-/// One Table 1 row: `trials` facade runs of (algorithm, Ave) at size n.
+/// One Table 1 row: `kTrials` facade runs of (algorithm, Ave) at size n on
+/// the selected scenario, executed on the deterministic thread pool.
 void run_ave_case(benchmark::State& state, const std::string& algorithm) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
-  double rounds = 0, msgs = 0;
+  double rounds = 0, msgs = 0, rel_error = 0;
   for (auto _ : state) {
-    for (std::uint64_t seed : bench::trial_seeds(kTrials)) {
-      api::RunSpec spec;
-      spec.n = n;
-      spec.aggregate = api::Aggregate::kAve;
-      spec.seed = seed;
-      const api::RunReport r = api::run(algorithm, spec);
+    api::RunSpec spec;
+    spec.n = n;
+    spec.aggregate = api::Aggregate::kAve;
+    spec.seed = 1000;
+    spec.topology = options().topology;
+    spec.faults.churn = options().churn;
+    for (const api::RunReport& r :
+         api::run_trials(algorithm, spec, kTrials, options().threads)) {
       rounds += r.rounds;
       msgs += static_cast<double>(r.cost.sent);
+      rel_error += r.rel_error();
     }
   }
   set_columns(state, n, rounds / kTrials, msgs / kTrials);
+  state.counters["rel_error"] = rel_error / kTrials;
+  json_rows().push_back(
+      {algorithm, n, rounds / kTrials, msgs / kTrials, rel_error / kTrials});
 }
 
 void BM_UniformGossipAve(benchmark::State& state) { run_ave_case(state, "uniform"); }
@@ -69,7 +139,52 @@ BENCHMARK(BM_PairwiseAve)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Iteration
 void BM_DrrGossipAve(benchmark::State& state) { run_ave_case(state, "drr"); }
 BENCHMARK(BM_DrrGossipAve)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Iterations(1);
 
+/// Strips --table1_* flags (ours) from argv before google-benchmark's own
+/// flag parsing rejects them.
+int parse_own_flags(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [arg](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value_of("--table1_topology=")) {
+      const auto spec = sim::topology_from_name(v);
+      if (!spec.has_value()) {
+        std::fprintf(stderr, "bench_table1: unknown topology '%s' (%s)\n", v,
+                     api::topology_names().c_str());
+        std::exit(2);
+      }
+      options().topology = *spec;
+    } else if (const char* v = value_of("--table1_churn=")) {
+      const auto churn = api::parse_churn(v);
+      if (!churn.has_value()) {
+        std::fprintf(stderr, "bench_table1: malformed churn '%s'\n", v);
+        std::exit(2);
+      }
+      options().churn = *churn;
+      options().churn_text = v;
+    } else if (const char* v = value_of("--table1_threads=")) {
+      options().threads = static_cast<unsigned>(std::atoi(v));
+    } else if (const char* v = value_of("--table1_json=")) {
+      options().json_path = v;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  return kept;
+}
+
 }  // namespace
 }  // namespace drrg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  argc = drrg::parse_own_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  drrg::write_json();
+  return 0;
+}

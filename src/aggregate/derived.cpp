@@ -18,40 +18,40 @@ std::vector<double> indicators(const std::vector<bool>& flags) {
 }  // namespace
 
 BoolOutcome drr_gossip_any(std::uint32_t n, const std::vector<bool>& flags,
-                           std::uint64_t seed, sim::FaultModel faults,
+                           std::uint64_t seed, const sim::Scenario& scenario,
                            const DrrGossipConfig& config) {
   if (flags.size() < n) throw std::invalid_argument("drr_gossip_any: flags too short");
   BoolOutcome out;
-  out.detail = drr_gossip_max(n, indicators(flags), seed, faults, config);
+  out.detail = drr_gossip_max(n, indicators(flags), seed, scenario, config);
   out.value = out.detail.value >= 0.5;
   return out;
 }
 
 BoolOutcome drr_gossip_all(std::uint32_t n, const std::vector<bool>& flags,
-                           std::uint64_t seed, sim::FaultModel faults,
+                           std::uint64_t seed, const sim::Scenario& scenario,
                            const DrrGossipConfig& config) {
   if (flags.size() < n) throw std::invalid_argument("drr_gossip_all: flags too short");
   BoolOutcome out;
-  out.detail = drr_gossip_min(n, indicators(flags), seed, faults, config);
+  out.detail = drr_gossip_min(n, indicators(flags), seed, scenario, config);
   out.value = out.detail.value >= 0.5;
   return out;
 }
 
 LeaderOutcome drr_gossip_elect_leader(std::uint32_t n, std::uint64_t seed,
-                                      sim::FaultModel faults,
+                                      const sim::Scenario& scenario,
                                       const DrrGossipConfig& config) {
   // Max over node ids: ids are exact in double up to 2^53.
   std::vector<double> ids(n);
   for (std::uint32_t v = 0; v < n; ++v) ids[v] = static_cast<double>(v);
   LeaderOutcome out;
-  out.detail = drr_gossip_max(n, ids, seed, faults, config);
+  out.detail = drr_gossip_max(n, ids, seed, scenario, config);
   out.leader = static_cast<NodeId>(out.detail.value);
   return out;
 }
 
 HistogramOutcome drr_gossip_histogram(std::uint32_t n, std::span<const double> values,
                                       std::span<const double> edges, std::uint64_t seed,
-                                      sim::FaultModel faults,
+                                      const sim::Scenario& scenario,
                                       const DrrGossipConfig& config) {
   if (edges.size() < 2) throw std::invalid_argument("histogram: need >= 2 edges");
   if (!std::is_sorted(edges.begin(), edges.end()) ||
@@ -59,11 +59,14 @@ HistogramOutcome drr_gossip_histogram(std::uint32_t n, std::span<const double> v
     throw std::invalid_argument("histogram: edges must be strictly increasing");
 
   HistogramOutcome out;
-  // rank(e) = #values < e; bucket i = rank(e_{i+1}) - rank(e_i).
+  // rank(e) = #values < e; bucket i = rank(e_{i+1}) - rank(e_i).  Every
+  // rank query shares the root seed (one crash set across the histogram);
+  // per-query randomness comes from salted stream tags.
   std::vector<double> ranks(edges.size(), 0.0);
   for (std::size_t i = 0; i < edges.size(); ++i) {
     const AggregateOutcome r = drr_gossip_rank(
-        n, values, edges[i], derive_seed(seed, 0x8157ULL, i), faults, config);
+        n, values, edges[i], seed, scenario,
+        with_stream_salt(config, 0x8157ULL + i));
     ranks[i] = r.value;
     out.total += r.metrics.total();
     ++out.pipeline_runs;

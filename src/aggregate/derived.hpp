@@ -25,12 +25,12 @@ struct BoolOutcome {
 
 /// True iff any participating node's flag is set.
 [[nodiscard]] BoolOutcome drr_gossip_any(std::uint32_t n, const std::vector<bool>& flags,
-                                         std::uint64_t seed, sim::FaultModel faults = {},
+                                         std::uint64_t seed, const sim::Scenario& scenario = {},
                                          const DrrGossipConfig& config = {});
 
 /// True iff every participating node's flag is set.
 [[nodiscard]] BoolOutcome drr_gossip_all(std::uint32_t n, const std::vector<bool>& flags,
-                                         std::uint64_t seed, sim::FaultModel faults = {},
+                                         std::uint64_t seed, const sim::Scenario& scenario = {},
                                          const DrrGossipConfig& config = {});
 
 struct LeaderOutcome {
@@ -41,7 +41,7 @@ struct LeaderOutcome {
 /// Elects the participating node with the largest id; all nodes agree on
 /// it whp (gossip-max consensus, Theorem 6).
 [[nodiscard]] LeaderOutcome drr_gossip_elect_leader(std::uint32_t n, std::uint64_t seed,
-                                                    sim::FaultModel faults = {},
+                                                    const sim::Scenario& scenario = {},
                                                     const DrrGossipConfig& config = {});
 
 struct HistogramOutcome {
@@ -57,7 +57,7 @@ struct HistogramOutcome {
                                                     std::span<const double> values,
                                                     std::span<const double> edges,
                                                     std::uint64_t seed,
-                                                    sim::FaultModel faults = {},
+                                                    const sim::Scenario& scenario = {},
                                                     const DrrGossipConfig& config = {});
 
 }  // namespace drrg

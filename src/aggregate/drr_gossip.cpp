@@ -18,15 +18,22 @@ struct Phase12 {
   DrrResult drr;
   ConvergecastResult cc;
   BroadcastResult addr;
+  std::uint32_t end_round = 0;  ///< global clock after Phase II
 };
 
-/// Phases I and II shared by all pipelines.
+/// Phases I and II shared by all pipelines.  Each phase's Network starts
+/// where the previous one stopped on the scenario's global clock, so one
+/// churn schedule spans the whole pipeline.
 Phase12 run_phase12(std::uint32_t n, std::span<const double> values,
                     ConvergecastOp op, const RngFactory& rngs,
-                    sim::FaultModel faults, const DrrGossipConfig& config) {
+                    const sim::Scenario& scenario, const DrrGossipConfig& config) {
   Phase12 p;
-  p.drr = run_drr(n, rngs, faults, config.drr);
-  p.cc = run_convergecast(p.drr.forest, values, op, rngs, faults, config.convergecast);
+  std::uint32_t clock = scenario.start_round;
+  p.drr = run_drr(n, rngs, scenario, config.drr);
+  clock += p.drr.rounds;
+  p.cc = run_convergecast(p.drr.forest, values, op, rngs, scenario.at_round(clock),
+                          config.convergecast);
+  clock += p.cc.rounds;
   // Root-address broadcast: after it, every tree member can forward Phase
   // III traffic to its root.  (Protocol-level forwarding reads the forest
   // structure, which this acknowledged broadcast provably distributed --
@@ -35,8 +42,23 @@ Phase12 run_phase12(std::uint32_t n, std::span<const double> values,
   for (NodeId r : p.drr.forest.roots()) addr_payload[r] = static_cast<double>(r);
   BroadcastConfig addr_cfg = config.broadcast;
   addr_cfg.stream_tag = derive_seed(addr_cfg.stream_tag, 1);
-  p.addr = run_broadcast(p.drr.forest, addr_payload, rngs, faults, addr_cfg);
+  p.addr = run_broadcast(p.drr.forest, addr_payload, rngs, scenario.at_round(clock),
+                         addr_cfg);
+  p.end_round = clock + p.addr.rounds;
   return p;
+}
+
+/// Restricts the participating mask to the schedule's final survivors:
+/// Phase I membership captures who was alive at the start, but under
+/// churn a member crashed at round r must not be reported as
+/// participating in the final result.
+void apply_final_survivors(std::uint32_t n, const RngFactory& rngs,
+                           const sim::Scenario& scenario, AggregateOutcome& out) {
+  if (!scenario.faults.has_churn()) return;
+  const auto survivors = sim::survivor_mask(n, rngs, scenario.faults,
+                                            scenario.start_round + out.rounds_total);
+  for (std::uint32_t v = 0; v < n; ++v)
+    out.participating[v] = out.participating[v] && survivors[v];
 }
 
 void fill_forest_summary(const Forest& f, AggregateOutcome& out) {
@@ -50,7 +72,7 @@ void fill_forest_summary(const Forest& f, AggregateOutcome& out) {
 
 /// Final value broadcast + consensus bookkeeping shared by all pipelines.
 void finish(const Forest& forest, std::span<const double> root_value,
-            const RngFactory& rngs, sim::FaultModel faults,
+            const RngFactory& rngs, const sim::Scenario& scenario,
             const DrrGossipConfig& config, AggregateOutcome& out) {
   // Roots agree iff all root values coincide (within rounding).
   out.consensus = true;
@@ -68,7 +90,9 @@ void finish(const Forest& forest, std::span<const double> root_value,
     BroadcastConfig value_cfg = config.broadcast;
     value_cfg.stream_tag = derive_seed(value_cfg.stream_tag, 2);
     std::vector<double> payload(root_value.begin(), root_value.end());
-    const BroadcastResult bc = run_broadcast(forest, payload, rngs, faults, value_cfg);
+    const BroadcastResult bc = run_broadcast(
+        forest, payload, rngs,
+        scenario.at_round(scenario.start_round + out.rounds_total), value_cfg);
     out.metrics.value_broadcast = bc.counters;
     out.rounds_total += bc.rounds;
     out.per_node = bc.received;
@@ -78,7 +102,7 @@ void finish(const Forest& forest, std::span<const double> root_value,
 
 /// Shared Max skeleton; `negate` turns it into Min.
 AggregateOutcome max_pipeline(std::uint32_t n, std::span<const double> values,
-                              std::uint64_t seed, sim::FaultModel faults,
+                              std::uint64_t seed, const sim::Scenario& scenario,
                               const DrrGossipConfig& config, bool negate) {
   if (values.size() < n) throw std::invalid_argument("drr_gossip: values too short");
   RngFactory rngs{seed};
@@ -86,7 +110,7 @@ AggregateOutcome max_pipeline(std::uint32_t n, std::span<const double> values,
   if (negate)
     for (double& v : work) v = -v;
 
-  Phase12 p = run_phase12(n, work, ConvergecastOp::kMax, rngs, faults, config);
+  Phase12 p = run_phase12(n, work, ConvergecastOp::kMax, rngs, scenario, config);
   const Forest& forest = p.drr.forest;
 
   AggregateOutcome out;
@@ -101,7 +125,8 @@ AggregateOutcome max_pipeline(std::uint32_t n, std::span<const double> values,
   for (NodeId r : forest.roots()) keys[r] = encode_ordered(p.cc.aggregate[r]);
   GossipMaxConfig gm_cfg = config.gossip_max;
   gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 3);
-  const GossipMaxResult gm = run_gossip_max(forest, keys, rngs, faults, gm_cfg);
+  const GossipMaxResult gm =
+      run_gossip_max(forest, keys, rngs, scenario.at_round(p.end_round), gm_cfg);
   out.metrics.gossip = gm.counters;
   out.rounds_total += gm.rounds;
 
@@ -110,7 +135,8 @@ AggregateOutcome max_pipeline(std::uint32_t n, std::span<const double> values,
     root_value[r] = decode_ordered(gm.key[r]);
     if (negate) root_value[r] = -root_value[r];
   }
-  finish(forest, root_value, rngs, faults, config, out);
+  finish(forest, root_value, rngs, scenario, config, out);
+  apply_final_survivors(n, rngs, scenario, out);
   return out;
 }
 
@@ -118,12 +144,12 @@ AggregateOutcome max_pipeline(std::uint32_t n, std::span<const double> values,
 /// denominator is the indicator of the elected root z, so the limit is the
 /// global sum of the numerators instead of the average of the values.
 AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
-                              std::uint64_t seed, sim::FaultModel faults,
+                              std::uint64_t seed, const sim::Scenario& scenario,
                               const DrrGossipConfig& config, bool sum_mode) {
   if (values.size() < n) throw std::invalid_argument("drr_gossip: values too short");
   RngFactory rngs{seed};
 
-  Phase12 p = run_phase12(n, values, ConvergecastOp::kSum, rngs, faults, config);
+  Phase12 p = run_phase12(n, values, ConvergecastOp::kSum, rngs, scenario, config);
   const Forest& forest = p.drr.forest;
 
   AggregateOutcome out;
@@ -143,7 +169,8 @@ AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
   }
   GossipMaxConfig gm_cfg = config.gossip_max;
   gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 4);
-  const GossipMaxResult election = run_gossip_max(forest, size_keys, rngs, faults, gm_cfg);
+  const GossipMaxResult election =
+      run_gossip_max(forest, size_keys, rngs, scenario.at_round(p.end_round), gm_cfg);
 
   sim::Counters gossip_counters = election.counters;
   std::uint32_t gossip_rounds = election.rounds;
@@ -161,7 +188,8 @@ AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
   }
   PushSumConfig ps_cfg = config.push_sum;
   ps_cfg.stream_tag = derive_seed(ps_cfg.stream_tag, 5);
-  const PushSumResult ps = run_root_push_sum(forest, num0, den0, rngs, faults, ps_cfg);
+  const PushSumResult ps = run_root_push_sum(
+      forest, num0, den0, rngs, scenario.at_round(p.end_round + election.rounds), ps_cfg);
   gossip_counters += ps.counters;
   gossip_rounds += ps.rounds;
   out.metrics.gossip = gossip_counters;
@@ -176,56 +204,59 @@ AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
   }
   GossipMaxConfig spread_cfg = config.gossip_max;
   spread_cfg.stream_tag = derive_seed(spread_cfg.stream_tag, 6);
-  const GossipMaxResult spread = run_gossip_max(forest, spread_init, rngs, faults, spread_cfg);
+  const GossipMaxResult spread = run_gossip_max(
+      forest, spread_init, rngs,
+      scenario.at_round(p.end_round + gossip_rounds), spread_cfg);
   out.metrics.spread = spread.counters;
   out.rounds_total += spread.rounds;
 
   std::vector<double> root_value(n, 0.0);
   for (NodeId r : forest.roots())
     root_value[r] = spread.key[r] == kKeyBottom ? 0.0 : decode_ordered(spread.key[r]);
-  finish(forest, root_value, rngs, faults, config, out);
+  finish(forest, root_value, rngs, scenario, config, out);
+  apply_final_survivors(n, rngs, scenario, out);
   return out;
 }
 
 }  // namespace
 
 AggregateOutcome drr_gossip_max(std::uint32_t n, std::span<const double> values,
-                                std::uint64_t seed, sim::FaultModel faults,
+                                std::uint64_t seed, const sim::Scenario& scenario,
                                 const DrrGossipConfig& config) {
-  return max_pipeline(n, values, seed, faults, config, /*negate=*/false);
+  return max_pipeline(n, values, seed, scenario, config, /*negate=*/false);
 }
 
 AggregateOutcome drr_gossip_min(std::uint32_t n, std::span<const double> values,
-                                std::uint64_t seed, sim::FaultModel faults,
+                                std::uint64_t seed, const sim::Scenario& scenario,
                                 const DrrGossipConfig& config) {
-  return max_pipeline(n, values, seed, faults, config, /*negate=*/true);
+  return max_pipeline(n, values, seed, scenario, config, /*negate=*/true);
 }
 
 AggregateOutcome drr_gossip_ave(std::uint32_t n, std::span<const double> values,
-                                std::uint64_t seed, sim::FaultModel faults,
+                                std::uint64_t seed, const sim::Scenario& scenario,
                                 const DrrGossipConfig& config) {
-  return ave_pipeline(n, values, seed, faults, config, /*sum_mode=*/false);
+  return ave_pipeline(n, values, seed, scenario, config, /*sum_mode=*/false);
 }
 
 AggregateOutcome drr_gossip_sum(std::uint32_t n, std::span<const double> values,
-                                std::uint64_t seed, sim::FaultModel faults,
+                                std::uint64_t seed, const sim::Scenario& scenario,
                                 const DrrGossipConfig& config) {
-  return ave_pipeline(n, values, seed, faults, config, /*sum_mode=*/true);
+  return ave_pipeline(n, values, seed, scenario, config, /*sum_mode=*/true);
 }
 
 AggregateOutcome drr_gossip_count(std::uint32_t n, std::uint64_t seed,
-                                  sim::FaultModel faults, const DrrGossipConfig& config) {
+                                  const sim::Scenario& scenario, const DrrGossipConfig& config) {
   std::vector<double> ones(n, 1.0);
-  return ave_pipeline(n, ones, seed, faults, config, /*sum_mode=*/true);
+  return ave_pipeline(n, ones, seed, scenario, config, /*sum_mode=*/true);
 }
 
 AggregateOutcome drr_gossip_rank(std::uint32_t n, std::span<const double> values,
-                                 double x, std::uint64_t seed, sim::FaultModel faults,
+                                 double x, std::uint64_t seed, const sim::Scenario& scenario,
                                  const DrrGossipConfig& config) {
   if (values.size() < n) throw std::invalid_argument("drr_gossip_rank: values too short");
   std::vector<double> indicator(n, 0.0);
   for (std::uint32_t v = 0; v < n; ++v) indicator[v] = values[v] < x ? 1.0 : 0.0;
-  return ave_pipeline(n, indicator, seed, faults, config, /*sum_mode=*/true);
+  return ave_pipeline(n, indicator, seed, scenario, config, /*sum_mode=*/true);
 }
 
 }  // namespace drrg

@@ -17,7 +17,7 @@
 // denominator concentrated on the elected root z, making the common
 // push-sum limit sum(num)/1.
 //
-// Every function is deterministic in (n, seed, faults, config) and returns
+// Every function is deterministic in (n, seed, scenario, config) and returns
 // full per-phase metrics for the complexity benches.
 
 #include <cstdint>
@@ -25,6 +25,7 @@
 
 #include "aggregate/types.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 
 namespace drrg {
 
@@ -32,40 +33,40 @@ namespace drrg {
 [[nodiscard]] AggregateOutcome drr_gossip_max(std::uint32_t n,
                                               std::span<const double> values,
                                               std::uint64_t seed,
-                                              sim::FaultModel faults = {},
+                                              const sim::Scenario& scenario = {},
                                               const DrrGossipConfig& config = {});
 
 /// Minimum (Algorithm 7 on negated values).
 [[nodiscard]] AggregateOutcome drr_gossip_min(std::uint32_t n,
                                               std::span<const double> values,
                                               std::uint64_t seed,
-                                              sim::FaultModel faults = {},
+                                              const sim::Scenario& scenario = {},
                                               const DrrGossipConfig& config = {});
 
 /// Average (Algorithm 8).
 [[nodiscard]] AggregateOutcome drr_gossip_ave(std::uint32_t n,
                                               std::span<const double> values,
                                               std::uint64_t seed,
-                                              sim::FaultModel faults = {},
+                                              const sim::Scenario& scenario = {},
                                               const DrrGossipConfig& config = {});
 
 /// Sum over alive nodes (push-sum with the denominator at z).
 [[nodiscard]] AggregateOutcome drr_gossip_sum(std::uint32_t n,
                                               std::span<const double> values,
                                               std::uint64_t seed,
-                                              sim::FaultModel faults = {},
+                                              const sim::Scenario& scenario = {},
                                               const DrrGossipConfig& config = {});
 
 /// Number of alive nodes (Sum of all-ones).
 [[nodiscard]] AggregateOutcome drr_gossip_count(std::uint32_t n, std::uint64_t seed,
-                                                sim::FaultModel faults = {},
+                                                const sim::Scenario& scenario = {},
                                                 const DrrGossipConfig& config = {});
 
 /// Rank of `x`: |{ alive v : values[v] < x }| (Sum of indicators).
 [[nodiscard]] AggregateOutcome drr_gossip_rank(std::uint32_t n,
                                                std::span<const double> values, double x,
                                                std::uint64_t seed,
-                                               sim::FaultModel faults = {},
+                                               const sim::Scenario& scenario = {},
                                                const DrrGossipConfig& config = {});
 
 }  // namespace drrg

@@ -96,11 +96,11 @@ struct VecGossip {
     if (!forest.is_root(v)) return;
     const std::uint32_t r = net.round();
     if (r < gossip_rounds) {
-      net.send(v, net.sample_uniform(v), VecMsg{VecMsg::Kind::kGossip, state[v], sim::kNoNode},
+      net.send(v, net.sample_peer(v), VecMsg{VecMsg::Kind::kGossip, state[v], sim::kNoNode},
                vec_bits);
     } else if (r >= gossip_rounds + drain &&
                r < gossip_rounds + drain + sampling_rounds) {
-      net.send(v, net.sample_uniform(v), VecMsg{VecMsg::Kind::kInquiry, {}, v}, vec_bits);
+      net.send(v, net.sample_peer(v), VecMsg{VecMsg::Kind::kInquiry, {}, v}, vec_bits);
     }
   }
 
@@ -128,10 +128,10 @@ struct VecGossip {
 // Shared driver: draw exponentials, run the three phases, estimate.
 
 ExtremaOutcome run_extrema(std::uint32_t n, std::span<const double> rates,
-                           std::uint64_t seed, sim::FaultModel faults,
+                           std::uint64_t seed, const sim::Scenario& scenario,
                            ExtremaConfig config) {
   RngFactory rngs{seed};
-  const DrrResult drr = run_drr(n, rngs, faults, {});
+  const DrrResult drr = run_drr(n, rngs, scenario, {});
   const Forest& forest = drr.forest;
 
   const std::uint32_t k =
@@ -158,9 +158,13 @@ ExtremaOutcome run_extrema(std::uint32_t n, std::span<const double> rates,
   out.counters = drr.counters;
   out.rounds_total = drr.rounds;
 
-  // Phase II: componentwise-min convergecast.
+  // Phase II: componentwise-min convergecast.  Each phase's Network
+  // resumes the scenario's global clock where the previous one stopped,
+  // so one churn schedule spans all three phases.
   {
-    sim::Network<VecMsg> net{n, rngs, faults, 0xecc};
+    sim::Network<VecMsg> net{n, rngs,
+                             scenario.at_round(scenario.start_round + out.rounds_total),
+                             0xecc};
     VecConvergecast cc{forest, state, vec_bits};
     const std::uint32_t rounds = net.run(cc, 8 * (forest.max_tree_height() + 2) + 64);
     out.counters += net.counters();
@@ -169,7 +173,9 @@ ExtremaOutcome run_extrema(std::uint32_t n, std::span<const double> rates,
 
   // Phase III: vector gossip among the roots.
   {
-    sim::Network<VecMsg> net{n, rngs, faults, 0xe90};
+    sim::Network<VecMsg> net{n, rngs,
+                             scenario.at_round(scenario.start_round + out.rounds_total),
+                             0xe90};
     const auto G = static_cast<std::uint32_t>(config.gossip.gossip_multiplier *
                                               static_cast<double>(ceil_log2(n)));
     const auto S = static_cast<std::uint32_t>(config.gossip.sampling_multiplier *
@@ -194,16 +200,16 @@ ExtremaOutcome run_extrema(std::uint32_t n, std::span<const double> rates,
 }  // namespace
 
 ExtremaOutcome drr_gossip_count_extrema(std::uint32_t n, std::uint64_t seed,
-                                        sim::FaultModel faults, ExtremaConfig config) {
+                                        const sim::Scenario& scenario, ExtremaConfig config) {
   std::vector<double> ones(n, 1.0);
-  return run_extrema(n, ones, seed, faults, config);
+  return run_extrema(n, ones, seed, scenario, config);
 }
 
 ExtremaOutcome drr_gossip_sum_extrema(std::uint32_t n, std::span<const double> values,
-                                      std::uint64_t seed, sim::FaultModel faults,
+                                      std::uint64_t seed, const sim::Scenario& scenario,
                                       ExtremaConfig config) {
   if (values.size() < n) throw std::invalid_argument("extrema sum: values too short");
-  return run_extrema(n, values, seed, faults, config);
+  return run_extrema(n, values, seed, scenario, config);
 }
 
 }  // namespace drrg

@@ -30,6 +30,7 @@
 
 #include "rootgossip/gossip_max.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 
 namespace drrg {
 
@@ -51,7 +52,7 @@ struct ExtremaOutcome {
 
 /// Number of alive nodes, robust to message loss.
 [[nodiscard]] ExtremaOutcome drr_gossip_count_extrema(std::uint32_t n, std::uint64_t seed,
-                                                      sim::FaultModel faults = {},
+                                                      const sim::Scenario& scenario = {},
                                                       ExtremaConfig config = {});
 
 /// Sum of strictly positive values, robust to message loss.  Throws
@@ -59,7 +60,7 @@ struct ExtremaOutcome {
 [[nodiscard]] ExtremaOutcome drr_gossip_sum_extrema(std::uint32_t n,
                                                     std::span<const double> values,
                                                     std::uint64_t seed,
-                                                    sim::FaultModel faults = {},
+                                                    const sim::Scenario& scenario = {},
                                                     ExtremaConfig config = {});
 
 }  // namespace drrg

@@ -9,7 +9,8 @@ namespace drrg {
 
 QuantileOutcome drr_gossip_quantile(std::uint32_t n, std::span<const double> values,
                                     double q, std::uint64_t seed,
-                                    sim::FaultModel faults, const QuantileConfig& config) {
+                                    const sim::Scenario& scenario,
+                                    const QuantileConfig& config) {
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q in [0,1]");
 
   QuantileOutcome out;
@@ -18,16 +19,23 @@ QuantileOutcome drr_gossip_quantile(std::uint32_t n, std::span<const double> val
     ++out.pipeline_runs;
   };
 
+  // Every sub-run shares the *same* root seed, so all of them draw the
+  // same crash set / fault timeline (a purpose-independent function of the
+  // root seed): the model crashes each node at most once, for the whole
+  // logical query.  Per-sub-run randomness is decorrelated through the
+  // config stream tags instead of fresh root seeds.
+  auto sub_config = [&config](std::uint64_t k) {
+    return with_stream_salt(config.pipeline, k + 1);
+  };
+
   // Bracket the domain with Min/Max runs, then count participants.
-  const AggregateOutcome lo_run =
-      drr_gossip_min(n, values, derive_seed(seed, 0x91ULL, 0), faults, config.pipeline);
-  const AggregateOutcome hi_run =
-      drr_gossip_max(n, values, derive_seed(seed, 0x91ULL, 1), faults, config.pipeline);
-  const AggregateOutcome count_run =
-      drr_gossip_count(n, derive_seed(seed, 0x91ULL, 2), faults, config.pipeline);
+  const AggregateOutcome lo_run = drr_gossip_min(n, values, seed, scenario, sub_config(0));
+  const AggregateOutcome hi_run = drr_gossip_max(n, values, seed, scenario, sub_config(1));
+  const AggregateOutcome count_run = drr_gossip_count(n, seed, scenario, sub_config(2));
   absorb(lo_run);
   absorb(hi_run);
   absorb(count_run);
+  out.participating = count_run.participating;
 
   double lo = lo_run.value;
   double hi = hi_run.value;
@@ -38,8 +46,8 @@ QuantileOutcome drr_gossip_quantile(std::uint32_t n, std::span<const double> val
   for (std::uint32_t it = 0; it < config.iterations && lo < hi; ++it) {
     const double mid = lo + (hi - lo) / 2.0;
     if (mid <= lo || mid >= hi) break;  // domain exhausted (denormal gap)
-    const AggregateOutcome rank_run = drr_gossip_rank(
-        n, values, mid, derive_seed(seed, 0x92ULL, it), faults, config.pipeline);
+    const AggregateOutcome rank_run =
+        drr_gossip_rank(n, values, mid, seed, scenario, sub_config(3 + it));
     absorb(rank_run);
     out.value = mid;
     out.achieved_rank = rank_run.value;
@@ -53,9 +61,9 @@ QuantileOutcome drr_gossip_quantile(std::uint32_t n, std::span<const double> val
 }
 
 QuantileOutcome drr_gossip_median(std::uint32_t n, std::span<const double> values,
-                                  std::uint64_t seed, sim::FaultModel faults,
+                                  std::uint64_t seed, const sim::Scenario& scenario,
                                   const QuantileConfig& config) {
-  return drr_gossip_quantile(n, values, 0.5, seed, faults, config);
+  return drr_gossip_quantile(n, values, 0.5, seed, scenario, config);
 }
 
 }  // namespace drrg

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "aggregate/drr_gossip.hpp"
 
@@ -24,22 +25,26 @@ struct QuantileOutcome {
   double achieved_rank = 0.0;  ///< rank of `value` per the final query
   sim::Counters total;         ///< cost across all pipeline runs
   std::uint32_t pipeline_runs = 0;
+  /// Alive mask shared by every sub-run (all sub-runs draw the same crash
+  /// set because they share one root seed; see quantile.cpp).
+  std::vector<bool> participating;
 };
 
 /// Estimates the q-quantile (q in [0,1]) of values over alive nodes.
-/// Deterministic in (n, seed, q, faults, config); every internal pipeline
-/// run derives a distinct sub-seed.
+/// Deterministic in (n, seed, q, scenario, config).  All sub-runs share
+/// the root seed (hence one crash set); each derives distinct protocol
+/// randomness via config stream tags.
 [[nodiscard]] QuantileOutcome drr_gossip_quantile(std::uint32_t n,
                                                   std::span<const double> values,
                                                   double q, std::uint64_t seed,
-                                                  sim::FaultModel faults = {},
+                                                  const sim::Scenario& scenario = {},
                                                   const QuantileConfig& config = {});
 
 /// Median: quantile(0.5).
 [[nodiscard]] QuantileOutcome drr_gossip_median(std::uint32_t n,
                                                 std::span<const double> values,
                                                 std::uint64_t seed,
-                                                sim::FaultModel faults = {},
+                                                const sim::Scenario& scenario = {},
                                                 const QuantileConfig& config = {});
 
 }  // namespace drrg

@@ -18,6 +18,7 @@
 #include "chord/chord.hpp"
 #include "forest/forest.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "support/rng.hpp"
 
 namespace drrg {

@@ -8,6 +8,7 @@
 #include "rootgossip/gossip_ave.hpp"
 #include "rootgossip/gossip_max.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "trees/broadcast.hpp"
 #include "trees/convergecast.hpp"
 
@@ -25,6 +26,23 @@ struct DrrGossipConfig {
   /// every root) ends with the aggregate.
   bool broadcast_result = true;
 };
+
+/// Copy of `config` with every phase's RNG stream tag salted by `salt`.
+/// Lets several full pipeline runs share one *root seed* -- and therefore
+/// one crash set / fault timeline, which is a pure function of the root
+/// seed -- while still drawing independent protocol randomness (the
+/// quantile bisection and the histogram run their sub-queries this way).
+[[nodiscard]] inline DrrGossipConfig with_stream_salt(DrrGossipConfig config,
+                                                      std::uint64_t salt) {
+  config.drr.stream_tag = derive_seed(config.drr.stream_tag, 0xd1ULL, salt);
+  config.convergecast.stream_tag =
+      derive_seed(config.convergecast.stream_tag, 0xd2ULL, salt);
+  config.broadcast.stream_tag = derive_seed(config.broadcast.stream_tag, 0xd3ULL, salt);
+  config.gossip_max.stream_tag =
+      derive_seed(config.gossip_max.stream_tag, 0xd4ULL, salt);
+  config.push_sum.stream_tag = derive_seed(config.push_sum.stream_tag, 0xd5ULL, salt);
+  return config;
+}
 
 /// Per-phase message/round accounting of one pipeline run.
 struct PhaseMetrics {

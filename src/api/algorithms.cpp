@@ -5,8 +5,12 @@
 // Conventions shared by every adapter:
 //   * inputs: spec.values when provided, else a synthetic workload
 //     derived from the seed (positive-only where the algorithm needs it);
-//   * truth: workload::compute_truth over the participating nodes when
-//     the algorithm tracks crashes, over all nodes otherwise;
+//   * scenario: the spec's topology is materialised from the spec's seed
+//     and bundled with the fault schedule into a sim::Scenario; adapters
+//     whose algorithm fixes its own substrate (the Chord overlays) reject
+//     a non-complete topology spec instead of silently ignoring it;
+//   * truth: workload::compute_truth over the schedule's final survivors
+//     when the run has crashes, over all nodes otherwise;
 //   * consensus for the epsilon-convergent averagers (push-sum, pairwise)
 //     keeps the historical CLI meaning: max relative error below the
 //     family's epsilon threshold.
@@ -53,16 +57,29 @@ template <class T>
   return workload::make_values(spec.n, spec.seed, range);
 }
 
-/// Alive mask for algorithms whose result struct carries none: every
-/// top-level entry point builds RngFactory{seed}, so the crash set their
-/// engines will draw is reproducible here (empty mask when nobody crashes).
-[[nodiscard]] std::vector<bool> participating_mask(const RunSpec& spec) {
-  if (spec.faults.crash_fraction <= 0.0) return {};
-  const auto crashed =
-      sim::crash_mask(spec.n, RngFactory{spec.seed}, spec.faults.crash_fraction);
-  std::vector<bool> participating(crashed.size());
-  for (std::size_t v = 0; v < crashed.size(); ++v) participating[v] = !crashed[v];
-  return participating;
+/// The run's environment: topology materialised from the spec's seed
+/// (randomized builders resample per trial) plus the fault schedule.
+[[nodiscard]] sim::Scenario make_scenario(const RunSpec& spec) {
+  return sim::Scenario{
+      sim::make_topology(spec.topology, spec.n, derive_seed(spec.seed, 0x7090ULL)),
+      spec.faults};
+}
+
+[[nodiscard]] bool has_crashes(const RunSpec& spec) {
+  return spec.faults.crash_fraction > 0.0 || spec.faults.has_churn();
+}
+
+/// Final-survivor mask for algorithms whose result struct carries none:
+/// every top-level entry point builds RngFactory{seed}, so the fault
+/// timeline their engines will draw is reproducible here (empty mask when
+/// nobody ever crashes).  `executed_rounds` bounds the schedule at the
+/// run's actual horizon -- churn events the run never reached did not
+/// fire, so their would-be victims count as participants.
+[[nodiscard]] std::vector<bool> participating_mask(const RunSpec& spec,
+                                                   std::uint32_t executed_rounds) {
+  if (!has_crashes(spec)) return {};
+  return sim::survivor_mask(spec.n, RngFactory{spec.seed}, spec.faults,
+                            executed_rounds);
 }
 
 /// Copies an AggregateOutcome (the DRR-family result) into a report.
@@ -90,12 +107,22 @@ void fill_from_outcome(RunReport& report, const AggregateOutcome& o) {
   return 0.0;
 }
 
+/// Rejection helper for the Chord families, whose substrate is the
+/// overlay itself: a non-complete topology spec would be ignored.
+[[nodiscard]] bool reject_topology_spec(const RunSpec& spec, RunReport& report) {
+  if (spec.topology.is_complete()) return false;
+  report.error = std::string{"'"} + report.algorithm +
+                 "' runs on its own Chord overlay; --topology does not apply";
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // drr: the full DRR-gossip pipelines (Algorithms 7-8 + derived aggregates).
 
 RunReport run_drr(const RunSpec& spec) {
   RunReport report = make_report(spec, "drr");
   const auto values = materialize_values(spec, /*positive_only=*/false);
+  const sim::Scenario scenario = make_scenario(spec);
 
   if (spec.aggregate == Aggregate::kMedian) {
     // Accepts either a QuantileConfig or a plain DrrGossipConfig (used as
@@ -107,17 +134,16 @@ RunReport run_drr(const RunSpec& spec) {
       cfg.pipeline = config_as<DrrGossipConfig>(spec, report);
       if (!report.error.empty()) return report;
     }
-    const QuantileOutcome q =
-        drr_gossip_median(spec.n, values, spec.seed, spec.faults, cfg);
+    const QuantileOutcome q = drr_gossip_median(spec.n, values, spec.seed, scenario, cfg);
     report.value = q.value;
     report.consensus = true;  // every query run reached consensus internally
     report.cost = q.total;
     report.rounds = q.total.rounds;
-    // No participating mask: the bisection's sub-runs are seeded with
-    // derive_seed(seed, ...), so each draws its own crash set and no
-    // single survivor population exists (see ROADMAP).  Truth is the
-    // all-nodes median; under crashes the estimate is approximate anyway.
-    report.truth = compute_truth(values).median;
+    // All bisection sub-runs share one root seed and therefore one crash
+    // set, so a single survivor population exists again: report it and
+    // measure the error against the survivor median.
+    report.participating = q.participating;
+    report.truth = compute_truth(values, report.participating).median;
     return report;
   }
 
@@ -125,7 +151,7 @@ RunReport run_drr(const RunSpec& spec) {
   if (!report.error.empty()) return report;
 
   if (spec.aggregate == Aggregate::kLeader) {
-    const LeaderOutcome l = drr_gossip_elect_leader(spec.n, spec.seed, spec.faults, cfg);
+    const LeaderOutcome l = drr_gossip_elect_leader(spec.n, spec.seed, scenario, cfg);
     fill_from_outcome(report, l.detail);
     report.value = static_cast<double>(l.leader);
     // The elected leader must be the largest participating id.
@@ -140,23 +166,22 @@ RunReport run_drr(const RunSpec& spec) {
   AggregateOutcome o;
   switch (spec.aggregate) {
     case Aggregate::kMax:
-      o = drr_gossip_max(spec.n, values, spec.seed, spec.faults, cfg);
+      o = drr_gossip_max(spec.n, values, spec.seed, scenario, cfg);
       break;
     case Aggregate::kMin:
-      o = drr_gossip_min(spec.n, values, spec.seed, spec.faults, cfg);
+      o = drr_gossip_min(spec.n, values, spec.seed, scenario, cfg);
       break;
     case Aggregate::kAve:
-      o = drr_gossip_ave(spec.n, values, spec.seed, spec.faults, cfg);
+      o = drr_gossip_ave(spec.n, values, spec.seed, scenario, cfg);
       break;
     case Aggregate::kSum:
-      o = drr_gossip_sum(spec.n, values, spec.seed, spec.faults, cfg);
+      o = drr_gossip_sum(spec.n, values, spec.seed, scenario, cfg);
       break;
     case Aggregate::kCount:
-      o = drr_gossip_count(spec.n, spec.seed, spec.faults, cfg);
+      o = drr_gossip_count(spec.n, spec.seed, scenario, cfg);
       break;
     case Aggregate::kRank:
-      o = drr_gossip_rank(spec.n, values, spec.rank_threshold, spec.seed, spec.faults,
-                          cfg);
+      o = drr_gossip_rank(spec.n, values, spec.rank_threshold, spec.seed, scenario, cfg);
       break;
     default: break;  // unreachable: handled above / filtered by the registry
   }
@@ -172,14 +197,14 @@ RunReport run_drr(const RunSpec& spec) {
 RunReport run_uniform(const RunSpec& spec) {
   RunReport report = make_report(spec, "uniform");
   const auto values = materialize_values(spec, /*positive_only=*/false);
-  report.participating = participating_mask(spec);
-  const Truth t = compute_truth(values, report.participating, spec.rank_threshold);
+  const sim::Scenario scenario = make_scenario(spec);
 
   if (spec.aggregate == Aggregate::kMax) {
     const auto cfg = config_as<UniformPushMaxConfig>(spec, report);
     if (!report.error.empty()) return report;
     const UniformPushMaxResult r =
-        uniform_push_max(spec.n, values, spec.seed, spec.faults, cfg);
+        uniform_push_max(spec.n, values, spec.seed, scenario, cfg);
+    report.participating = participating_mask(spec, r.counters.rounds);
     // Max over survivors only: a crashed node keeps its stale initial
     // value, which may exceed the survivor maximum.
     double held = -std::numeric_limits<double>::infinity();
@@ -190,14 +215,16 @@ RunReport run_uniform(const RunSpec& spec) {
     report.consensus = r.consensus;
     report.rounds = r.rounds_to_consensus;
     report.cost = r.counters;
-    report.truth = t.max;
+    report.truth =
+        compute_truth(values, report.participating, spec.rank_threshold).max;
     return report;
   }
 
   const auto cfg = config_as<UniformPushSumConfig>(spec, report);
   if (!report.error.empty()) return report;
   const UniformPushSumResult r =
-      uniform_push_sum(spec.n, values, spec.seed, spec.faults, cfg);
+      uniform_push_sum(spec.n, values, spec.seed, scenario, cfg);
+  report.participating = participating_mask(spec, r.counters.rounds);
   double first = 0.0;
   for (double e : r.estimate)
     if (e != 0.0) {
@@ -208,7 +235,7 @@ RunReport run_uniform(const RunSpec& spec) {
   report.consensus = r.max_relative_error < 1e-3;
   report.rounds = r.counters.rounds;
   report.cost = r.counters;
-  report.truth = t.ave;
+  report.truth = compute_truth(values, report.participating, spec.rank_threshold).ave;
   return report;
 }
 
@@ -220,12 +247,13 @@ RunReport run_efficient(const RunSpec& spec) {
   const auto cfg = config_as<EfficientGossipConfig>(spec, report);
   if (!report.error.empty()) return report;
   const auto values = materialize_values(spec, /*positive_only=*/false);
-  report.participating = participating_mask(spec);
-  const Truth t = compute_truth(values, report.participating, spec.rank_threshold);
+  const sim::Scenario scenario = make_scenario(spec);
   const EfficientGossipResult r =
       spec.aggregate == Aggregate::kMax
-          ? efficient_gossip_max(spec.n, values, spec.seed, spec.faults, cfg)
-          : efficient_gossip_ave(spec.n, values, spec.seed, spec.faults, cfg);
+          ? efficient_gossip_max(spec.n, values, spec.seed, scenario, cfg)
+          : efficient_gossip_ave(spec.n, values, spec.seed, scenario, cfg);
+  report.participating = participating_mask(spec, r.counters.rounds);
+  const Truth t = compute_truth(values, report.participating, spec.rank_threshold);
   report.value = r.value;
   report.consensus = r.consensus;
   report.rounds = r.rounds_total;
@@ -242,8 +270,9 @@ RunReport run_pairwise(const RunSpec& spec) {
   const auto cfg = config_as<PairwiseConfig>(spec, report);
   if (!report.error.empty()) return report;
   const auto values = materialize_values(spec, /*positive_only=*/false);
-  report.participating = participating_mask(spec);
-  const PairwiseResult r = pairwise_average(spec.n, values, spec.seed, spec.faults, cfg);
+  const sim::Scenario scenario = make_scenario(spec);
+  const PairwiseResult r = pairwise_average(spec.n, values, spec.seed, scenario, cfg);
+  report.participating = participating_mask(spec, r.counters.rounds);
   // First surviving node's value (node 0 may have crashed with its input).
   report.value = r.value.front();
   for (std::size_t v = 0; v < r.value.size(); ++v)
@@ -266,12 +295,13 @@ RunReport run_extrema(const RunSpec& spec) {
   const auto cfg = config_as<ExtremaConfig>(spec, report);
   if (!report.error.empty()) return report;
   const auto values = materialize_values(spec, /*positive_only=*/true);
-  const auto participating = participating_mask(spec);
-  const Truth t = compute_truth(values, participating);
+  const sim::Scenario scenario = make_scenario(spec);
   const ExtremaOutcome r =
       spec.aggregate == Aggregate::kCount
-          ? drr_gossip_count_extrema(spec.n, spec.seed, spec.faults, cfg)
-          : drr_gossip_sum_extrema(spec.n, values, spec.seed, spec.faults, cfg);
+          ? drr_gossip_count_extrema(spec.n, spec.seed, scenario, cfg)
+          : drr_gossip_sum_extrema(spec.n, values, spec.seed, scenario, cfg);
+  const auto participating = participating_mask(spec, r.counters.rounds);
+  const Truth t = compute_truth(values, participating);
   report.value = r.estimate;
   report.consensus = r.consensus;
   report.rounds = r.rounds_total;
@@ -286,6 +316,11 @@ RunReport run_extrema(const RunSpec& spec) {
 
 RunReport run_chord_drr(const RunSpec& spec) {
   RunReport report = make_report(spec, "chord-drr");
+  if (reject_topology_spec(spec, report)) return report;
+  if (spec.faults.has_churn()) {
+    report.error = "chord-drr models start-time crashes only (no churn yet)";
+    return report;
+  }
   const auto cfg = config_as<SparseGossipConfig>(spec, report);
   if (!report.error.empty()) return report;
   const auto values = materialize_values(spec, /*positive_only=*/false);
@@ -303,23 +338,33 @@ RunReport run_chord_drr(const RunSpec& spec) {
 
 RunReport run_chord_uniform(const RunSpec& spec) {
   RunReport report = make_report(spec, "chord-uniform");
-  if (spec.faults.crash_fraction > 0.0) {
-    // The chord-uniform baseline models message loss only; silently
-    // dropping the crash fraction would make fault sweeps against
-    // chord-drr like-for-unlike.
-    report.error = "chord-uniform does not simulate node crashes (loss only)";
-    return report;
-  }
+  if (reject_topology_spec(spec, report)) return report;
   const auto cfg = config_as<ChordUniformConfig>(spec, report);
   if (!report.error.empty()) return report;
   const auto values = materialize_values(spec, /*positive_only=*/false);
   const ChordOverlay chord{spec.n, spec.seed};
-  const Truth t = compute_truth(values);
+  // The engine port gave this baseline the full fault schedule: crashes
+  // and churn hit intermediate routing hops like every other protocol.
+  const sim::Scenario scenario{sim::Topology::complete(), spec.faults};
   const ChordUniformResult r =
       spec.aggregate == Aggregate::kMax
-          ? chord_uniform_push_max(chord, values, spec.seed, spec.faults.loss_prob, cfg)
-          : chord_uniform_push_sum(chord, values, spec.seed, spec.faults.loss_prob, cfg);
-  report.value = r.value.front();
+          ? chord_uniform_push_max(chord, values, spec.seed, scenario, cfg)
+          : chord_uniform_push_sum(chord, values, spec.seed, scenario, cfg);
+  report.participating = participating_mask(spec, r.counters.rounds);
+  const Truth t = compute_truth(values, report.participating);
+  double held = 0.0;
+  for (std::size_t v = 0; v < r.value.size(); ++v)
+    if (report.participating.empty() || report.participating[v]) {
+      held = r.value[v];
+      break;
+    }
+  if (spec.aggregate == Aggregate::kMax) {
+    held = -std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < r.value.size(); ++v)
+      if (report.participating.empty() || report.participating[v])
+        held = std::max(held, r.value[v]);
+  }
+  report.value = held;
   report.consensus =
       spec.aggregate == Aggregate::kMax ? r.consensus : r.max_relative_error < 1e-2;
   report.rounds = r.rounds;
@@ -358,7 +403,7 @@ void register_builtin_algorithms(Registry& registry) {
                 .aggregates = {A::kMax, A::kAve},
                 .invoke = run_chord_drr});
   registry.add({.name = "chord-uniform",
-                .description = "routed uniform gossip on Chord (loss only; §4 baseline)",
+                .description = "routed uniform gossip on Chord (engine port; §4 baseline)",
                 .aggregates = {A::kMax, A::kAve},
                 .invoke = run_chord_uniform});
 }

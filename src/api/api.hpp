@@ -40,6 +40,8 @@
 #include "baselines/pairwise_averaging.hpp"
 #include "baselines/uniform_gossip.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
+#include "sim/topology.hpp"
 #include "support/workload.hpp"
 
 namespace drrg::api {
@@ -80,7 +82,11 @@ struct RunSpec {
   std::uint32_t n = 4096;
   Aggregate aggregate = Aggregate::kAve;
   std::uint64_t seed = 42;
-  sim::FaultModel faults{};
+  /// Fault schedule: loss + start-time crashes + scheduled mid-run churn.
+  sim::FaultSchedule faults{};
+  /// Communication substrate (complete graph = the paper's model).
+  /// Randomized topologies are materialised per run from the spec's seed.
+  sim::TopologySpec topology{};
   /// Per-node inputs.  Empty = synthesize workload::make_values(n, seed,
   /// workload_range) (algorithms requiring positive inputs substitute
   /// workload::positive_range() when the range admits values <= 0).
@@ -112,7 +118,8 @@ struct RunReport {
   PhaseMetrics phases;   ///< per-phase breakdown (zeroed where the
                          ///< algorithm has no DRR-gossip phase structure)
   ForestSummary forest;  ///< Phase I forest shape (DRR family only)
-  /// Alive mask (empty when the algorithm does not track crashes).
+  /// Final-survivor mask: nodes alive after the whole fault schedule
+  /// (empty when the run has no crashes to track).
   std::vector<bool> participating;
 
   [[nodiscard]] bool ok() const noexcept { return supported && error.empty(); }

@@ -6,6 +6,9 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "api/parallel.hpp"
+#include "support/rng.hpp"
+
 namespace drrg::api {
 
 namespace {
@@ -109,28 +112,30 @@ RunReport run(std::string_view algorithm, const RunSpec& spec) {
   return report;
 }
 
-std::vector<RunReport> run_trials(std::string_view algorithm, const RunSpec& spec,
-                                  int trials) {
-  std::vector<RunReport> reports;
-  reports.reserve(static_cast<std::size_t>(trials > 0 ? trials : 0));
-  for (int t = 0; t < trials; ++t) {
-    RunSpec trial = spec;
-    trial.seed = spec.seed + static_cast<std::uint64_t>(t);
-    reports.push_back(run(algorithm, trial));
-  }
-  return reports;
+std::uint64_t trial_seed(std::uint64_t base_seed, int t) noexcept {
+  if (t == 0) return base_seed;  // trial 0 is the spec's own seed
+  return derive_seed(base_seed, 0x7261ULL, static_cast<std::uint64_t>(t));
 }
 
-std::vector<RunReport> run_matrix(const RunSpec& base) {
-  std::vector<RunReport> reports;
-  for (const AlgorithmInfo* algo : Registry::instance().algorithms()) {
-    for (Aggregate agg : kAllAggregates) {
-      RunSpec spec = base;
-      spec.aggregate = agg;
-      reports.push_back(run(algo->name, spec));
-    }
-  }
-  return reports;
+std::vector<RunReport> run_trials(std::string_view algorithm, const RunSpec& spec,
+                                  int trials, unsigned threads) {
+  if (trials < 0) trials = 0;
+  (void)Registry::instance();  // build the registry before workers race to it
+  return parallel_map(static_cast<std::size_t>(trials), threads, [&](std::size_t t) {
+    RunSpec trial = spec;
+    trial.seed = trial_seed(spec.seed, static_cast<int>(t));
+    return run(algorithm, trial);
+  });
+}
+
+std::vector<RunReport> run_matrix(const RunSpec& base, unsigned threads) {
+  const auto algos = Registry::instance().algorithms();
+  constexpr std::size_t kAggs = std::size(kAllAggregates);
+  return parallel_map(algos.size() * kAggs, threads, [&](std::size_t i) {
+    RunSpec spec = base;
+    spec.aggregate = kAllAggregates[i % kAggs];
+    return run(algos[i / kAggs]->name, spec);
+  });
 }
 
 }  // namespace drrg::api

@@ -65,15 +65,26 @@ struct Registration {
 /// ok() == false and a populated error.
 [[nodiscard]] RunReport run(std::string_view algorithm, const RunSpec& spec);
 
-/// Monte-Carlo helper: `trials` runs with seeds spec.seed, spec.seed+1, ...
-/// (a fresh synthetic workload per trial when spec.values is empty).
+/// The root seed trial `t` of a sweep starting from `base_seed` runs
+/// with: derived (not consecutive) so trials are decorrelated and
+/// independent of execution order.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed, int t) noexcept;
+
+/// Monte-Carlo helper: `trials` runs with per-trial derived root seeds
+/// (a fresh synthetic workload per trial when spec.values is empty),
+/// executed on a deterministic thread pool.  Results are ordered by trial
+/// index and bit-identical for every `threads` value (0 = all hardware
+/// cores, 1 = serial).
 [[nodiscard]] std::vector<RunReport> run_trials(std::string_view algorithm,
-                                                const RunSpec& spec, int trials);
+                                                const RunSpec& spec, int trials,
+                                                unsigned threads = 1);
 
 /// The full algorithm x aggregate matrix on one base spec: every
 /// registered algorithm crossed with every Aggregate, unsupported pairs
-/// reported (not skipped) with supported == false.
-[[nodiscard]] std::vector<RunReport> run_matrix(const RunSpec& base);
+/// reported (not skipped) with supported == false.  Cells run on the same
+/// deterministic executor as run_trials.
+[[nodiscard]] std::vector<RunReport> run_matrix(const RunSpec& base,
+                                                unsigned threads = 1);
 
 namespace detail {
 /// Defined in algorithms.cpp; called once by Registry::instance().  The

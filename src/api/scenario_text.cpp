@@ -1,0 +1,48 @@
+#include "api/scenario_text.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace drrg::api {
+
+std::optional<std::vector<sim::CrashEvent>> parse_churn(std::string_view text) {
+  std::vector<sim::CrashEvent> events;
+  if (text.empty()) return events;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string_view item = text.substr(pos, comma - pos);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos || colon == 0 || colon + 1 >= item.size())
+      return std::nullopt;
+    const std::string round_str{item.substr(0, colon)};
+    const std::string frac_str{item.substr(colon + 1)};
+    char* end = nullptr;
+    const unsigned long round = std::strtoul(round_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+    const double fraction = std::strtod(frac_str.c_str(), &end);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+    if (fraction <= 0.0 || fraction >= 1.0) return std::nullopt;
+    events.push_back({static_cast<std::uint32_t>(round), fraction});
+    if (comma == text.size()) break;
+    pos = comma + 1;
+  }
+  return events;
+}
+
+std::string format_churn(const std::vector<sim::CrashEvent>& churn) {
+  std::string out;
+  char buf[64];
+  for (const sim::CrashEvent& e : churn) {
+    if (!out.empty()) out += ',';
+    std::snprintf(buf, sizeof buf, "%u:%g", e.round, e.fraction);
+    out += buf;
+  }
+  return out;
+}
+
+std::string topology_names() {
+  return "complete chord-ring random-regular grid torus";
+}
+
+}  // namespace drrg::api

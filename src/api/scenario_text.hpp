@@ -1,0 +1,31 @@
+#pragma once
+// Text <-> scenario parsing shared by drrg_cli and the bench harnesses,
+// so every front-end spells topologies and churn schedules the same way:
+//
+//   --topology complete | chord-ring | random-regular | grid | torus
+//   --churn    R:F[,R:F...]   e.g. "10:0.1,20:0.05" -- crash 10% of the
+//              then-alive nodes at round 10 and 5% more at round 20.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "sim/topology.hpp"
+
+namespace drrg::api {
+
+/// Parses a churn schedule "round:fraction[,round:fraction...]".
+/// Fractions must be in (0, 1); rounds are global round indices.
+/// Returns nullopt on malformed input; an empty string parses to {}.
+[[nodiscard]] std::optional<std::vector<sim::CrashEvent>> parse_churn(
+    std::string_view text);
+
+/// "10:0.1,20:0.05" rendering of a schedule ("" when empty).
+[[nodiscard]] std::string format_churn(const std::vector<sim::CrashEvent>& churn);
+
+/// All parseable topology names, space-separated (for usage strings).
+[[nodiscard]] std::string topology_names();
+
+}  // namespace drrg::api

@@ -2,153 +2,180 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 #include <utility>
 
+#include "sim/engine.hpp"
 #include "support/mathutil.hpp"
 
 namespace drrg {
 
+// Ported onto the shared sim::Network engine: every overlay hop is one
+// engine message forwarded during delivery, so a routed push lands after
+// its hop count in rounds, per-hop link loss comes from the engine's loss
+// coin, and the FaultSchedule (start-time crashes *and* mid-run churn)
+// applies to intermediate hops for free -- none of which the old bespoke
+// pending-queue scheduler modelled.
+
 namespace {
 
-/// Minimal routed scheduler (no forest: deliveries land on the sampled
-/// node itself).  Mirrors RoutedTransport's hop/loss accounting.
-template <class Payload>
-class NodeTransport {
- public:
-  NodeTransport(const ChordOverlay& chord, double loss, Rng loss_rng, std::uint32_t bits)
-      : chord_(chord), loss_(loss), loss_rng_(loss_rng), bits_(bits) {}
+struct CuMsg {
+  double a = 0.0;            // value / numerator half
+  double b = 0.0;            // weight half (push-sum only)
+  std::uint64_t key = 0;     // routing target on the ring
+  std::uint32_t smear = 0;   // remaining successor steps after the owner
+  bool smearing = false;     // reached the key's owner; now walking successors
+};
 
-  void send_to_random(NodeId src, Payload payload, std::uint32_t now, Rng& rng) {
-    std::uint32_t hops = 0;
-    const NodeId landing = chord_.sample_near_uniform(src, rng, &hops);
-    for (std::uint32_t h = 0; h < hops; ++h) {
-      counters_.sent += 1;
-      counters_.bits += bits_;
-      if (loss_rng_.next_bernoulli(loss_)) {
-        counters_.lost += 1;
+/// Near-uniform routed push (the §4 Assumption-2 sampler, hop by hop):
+/// route a uniformly random key greedily, then walk `smear` successor
+/// steps.  `Absorb(dst, msg)` fires where the push lands.
+template <class Absorb>
+struct ChordPushProtocol {
+  const ChordOverlay& chord;
+  Absorb absorb;
+  std::uint32_t initiate_rounds;
+  std::uint32_t bits;
+  bool halve = false;                 // push-sum: halve (s, w) before sending
+  std::vector<double>* s = nullptr;   // push-sum state (halve mode)
+  std::vector<double>* w = nullptr;
+  std::vector<double>* value = nullptr;  // push-max state
+
+  void hop(sim::Network<CuMsg>& net, sim::NodeId x, CuMsg m) {
+    if (!m.smearing) {
+      const sim::NodeId nh = chord.next_hop(x, m.key);
+      if (nh != x) {
+        net.send(x, nh, std::move(m), bits);
         return;
       }
+      m.smearing = true;  // at the owner: switch to the successor walk
     }
-    counters_.delivered += 1;
-    pending_[now + std::max<std::uint32_t>(1, hops)].push_back({landing, std::move(payload)});
+    if (m.smear > 0) {
+      --m.smear;
+      net.send(x, chord.successor(x), std::move(m), bits);
+      return;
+    }
+    absorb(x, m);
   }
 
-  [[nodiscard]] std::vector<std::pair<NodeId, Payload>> collect(std::uint32_t t) {
-    auto it = pending_.find(t);
-    if (it == pending_.end()) return {};
-    auto out = std::move(it->second);
-    pending_.erase(it);
-    return out;
+  void on_round(sim::Network<CuMsg>& net, sim::NodeId v) {
+    if (net.round() >= initiate_rounds) return;
+    CuMsg m;
+    if (halve) {
+      (*s)[v] *= 0.5;
+      (*w)[v] *= 0.5;
+      m.a = (*s)[v];
+      m.b = (*w)[v];
+    } else {
+      m.a = (*value)[v];
+    }
+    Rng& rng = net.node_rng(v);
+    m.key = rng.next_below(chord.ring_size());
+    m.smear = static_cast<std::uint32_t>(rng.next_below(chord.smear_width()));
+    hop(net, v, std::move(m));
   }
 
-  [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
-  [[nodiscard]] sim::Counters& counters() noexcept { return counters_; }
-
- private:
-  const ChordOverlay& chord_;
-  double loss_;
-  Rng loss_rng_;
-  std::uint32_t bits_;
-  sim::Counters counters_{};
-  std::map<std::uint32_t, std::vector<std::pair<NodeId, Payload>>> pending_;
+  void on_message(sim::Network<CuMsg>& net, sim::NodeId, sim::NodeId dst, const CuMsg& m) {
+    hop(net, dst, m);
+  }
 };
+
+/// Initiation rounds followed by a drain until the network is quiescent
+/// (every in-flight routed push has landed or been lost).
+template <class P>
+std::uint32_t run_with_drain(sim::Network<CuMsg>& net, P& proto, std::uint32_t n) {
+  for (std::uint32_t r = 0; r < proto.initiate_rounds; ++r) net.step(proto);
+  const std::uint32_t drain_cap = 4 * ceil_log2(n) + 16;
+  for (std::uint32_t r = 0; r < drain_cap && !net.quiescent(); ++r) net.step(proto);
+  return net.counters().rounds;
+}
 
 }  // namespace
 
 ChordUniformResult chord_uniform_push_max(const ChordOverlay& chord,
                                           std::span<const double> values,
-                                          std::uint64_t seed, double loss_prob,
+                                          std::uint64_t seed,
+                                          const sim::Scenario& scenario,
                                           ChordUniformConfig config) {
   const std::uint32_t n = chord.size();
   if (values.size() < n) throw std::invalid_argument("chord_uniform: values too short");
   RngFactory rngs{seed};
+  sim::Network<CuMsg> net{n, rngs, scenario, /*purpose=*/0xc0d1};
 
   ChordUniformResult result;
   result.value.assign(values.begin(), values.begin() + n);
-  const double true_max = *std::max_element(result.value.begin(), result.value.end());
 
-  NodeTransport<double> transport{chord, loss_prob,
-                                  rngs.engine_stream(0xc0de), 64 + address_bits(n)};
-  std::vector<Rng> node_rng;
-  node_rng.reserve(n);
-  for (NodeId v = 0; v < n; ++v) node_rng.push_back(rngs.node_stream(v, 0xc0d1));
+  auto absorb = [&result](sim::NodeId dst, const CuMsg& m) {
+    result.value[dst] = std::max(result.value[dst], m.a);
+  };
+  ChordPushProtocol<decltype(absorb)> proto{
+      chord, absorb,
+      static_cast<std::uint32_t>(config.round_multiplier *
+                                 static_cast<double>(ceil_log2(n))) +
+          config.extra_rounds,
+      64 + address_bits(n)};
+  proto.value = &result.value;
 
-  const auto T = static_cast<std::uint32_t>(config.round_multiplier *
-                                            static_cast<double>(ceil_log2(n))) +
-                 config.extra_rounds;
-  std::uint32_t t = 0;
-  while (t < T || !transport.idle()) {
-    for (auto& [dst, v] : transport.collect(t)) result.value[dst] = std::max(result.value[dst], v);
-    if (t < T)
-      for (NodeId v = 0; v < n; ++v)
-        transport.send_to_random(v, result.value[v], t, node_rng[v]);
-    ++t;
-  }
-
-  result.consensus = std::all_of(result.value.begin(), result.value.end(),
-                                 [&](double v) { return v == true_max; });
-  result.counters = transport.counters();
-  result.counters.rounds = t;
-  result.rounds = t;
+  result.rounds = run_with_drain(net, proto, n);
+  // Consensus = the final survivors agree on one value.  Under churn that
+  // common value can legitimately exceed the survivor maximum (a value
+  // already circulated before its holder crashed), so agreement -- not
+  // equality with the start-time maximum -- is the criterion; accuracy is
+  // judged separately against the survivor truth by the caller.
+  result.consensus =
+      !net.alive_nodes().empty() &&
+      std::all_of(net.alive_nodes().begin(), net.alive_nodes().end(),
+                  [&](sim::NodeId v) {
+                    return result.value[v] == result.value[net.alive_nodes().front()];
+                  });
+  result.counters = net.counters();
   return result;
 }
 
 ChordUniformResult chord_uniform_push_sum(const ChordOverlay& chord,
                                           std::span<const double> values,
-                                          std::uint64_t seed, double loss_prob,
+                                          std::uint64_t seed,
+                                          const sim::Scenario& scenario,
                                           ChordUniformConfig config) {
   const std::uint32_t n = chord.size();
   if (values.size() < n) throw std::invalid_argument("chord_uniform: values too short");
   RngFactory rngs{seed};
+  sim::Network<CuMsg> net{n, rngs, scenario, /*purpose=*/0xc0d2};
 
-  struct Pair {
-    double s;
-    double w;
-  };
   std::vector<double> s(values.begin(), values.begin() + n);
   std::vector<double> w(n, 1.0);
   double total = 0.0;
-  for (double x : s) total += x;
-  const double ave = total / static_cast<double>(n);
+  std::uint32_t alive0 = 0;
+  for (sim::NodeId v : net.alive_nodes()) {
+    total += s[v];
+    ++alive0;
+  }
+  const double ave = total / static_cast<double>(std::max<std::uint32_t>(alive0, 1));
   const double scale = std::max(std::fabs(ave), 1e-300);
 
-  NodeTransport<Pair> transport{chord, loss_prob, rngs.engine_stream(0xc0df),
-                                2 * 64 + address_bits(n)};
-  std::vector<Rng> node_rng;
-  node_rng.reserve(n);
-  for (NodeId v = 0; v < n; ++v) node_rng.push_back(rngs.node_stream(v, 0xc0d2));
-
-  const auto T = static_cast<std::uint32_t>(config.round_multiplier *
-                                            static_cast<double>(ceil_log2(n))) +
-                 config.extra_rounds;
-  std::uint32_t t = 0;
-  while (t < T || !transport.idle()) {
-    for (auto& [dst, p] : transport.collect(t)) {
-      s[dst] += p.s;
-      w[dst] += p.w;
-    }
-    if (t < T) {
-      for (NodeId v = 0; v < n; ++v) {
-        s[v] *= 0.5;
-        w[v] *= 0.5;
-        transport.send_to_random(v, Pair{s[v], w[v]}, t, node_rng[v]);
-      }
-    }
-    ++t;
-  }
+  auto absorb = [&s, &w](sim::NodeId dst, const CuMsg& m) {
+    s[dst] += m.a;
+    w[dst] += m.b;
+  };
+  ChordPushProtocol<decltype(absorb)> proto{
+      chord, absorb,
+      static_cast<std::uint32_t>(config.round_multiplier *
+                                 static_cast<double>(ceil_log2(n))) +
+          config.extra_rounds,
+      2 * 64 + address_bits(n)};
+  proto.halve = true;
+  proto.s = &s;
+  proto.w = &w;
 
   ChordUniformResult result;
+  result.rounds = run_with_drain(net, proto, n);
   result.value.assign(n, 0.0);
-  for (NodeId v = 0; v < n; ++v) {
+  for (sim::NodeId v : net.alive_nodes()) {
     result.value[v] = w[v] > 0.0 ? s[v] / w[v] : 0.0;
     result.max_relative_error =
         std::max(result.max_relative_error, std::fabs(result.value[v] - ave) / scale);
   }
-  result.counters = transport.counters();
-  result.counters.rounds = t;
-  result.rounds = t;
+  result.counters = net.counters();
   return result;
 }
 

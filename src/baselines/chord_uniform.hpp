@@ -8,9 +8,10 @@
 // overlay has no short-cut to a uniformly random node.
 //
 // We implement push-max (consensus on the maximum) and push-sum (average)
-// with hop-accurate routed deliveries, mirroring the cost model of the
-// sparse DRR-gossip pipeline so the Theorem 14 bench compares like with
-// like.
+// on the shared sim::Network engine: every overlay hop is one engine
+// message forwarded during delivery, so hop latency, per-hop link loss
+// and the full FaultSchedule (start-time crashes + mid-run churn) apply
+// exactly as they do to every other protocol in the library.
 
 #include <cstdint>
 #include <span>
@@ -18,6 +19,7 @@
 
 #include "chord/chord.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "support/rng.hpp"
 
 namespace drrg {
@@ -35,7 +37,7 @@ struct ChordUniformResult {
   double max_relative_error = 0.0;  ///< push-sum only
   bool consensus = false;           ///< push-max only: all nodes hold Max
   sim::Counters counters;
-  std::uint32_t rounds = 0;  ///< overlay rounds (hops included)
+  std::uint32_t rounds = 0;  ///< engine rounds (hops included)
 };
 
 /// Push-max over Chord: each node pushes its current maximum to a
@@ -43,14 +45,14 @@ struct ChordUniformResult {
 [[nodiscard]] ChordUniformResult chord_uniform_push_max(const ChordOverlay& chord,
                                                         std::span<const double> values,
                                                         std::uint64_t seed,
-                                                        double loss_prob = 0.0,
+                                                        const sim::Scenario& scenario = {},
                                                         ChordUniformConfig config = {});
 
 /// Push-sum over Chord: averages with routed pushes.
 [[nodiscard]] ChordUniformResult chord_uniform_push_sum(const ChordOverlay& chord,
                                                         std::span<const double> values,
                                                         std::uint64_t seed,
-                                                        double loss_prob = 0.0,
+                                                        const sim::Scenario& scenario = {},
                                                         ChordUniformConfig config = {});
 
 }  // namespace drrg

@@ -80,7 +80,7 @@ struct MergeProtocol {
     // busy leader and be rejected -- the coin keeps half the leaders
     // acceptor-eligible each round.
     if (!net.node_rng(v).next_bernoulli(0.5)) return;
-    const sim::NodeId u = net.sample_uniform(v);
+    const sim::NodeId u = net.sample_peer(v);
     if (u == v) return;  // try again next round
     s.outstanding = true;
     s.probe_timer = 0;
@@ -246,11 +246,11 @@ struct QueryOutcome {
 
 QueryOutcome run_query(const std::vector<sim::NodeId>& parent,
                        std::span<const double> answer, const RngFactory& rngs,
-                       sim::FaultModel faults, std::uint32_t timeout,
+                       const sim::Scenario& scenario, std::uint32_t timeout,
                        std::uint32_t attempt_cap, bool direct,
                        const std::vector<sim::NodeId>& leader, std::uint64_t purpose) {
   const auto n = static_cast<std::uint32_t>(parent.size());
-  sim::Network<QueryMsg> net{n, rngs, faults, purpose};
+  sim::Network<QueryMsg> net{n, rngs, scenario, purpose};
   QueryProtocol proto{parent, answer, timeout, attempt_cap, direct, leader, n};
   for (sim::NodeId v : net.alive_nodes())
     if (parent[v] != sim::kNoNode) ++proto.unresolved;
@@ -284,7 +284,7 @@ struct MergeOutcome {
 };
 
 MergeOutcome run_merge_stages(std::uint32_t n, std::span<const double> values,
-                              const RngFactory& rngs, sim::FaultModel faults,
+                              const RngFactory& rngs, const sim::Scenario& scenario,
                               const EfficientGossipConfig& config) {
   const std::uint32_t lg = ceil_log2(n);
   const std::uint32_t phases =
@@ -295,7 +295,7 @@ MergeOutcome run_merge_stages(std::uint32_t n, std::span<const double> values,
   const std::uint32_t timeout =
       config.probe_timeout != 0 ? config.probe_timeout : phases + 4;
 
-  sim::Network<MergeMsg> net{n, rngs, faults, /*purpose=*/0xe99};
+  sim::Network<MergeMsg> net{n, rngs, scenario, /*purpose=*/0xe99};
   MergeProtocol proto{n, values, phases, phase_rounds, timeout};
 
   // The merge schedule is fixed: synchronous nodes cannot detect global
@@ -317,17 +317,24 @@ MergeOutcome run_merge_stages(std::uint32_t n, std::span<const double> values,
     out.cnt[v] = proto.state[v].cnt;
     out.mx[v] = proto.state[v].mx;
   }
+  // A chain parent that crashed mid-merge (churn) is gone: its orphaned
+  // followers become leaders of what they have absorbed so far.
+  for (sim::NodeId v = 0; v < n; ++v)
+    if (member[v] && out.parent[v] != kNoParent && !member[out.parent[v]])
+      out.parent[v] = kNoParent;
   out.forest = Forest::from_parents(out.parent, member);
   out.counters = net.counters();
   out.rounds = scheduled;
 
-  // Address resolution: one query per node up its chain.
+  // Address resolution: one query per node up its chain, resuming the
+  // scenario's global clock after the merge rounds.
   std::vector<double> leader_addr(n, 0.0);
   for (NodeId r : out.forest.roots()) leader_addr[r] = static_cast<double>(r);
   std::vector<sim::NodeId> no_leader;  // unused in chain mode
-  const QueryOutcome addr =
-      run_query(out.parent, leader_addr, rngs, faults, timeout,
-                config.query_attempt_cap, /*direct=*/false, no_leader, 0xadd2);
+  const QueryOutcome addr = run_query(
+      out.parent, leader_addr, rngs,
+      scenario.at_round(scenario.start_round + scheduled), timeout,
+      config.query_attempt_cap, /*direct=*/false, no_leader, 0xadd2);
   out.counters += addr.counters;
   out.rounds += addr.rounds;
   out.leader.assign(n, sim::kNoNode);
@@ -347,13 +354,13 @@ MergeOutcome run_merge_stages(std::uint32_t n, std::span<const double> values,
 }
 
 void fetch_results(const MergeOutcome& merge, std::span<const double> leader_value,
-                   const RngFactory& rngs, sim::FaultModel faults,
+                   const RngFactory& rngs, const sim::Scenario& scenario,
                    const EfficientGossipConfig& config, EfficientGossipResult& out) {
   // Members fetch the result from their (now known) leader: one direct
   // query + direct reply each.
   std::vector<double> answer(leader_value.begin(), leader_value.end());
   const QueryOutcome fetch =
-      run_query(merge.parent, answer, rngs, faults, /*timeout=*/2,
+      run_query(merge.parent, answer, rngs, scenario, /*timeout=*/2,
                 config.query_attempt_cap, /*direct=*/true, merge.leader, 0xfe7c);
   out.counters += fetch.counters;
   out.rounds_total += fetch.rounds;
@@ -373,11 +380,11 @@ void fetch_results(const MergeOutcome& merge, std::span<const double> leader_val
 
 EfficientGossipResult efficient_gossip_max(std::uint32_t n,
                                            std::span<const double> values,
-                                           std::uint64_t seed, sim::FaultModel faults,
+                                           std::uint64_t seed, const sim::Scenario& scenario,
                                            EfficientGossipConfig config) {
   if (values.size() < n) throw std::invalid_argument("efficient_gossip: values too short");
   RngFactory rngs{seed};
-  MergeOutcome merge = run_merge_stages(n, values, rngs, faults, config);
+  MergeOutcome merge = run_merge_stages(n, values, rngs, scenario, config);
 
   EfficientGossipResult out;
   out.counters = merge.counters;
@@ -385,12 +392,16 @@ EfficientGossipResult efficient_gossip_max(std::uint32_t n,
   out.num_groups = merge.forest.num_trees();
   out.max_group_size = merge.forest.max_tree_size();
 
-  // Leaders gossip their group maxima (same machinery as DRR Phase III).
+  // Leaders gossip their group maxima (same machinery as DRR Phase III);
+  // every later phase resumes the scenario's global clock.
+  auto clock = [&scenario, &out] {
+    return scenario.at_round(scenario.start_round + out.rounds_total);
+  };
   std::vector<std::uint64_t> keys(n, kKeyBottom);
   for (NodeId r : merge.forest.roots()) keys[r] = encode_ordered(merge.mx[r]);
   GossipMaxConfig gm_cfg = config.gossip_max;
   gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 0xe91);
-  const GossipMaxResult gm = run_gossip_max(merge.forest, keys, rngs, faults, gm_cfg);
+  const GossipMaxResult gm = run_gossip_max(merge.forest, keys, rngs, clock(), gm_cfg);
   out.counters += gm.counters;
   out.rounds_total += gm.rounds;
 
@@ -403,17 +414,17 @@ EfficientGossipResult efficient_gossip_max(std::uint32_t n,
   out.value = leader_value[merge.forest.largest_tree_root()];
   if (!merge.resolution_complete) out.consensus = false;
 
-  fetch_results(merge, leader_value, rngs, faults, config, out);
+  fetch_results(merge, leader_value, rngs, clock(), config, out);
   return out;
 }
 
 EfficientGossipResult efficient_gossip_ave(std::uint32_t n,
                                            std::span<const double> values,
-                                           std::uint64_t seed, sim::FaultModel faults,
+                                           std::uint64_t seed, const sim::Scenario& scenario,
                                            EfficientGossipConfig config) {
   if (values.size() < n) throw std::invalid_argument("efficient_gossip: values too short");
   RngFactory rngs{seed};
-  MergeOutcome merge = run_merge_stages(n, values, rngs, faults, config);
+  MergeOutcome merge = run_merge_stages(n, values, rngs, scenario, config);
 
   EfficientGossipResult out;
   out.counters = merge.counters;
@@ -422,20 +433,25 @@ EfficientGossipResult efficient_gossip_ave(std::uint32_t n,
   out.max_group_size = merge.forest.max_tree_size();
 
   // Elect the largest group, push-sum the (sum, count) pairs, spread the
-  // elected leader's estimate -- the Algorithm 8 shape over groups.
+  // elected leader's estimate -- the Algorithm 8 shape over groups; every
+  // later phase resumes the scenario's global clock.
+  auto clock = [&scenario, &out] {
+    return scenario.at_round(scenario.start_round + out.rounds_total);
+  };
   std::vector<std::uint64_t> size_keys(n, kKeyBottom);
   for (NodeId r : merge.forest.roots())
     size_keys[r] = encode_size_id(static_cast<std::uint32_t>(merge.cnt[r]), r);
   GossipMaxConfig gm_cfg = config.gossip_max;
   gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 0xe92);
-  const GossipMaxResult election = run_gossip_max(merge.forest, size_keys, rngs, faults, gm_cfg);
+  const GossipMaxResult election =
+      run_gossip_max(merge.forest, size_keys, rngs, clock(), gm_cfg);
   out.counters += election.counters;
   out.rounds_total += election.rounds;
 
   PushSumConfig ps_cfg = config.push_sum;
   ps_cfg.stream_tag = derive_seed(ps_cfg.stream_tag, 0xe93);
   const PushSumResult ps =
-      run_root_push_sum(merge.forest, merge.sum, merge.cnt, rngs, faults, ps_cfg);
+      run_root_push_sum(merge.forest, merge.sum, merge.cnt, rngs, clock(), ps_cfg);
   out.counters += ps.counters;
   out.rounds_total += ps.rounds;
 
@@ -446,7 +462,7 @@ EfficientGossipResult efficient_gossip_ave(std::uint32_t n,
   GossipMaxConfig spread_cfg = config.gossip_max;
   spread_cfg.stream_tag = derive_seed(spread_cfg.stream_tag, 0xe94);
   const GossipMaxResult spread =
-      run_gossip_max(merge.forest, spread_init, rngs, faults, spread_cfg);
+      run_gossip_max(merge.forest, spread_init, rngs, clock(), spread_cfg);
   out.counters += spread.counters;
   out.rounds_total += spread.rounds;
 
@@ -459,7 +475,7 @@ EfficientGossipResult efficient_gossip_ave(std::uint32_t n,
   out.value = leader_value[merge.forest.largest_tree_root()];
   if (!merge.resolution_complete) out.consensus = false;
 
-  fetch_results(merge, leader_value, rngs, faults, config, out);
+  fetch_results(merge, leader_value, rngs, clock(), config, out);
   return out;
 }
 

@@ -37,6 +37,7 @@
 #include "rootgossip/gossip_ave.hpp"
 #include "rootgossip/gossip_max.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 
 namespace drrg {
 
@@ -67,13 +68,13 @@ struct EfficientGossipResult {
 [[nodiscard]] EfficientGossipResult efficient_gossip_max(std::uint32_t n,
                                                          std::span<const double> values,
                                                          std::uint64_t seed,
-                                                         sim::FaultModel faults = {},
+                                                         const sim::Scenario& scenario = {},
                                                          EfficientGossipConfig config = {});
 
 [[nodiscard]] EfficientGossipResult efficient_gossip_ave(std::uint32_t n,
                                                          std::span<const double> values,
                                                          std::uint64_t seed,
-                                                         sim::FaultModel faults = {},
+                                                         const sim::Scenario& scenario = {},
                                                          EfficientGossipConfig config = {});
 
 }  // namespace drrg

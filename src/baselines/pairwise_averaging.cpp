@@ -42,7 +42,7 @@ struct PairwiseProtocol {
     if (!active[v]) return;
     sim::NodeId partner;
     if (g == nullptr) {
-      partner = net.sample_uniform(v);
+      partner = net.sample_peer(v);
       if (partner == v) partner = (partner + 1) % net.size();
     } else {
       const auto nb = g->neighbors(v);
@@ -71,11 +71,11 @@ struct PairwiseProtocol {
 };
 
 PairwiseResult run_pairwise(std::uint32_t n, std::span<const double> values,
-                            const Graph* g, std::uint64_t seed, sim::FaultModel faults,
+                            const Graph* g, std::uint64_t seed, const sim::Scenario& scenario,
                             const PairwiseConfig& config) {
   if (values.size() < n) throw std::invalid_argument("pairwise_average: values too short");
   RngFactory rngs{seed};
-  sim::Network<PaMsg> net{n, rngs, faults, /*purpose=*/0x9a19};
+  sim::Network<PaMsg> net{n, rngs, scenario, /*purpose=*/0x9a19};
 
   PairwiseProtocol proto{std::vector<double>(values.begin(), values.begin() + n), g,
                          64 + address_bits(n)};
@@ -109,17 +109,17 @@ PairwiseResult run_pairwise(std::uint32_t n, std::span<const double> values,
 }  // namespace
 
 PairwiseResult pairwise_average(std::uint32_t n, std::span<const double> values,
-                                std::uint64_t seed, sim::FaultModel faults,
+                                std::uint64_t seed, const sim::Scenario& scenario,
                                 PairwiseConfig config) {
-  return run_pairwise(n, values, nullptr, seed, faults, config);
+  return run_pairwise(n, values, nullptr, seed, scenario, config);
 }
 
 PairwiseResult pairwise_average_on_graph(const Graph& g, std::span<const double> values,
-                                         std::uint64_t seed, sim::FaultModel faults,
+                                         std::uint64_t seed, const sim::Scenario& scenario,
                                          PairwiseConfig config) {
   if (g.is_complete())
-    return run_pairwise(g.size(), values, nullptr, seed, faults, config);
-  return run_pairwise(g.size(), values, &g, seed, faults, config);
+    return run_pairwise(g.size(), values, nullptr, seed, scenario, config);
+  return run_pairwise(g.size(), values, &g, seed, scenario, config);
 }
 
 }  // namespace drrg

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "support/rng.hpp"
 #include "topology/graph.hpp"
 
@@ -49,7 +50,7 @@ struct PairwiseResult {
 [[nodiscard]] PairwiseResult pairwise_average(std::uint32_t n,
                                               std::span<const double> values,
                                               std::uint64_t seed,
-                                              sim::FaultModel faults = {},
+                                              const sim::Scenario& scenario = {},
                                               PairwiseConfig config = {});
 
 /// Pairwise averaging where partners are uniform random *neighbors* of an
@@ -57,7 +58,7 @@ struct PairwiseResult {
 [[nodiscard]] PairwiseResult pairwise_average_on_graph(const Graph& g,
                                                        std::span<const double> values,
                                                        std::uint64_t seed,
-                                                       sim::FaultModel faults = {},
+                                                       const sim::Scenario& scenario = {},
                                                        PairwiseConfig config = {});
 
 }  // namespace drrg

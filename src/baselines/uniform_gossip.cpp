@@ -24,7 +24,7 @@ struct PushMaxProtocol {
   bool pull = false;  // push-pull: the callee replies with its own maximum
 
   void on_round(sim::Network<MaxMsg>& net, sim::NodeId v) {
-    net.send(v, net.sample_uniform(v), MaxMsg{value[v]}, value_bits);
+    net.send(v, net.sample_peer(v), MaxMsg{value[v]}, value_bits);
   }
   void on_message(sim::Network<MaxMsg>& net, sim::NodeId src, sim::NodeId dst,
                   const MaxMsg& m) {
@@ -37,11 +37,11 @@ struct PushMaxProtocol {
 };
 
 UniformPushMaxResult run_uniform_max(std::uint32_t n, std::span<const double> values,
-                                     std::uint64_t seed, sim::FaultModel faults,
+                                     std::uint64_t seed, const sim::Scenario& scenario,
                                      const UniformPushMaxConfig& config, bool pull) {
   if (values.size() < n) throw std::invalid_argument("uniform_push_max: values too short");
   RngFactory rngs{seed};
-  sim::Network<MaxMsg> net{n, rngs, faults,
+  sim::Network<MaxMsg> net{n, rngs, scenario,
                            /*purpose=*/pull ? std::uint64_t{0x0b5f} : std::uint64_t{0x0b5e}};
 
   PushMaxProtocol proto{std::vector<double>(values.begin(), values.begin() + n),
@@ -72,15 +72,15 @@ UniformPushMaxResult run_uniform_max(std::uint32_t n, std::span<const double> va
 }  // namespace
 
 UniformPushMaxResult uniform_push_max(std::uint32_t n, std::span<const double> values,
-                                      std::uint64_t seed, sim::FaultModel faults,
+                                      std::uint64_t seed, const sim::Scenario& scenario,
                                       UniformPushMaxConfig config) {
-  return run_uniform_max(n, values, seed, faults, config, /*pull=*/false);
+  return run_uniform_max(n, values, seed, scenario, config, /*pull=*/false);
 }
 
 UniformPushMaxResult uniform_push_pull_max(std::uint32_t n, std::span<const double> values,
-                                           std::uint64_t seed, sim::FaultModel faults,
+                                           std::uint64_t seed, const sim::Scenario& scenario,
                                            UniformPushMaxConfig config) {
-  return run_uniform_max(n, values, seed, faults, config, /*pull=*/true);
+  return run_uniform_max(n, values, seed, scenario, config, /*pull=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -101,7 +101,7 @@ struct PushSumAllProtocol {
   void on_round(sim::Network<SumMsg>& net, sim::NodeId v) {
     s[v] *= 0.5;
     w[v] *= 0.5;
-    net.send(v, net.sample_uniform(v), SumMsg{s[v], w[v]}, pair_bits);
+    net.send(v, net.sample_peer(v), SumMsg{s[v], w[v]}, pair_bits);
   }
   void on_message(sim::Network<SumMsg>&, sim::NodeId, sim::NodeId dst, const SumMsg& m) {
     s[dst] += m.s;
@@ -112,11 +112,11 @@ struct PushSumAllProtocol {
 }  // namespace
 
 UniformPushSumResult uniform_push_sum(std::uint32_t n, std::span<const double> values,
-                                      std::uint64_t seed, sim::FaultModel faults,
+                                      std::uint64_t seed, const sim::Scenario& scenario,
                                       UniformPushSumConfig config) {
   if (values.size() < n) throw std::invalid_argument("uniform_push_sum: values too short");
   RngFactory rngs{seed};
-  sim::Network<SumMsg> net{n, rngs, faults, /*purpose=*/0x0b50};
+  sim::Network<SumMsg> net{n, rngs, scenario, /*purpose=*/0x0b50};
 
   PushSumAllProtocol proto{std::vector<double>(values.begin(), values.begin() + n),
                            std::vector<double>(n, 1.0), 2 * 64};
@@ -179,7 +179,7 @@ struct KarpProtocol {
   void on_round(sim::Network<RumorMsg>& net, sim::NodeId v) {
     // Every node calls one random partner each round (the model's free
     // connection); the rumor itself is transmitted only while young.
-    const sim::NodeId u = net.sample_uniform(v);
+    const sim::NodeId u = net.sample_peer(v);
     if (informed[v] && age[v] <= cutoff) {
       ++transmissions;
       net.send(v, u, RumorMsg{RumorMsg::Kind::kPush, age[v]}, rumor_bits);
@@ -228,10 +228,10 @@ struct KarpProtocol {
 }  // namespace
 
 KarpPushPullResult karp_push_pull(std::uint32_t n, std::uint64_t seed,
-                                  sim::FaultModel faults, KarpPushPullConfig config) {
+                                  const sim::Scenario& scenario, KarpPushPullConfig config) {
   if (n < 2) throw std::invalid_argument("karp_push_pull: need n >= 2");
   RngFactory rngs{seed};
-  sim::Network<RumorMsg> net{n, rngs, faults, /*purpose=*/0x0ca9};
+  sim::Network<RumorMsg> net{n, rngs, scenario, /*purpose=*/0x0ca9};
 
   // Karp et al.: log3 n rounds of exponential growth (push-pull triples the
   // informed set), then O(log log n) rounds in which pull finishes the

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "support/rng.hpp"
 
 namespace drrg {
@@ -48,7 +49,7 @@ struct UniformPushMaxResult {
 [[nodiscard]] UniformPushMaxResult uniform_push_max(std::uint32_t n,
                                                     std::span<const double> values,
                                                     std::uint64_t seed,
-                                                    sim::FaultModel faults = {},
+                                                    const sim::Scenario& scenario = {},
                                                     UniformPushMaxConfig config = {});
 
 /// Push-pull variant: every call exchanges maxima in both directions
@@ -59,7 +60,7 @@ struct UniformPushMaxResult {
 [[nodiscard]] UniformPushMaxResult uniform_push_pull_max(std::uint32_t n,
                                                          std::span<const double> values,
                                                          std::uint64_t seed,
-                                                         sim::FaultModel faults = {},
+                                                         const sim::Scenario& scenario = {},
                                                          UniformPushMaxConfig config = {});
 
 struct UniformPushSumConfig {
@@ -85,7 +86,7 @@ struct UniformPushSumResult {
 [[nodiscard]] UniformPushSumResult uniform_push_sum(std::uint32_t n,
                                                     std::span<const double> values,
                                                     std::uint64_t seed,
-                                                    sim::FaultModel faults = {},
+                                                    const sim::Scenario& scenario = {},
                                                     UniformPushSumConfig config = {});
 
 struct KarpPushPullConfig {
@@ -106,7 +107,7 @@ struct KarpPushPullResult {
 
 /// Spreads a rumor from node 0.
 [[nodiscard]] KarpPushPullResult karp_push_pull(std::uint32_t n, std::uint64_t seed,
-                                                sim::FaultModel faults = {},
+                                                const sim::Scenario& scenario = {},
                                                 KarpPushPullConfig config = {});
 
 }  // namespace drrg

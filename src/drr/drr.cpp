@@ -67,10 +67,13 @@ struct DrrProtocol {
       return;
     }
     if (s.attempts < budget) {
-      // Probe a uniformly random node (self-samples tell us nothing and
-      // the analysis assumes distinct samples whp; skip them cheaply).
-      sim::NodeId u = net.sample_uniform(v);
-      if (u == v) u = (u + 1) % net.size();
+      // Probe a random peer of the scenario topology.
+      sim::NodeId u = net.sample_peer(v);
+      // Self-samples tell us nothing; on the complete graph skip them
+      // cheaply (the analysis assumes distinct samples whp).  On an
+      // explicit topology only an isolated node self-samples: its probe
+      // is a spent attempt and it becomes a root by exhaustion.
+      if (u == v && net.topology().is_complete()) u = (u + 1) % net.size();
       s.probe_outstanding = true;
       ++total_probes;
       net.send(v, u, DrrMsg{DrrMsg::Kind::kProbe, 0.0}, addr_bits);
@@ -131,10 +134,12 @@ struct DrrProtocol {
 
 }  // namespace
 
-DrrResult run_drr(std::uint32_t n, const RngFactory& rngs, sim::FaultModel faults,
+DrrResult run_drr(std::uint32_t n, const RngFactory& rngs, const sim::Scenario& scenario,
                   DrrConfig config) {
   if (n < 2) throw std::invalid_argument("run_drr: need n >= 2");
-  sim::Network<DrrMsg> net{n, rngs, faults, /*purpose=*/0x11dd};
+  const std::uint64_t purpose =
+      config.stream_tag != 0 ? derive_seed(0x11ddULL, config.stream_tag) : 0x11ddULL;
+  sim::Network<DrrMsg> net{n, rngs, scenario, purpose};
   DrrProtocol proto{n, config};
   proto.init_ranks(net);
 
@@ -149,6 +154,9 @@ DrrResult run_drr(std::uint32_t n, const RngFactory& rngs, sim::FaultModel fault
   for (sim::NodeId v : net.alive_nodes()) {
     member[v] = true;
     parent[v] = proto.state[v].parent;
+    // A parent that crashed mid-phase (churn) is gone: its orphaned child
+    // becomes a root, exactly as if the connection had never been acked.
+    if (parent[v] != kNoParent && !net.alive(parent[v])) parent[v] = kNoParent;
     ranks[v] = proto.state[v].rank;
   }
 

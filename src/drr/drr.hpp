@@ -20,6 +20,7 @@
 
 #include "forest/forest.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "support/rng.hpp"
 
 namespace drrg {
@@ -29,6 +30,11 @@ struct DrrConfig {
   std::uint32_t probe_budget = 0;
   /// Connection (re)send attempts before giving up and becoming a root.
   std::uint32_t connect_attempt_cap = 8;
+  /// Disambiguates the per-node RNG streams when several Phase I runs
+  /// share one root seed (e.g. the quantile bisection's sub-runs, which
+  /// must share a crash set but draw fresh ranks).  0 keeps the
+  /// historical stream.
+  std::uint64_t stream_tag = 0;
 };
 
 struct DrrResult {
@@ -40,8 +46,8 @@ struct DrrResult {
 };
 
 /// Runs Algorithm 1 on the complete graph (random phone call model).
-/// Deterministic in (n, rngs root seed, faults, config).
+/// Deterministic in (n, rngs root seed, scenario, config).
 [[nodiscard]] DrrResult run_drr(std::uint32_t n, const RngFactory& rngs,
-                                sim::FaultModel faults = {}, DrrConfig config = {});
+                                const sim::Scenario& scenario = {}, DrrConfig config = {});
 
 }  // namespace drrg

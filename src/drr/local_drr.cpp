@@ -115,12 +115,12 @@ struct LocalDrrProtocol {
 }  // namespace
 
 LocalDrrResult run_local_drr(const Graph& g, const RngFactory& rngs,
-                             sim::FaultModel faults, LocalDrrConfig config) {
+                             const sim::Scenario& scenario, LocalDrrConfig config) {
   if (g.is_complete())
     throw std::invalid_argument("run_local_drr: use run_drr for the complete graph");
   if (g.size() < 2) throw std::invalid_argument("run_local_drr: need n >= 2");
 
-  sim::Network<LocalMsg> net{g.size(), rngs, faults, /*purpose=*/0x10ca1};
+  sim::Network<LocalMsg> net{g.size(), rngs, scenario, /*purpose=*/0x10ca1};
   LocalDrrProtocol proto{g, config};
   proto.init_ranks(net);
 

@@ -20,6 +20,7 @@
 
 #include "forest/forest.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "support/rng.hpp"
 #include "topology/graph.hpp"
 
@@ -40,9 +41,9 @@ struct LocalDrrResult {
 };
 
 /// Runs Local-DRR on an explicit graph.  Deterministic in
-/// (graph, rngs root seed, faults, config).
+/// (graph, rngs root seed, scenario, config).
 [[nodiscard]] LocalDrrResult run_local_drr(const Graph& g, const RngFactory& rngs,
-                                           sim::FaultModel faults = {},
+                                           const sim::Scenario& scenario = {},
                                            LocalDrrConfig config = {});
 
 }  // namespace drrg

@@ -10,8 +10,13 @@ namespace drrg {
 namespace {
 
 struct PsMsg {
+  enum class Kind : std::uint8_t { kMass, kAck };
+  Kind kind = Kind::kMass;
   double num = 0.0;
   double den = 0.0;
+  // True on the initiating hop from the sending root; the first receiver
+  // acknowledges it so the sender can detect a lost call.
+  bool first_hop = false;
   // Contribution half-row (track_potential only; empty otherwise).  The
   // vector is bookkeeping for the Lemma 8 measurement, not protocol
   // payload -- bit accounting charges only the (num, den) pair.
@@ -25,8 +30,10 @@ struct PushSumProtocol {
       : forest(f),
         forward(cfg.forward_via_trees),
         track(cfg.track_potential),
+        recover(cfg.recover_lost_mass),
         num(n, 0.0),
         den(n, 0.0),
+        pending(n),
         root_index(n, 0),
         push_rounds(static_cast<std::uint32_t>(
                         cfg.rounds_multiplier * static_cast<double>(ceil_log2(n))) +
@@ -45,11 +52,24 @@ struct PushSumProtocol {
     }
   }
 
+  /// The half sent this round, held until the first receiver's ack; a
+  /// missing ack at round end means the call was lost (crashed target or
+  /// loss coin) and the mass is re-absorbed, restoring the conservation
+  /// law sum(num), sum(den) that the push-sum limit relies on.
+  struct Outstanding {
+    bool active = false;
+    double num = 0.0;
+    double den = 0.0;
+    std::vector<double> y;
+  };
+
   const Forest& forest;
   bool forward;
   bool track;
+  bool recover;
   std::vector<double> num;
   std::vector<double> den;
+  std::vector<Outstanding> pending;
   std::vector<std::uint32_t> root_index;
   std::vector<std::vector<double>> Y;  // contribution rows, root-index order
   std::uint32_t push_rounds;
@@ -60,13 +80,14 @@ struct PushSumProtocol {
     // Keep half, send half (computed before any of this round's receipts).
     num[v] *= 0.5;
     den[v] *= 0.5;
-    PsMsg m{num[v], den[v], {}};
+    PsMsg m{PsMsg::Kind::kMass, num[v], den[v], /*first_hop=*/true, {}};
     if (track) {
       auto& row = Y[root_index[v]];
       for (double& yj : row) yj *= 0.5;
       m.y = row;
     }
-    sim::NodeId target = net.sample_uniform(v);
+    if (recover) pending[v] = Outstanding{true, m.num, m.den, m.y};
+    sim::NodeId target = net.sample_peer(v);
     if (!forward && forest.is_member(target)) {
       // Analysis mode: the G~ edge collapses to one direct hop, with the
       // selection probability still proportional to tree size.
@@ -75,9 +96,17 @@ struct PushSumProtocol {
     net.send(v, target, std::move(m), pair_bits);
   }
 
-  void on_message(sim::Network<PsMsg>& net, sim::NodeId, sim::NodeId dst, const PsMsg& m) {
+  void on_message(sim::Network<PsMsg>& net, sim::NodeId src, sim::NodeId dst, const PsMsg& m) {
+    if (m.kind == PsMsg::Kind::kAck) return;  // acks ride the reply path
+    if (recover && m.first_hop) {
+      // Acknowledge on the established call: the sender now knows its
+      // half arrived (replies are reliable in the §2 model).
+      net.reply(dst, src, PsMsg{PsMsg::Kind::kAck, 0.0, 0.0, false, {}}, 1);
+    }
     if (!forest.is_root(dst)) {
-      net.send(dst, forest.root_of(dst), m, pair_bits);
+      PsMsg fwd = m;
+      fwd.first_hop = false;
+      net.send(dst, forest.root_of(dst), std::move(fwd), pair_bits);
       return;
     }
     num[dst] += m.num;
@@ -86,6 +115,23 @@ struct PushSumProtocol {
       auto& row = Y[root_index[dst]];
       for (std::size_t j = 0; j < row.size(); ++j) row[j] += m.y[j];
     }
+  }
+
+  void on_reply(sim::Network<PsMsg>&, sim::NodeId, sim::NodeId dst, const PsMsg& m) {
+    if (m.kind == PsMsg::Kind::kAck) pending[dst].active = false;
+  }
+
+  void on_round_end(sim::Network<PsMsg>&, sim::NodeId v) {
+    if (!recover || !pending[v].active) return;
+    // No ack: the initiating call was lost.  Re-absorb the sent half so
+    // no (num, den) mass leaves the system.
+    num[v] += pending[v].num;
+    den[v] += pending[v].den;
+    if (track && !pending[v].y.empty()) {
+      auto& row = Y[root_index[v]];
+      for (std::size_t j = 0; j < row.size(); ++j) row[j] += pending[v].y[j];
+    }
+    pending[v].active = false;
   }
 
   /// Phi_t of Lemma 8 over the current contribution rows.
@@ -109,7 +155,7 @@ struct PushSumProtocol {
 
 PushSumResult run_root_push_sum(const Forest& forest, std::span<const double> num0,
                                 std::span<const double> den0, const RngFactory& rngs,
-                                sim::FaultModel faults, PushSumConfig config) {
+                                const sim::Scenario& scenario, PushSumConfig config) {
   const std::uint32_t n = forest.size();
   if (num0.size() < n || den0.size() < n)
     throw std::invalid_argument("run_root_push_sum: inputs too short");
@@ -118,7 +164,7 @@ PushSumResult run_root_push_sum(const Forest& forest, std::span<const double> nu
         "run_root_push_sum: potential tracking requires analysis mode "
         "(forward_via_trees = false)");
 
-  sim::Network<PsMsg> net{n, rngs, faults, derive_seed(0xa4e, config.stream_tag)};
+  sim::Network<PsMsg> net{n, rngs, scenario, derive_seed(0xa4e, config.stream_tag)};
   PushSumProtocol proto{forest, num0, den0, config, n};
 
   PushSumResult result;

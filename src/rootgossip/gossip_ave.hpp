@@ -24,6 +24,7 @@
 
 #include "forest/forest.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "support/rng.hpp"
 
 namespace drrg {
@@ -35,6 +36,14 @@ struct PushSumConfig {
   /// Realistic mode: route via the selected node (2 hops per G~ edge).
   /// Analysis mode (false): deliver directly to the selected node's root.
   bool forward_via_trees = true;
+  /// Re-absorb a pushed half whose initiating call was lost (crashed
+  /// target or loss coin), detected via a 1-bit ack on the established
+  /// call.  Restores push-sum's conservation law -- without it, mass
+  /// leaking to crashed nodes skews Ave/Sum/Count badly under crashes
+  /// even at loss 0 (the historical Count drift).  Forward-hop losses
+  /// (probability loss_prob per hop) are still unrecovered: the residual
+  /// drift is O(loss_prob), zero at loss 0.
+  bool recover_lost_mass = true;
   /// Track contribution vectors (O(m^2) memory; analysis mode only).
   bool track_potential = false;
   /// Disambiguates RNG streams when one pipeline runs the protocol twice.
@@ -60,7 +69,7 @@ struct PushSumResult {
                                               std::span<const double> num0,
                                               std::span<const double> den0,
                                               const RngFactory& rngs,
-                                              sim::FaultModel faults = {},
+                                              const sim::Scenario& scenario = {},
                                               PushSumConfig config = {});
 
 }  // namespace drrg

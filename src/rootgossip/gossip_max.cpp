@@ -51,10 +51,10 @@ struct GossipMaxProtocol {
     if (!forest.is_root(v)) return;
     const std::uint32_t r = net.round();
     if (in_gossip(r)) {
-      const sim::NodeId target = net.sample_uniform(v);
+      const sim::NodeId target = net.sample_peer(v);
       net.send(v, target, GmMsg{GmMsg::Kind::kGossip, key[v], sim::kNoNode}, key_bits);
     } else if (in_sampling(r)) {
-      const sim::NodeId target = net.sample_uniform(v);
+      const sim::NodeId target = net.sample_peer(v);
       net.send(v, target, GmMsg{GmMsg::Kind::kInquiry, 0, v}, key_bits);
     }
   }
@@ -87,12 +87,12 @@ struct GossipMaxProtocol {
 
 GossipMaxResult run_gossip_max(const Forest& forest,
                                std::span<const std::uint64_t> init_key,
-                               const RngFactory& rngs, sim::FaultModel faults,
+                               const RngFactory& rngs, const sim::Scenario& scenario,
                                GossipMaxConfig config) {
   const std::uint32_t n = forest.size();
   if (init_key.size() < n) throw std::invalid_argument("run_gossip_max: keys too short");
 
-  sim::Network<GmMsg> net{n, rngs, faults, derive_seed(0x3099, config.stream_tag)};
+  sim::Network<GmMsg> net{n, rngs, scenario, derive_seed(0x3099, config.stream_tag)};
   GossipMaxProtocol proto{forest, init_key, config, n};
 
   // Run the gossip procedure (plus drain), snapshot for Theorem 5, then
@@ -111,12 +111,12 @@ GossipMaxResult run_gossip_max(const Forest& forest,
 
 GossipMaxResult run_data_spread(const Forest& forest, NodeId source_root,
                                 std::uint64_t key, const RngFactory& rngs,
-                                sim::FaultModel faults, GossipMaxConfig config) {
+                                const sim::Scenario& scenario, GossipMaxConfig config) {
   if (!forest.is_root(source_root))
     throw std::invalid_argument("run_data_spread: source is not a root");
   std::vector<std::uint64_t> init(forest.size(), kKeyBottom);
   init[source_root] = key;
-  return run_gossip_max(forest, init, rngs, faults, config);
+  return run_gossip_max(forest, init, rngs, scenario, config);
 }
 
 double fraction_of_roots_with_key(const Forest& forest,

@@ -22,6 +22,7 @@
 
 #include "forest/forest.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "support/rng.hpp"
 
 namespace drrg {
@@ -53,14 +54,14 @@ struct GossipMaxResult {
 [[nodiscard]] GossipMaxResult run_gossip_max(const Forest& forest,
                                              std::span<const std::uint64_t> init_key,
                                              const RngFactory& rngs,
-                                             sim::FaultModel faults = {},
+                                             const sim::Scenario& scenario = {},
                                              GossipMaxConfig config = {});
 
 /// Data-spread (Algorithm 5): diffuses `key` from `source_root` to all
 /// roots; every other root starts at kKeyBottom.
 [[nodiscard]] GossipMaxResult run_data_spread(const Forest& forest, NodeId source_root,
                                               std::uint64_t key, const RngFactory& rngs,
-                                              sim::FaultModel faults = {},
+                                              const sim::Scenario& scenario = {},
                                               GossipMaxConfig config = {});
 
 /// Fraction of roots whose key equals `key` (used by the Theorem 5/6

@@ -5,6 +5,8 @@
 // bandwidth, which is what message complexity measures).
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace drrg::sim {
 
@@ -27,15 +29,42 @@ struct Counters {
   constexpr void reset() noexcept { *this = Counters{}; }
 };
 
-/// Fault model of §2: a fraction of nodes may crash before the algorithm
-/// starts (they never send, and messages to them are lost), and each
-/// *call-initiating* message is lost independently with probability
-/// loss_prob.  Replies on an established call are reliable, matching
-/// "once a call is established ... information can be exchanged in both
-/// directions along the link".  The paper assumes 1/log n < δ < 1/8.
-struct FaultModel {
+/// One scheduled churn event: at the start of global round `round` a
+/// `fraction` of the then-alive nodes crash (selected deterministically
+/// from the engine's crash stream).  A node that crashes at round r takes
+/// part in rounds 0..r-1 and is gone from round r on: it neither sends
+/// nor receives, and in-flight messages to it are lost.
+struct CrashEvent {
+  std::uint32_t round = 0;
+  double fraction = 0.0;
+};
+
+/// Fault model of §2, generalised to a *schedule*: a fraction of nodes may
+/// crash before the algorithm starts, further fractions may crash at
+/// scheduled rounds mid-run (churn), and each *call-initiating* message is
+/// lost independently with probability loss_prob.  Replies on an
+/// established call are reliable, matching "once a call is established ...
+/// information can be exchanged in both directions along the link".  The
+/// paper assumes static start-time crashes only (empty `churn`) and
+/// 1/log n < δ < 1/8.
+struct FaultSchedule {
   double loss_prob = 0.0;
   double crash_fraction = 0.0;
+  /// Mid-run crash events, applied in round order.  Rounds are *global*:
+  /// multi-phase pipelines thread an accumulated round offset through
+  /// their phases so one schedule spans the whole execution.
+  std::vector<CrashEvent> churn;
+
+  FaultSchedule() = default;
+  /// The historical two-field shape `FaultModel{loss, crash}`.
+  FaultSchedule(double loss, double crash, std::vector<CrashEvent> events = {})
+      : loss_prob(loss), crash_fraction(crash), churn(std::move(events)) {}
+
+  [[nodiscard]] bool has_churn() const noexcept { return !churn.empty(); }
 };
+
+/// Historical name (static start-time crashes + link loss); every
+/// FaultModel is the degenerate schedule with no churn events.
+using FaultModel = FaultSchedule;
 
 }  // namespace drrg::sim

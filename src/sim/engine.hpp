@@ -1,5 +1,8 @@
 #pragma once
-// Synchronous random-phone-call network simulator (the model of §2).
+// Synchronous random-phone-call network simulator (the model of §2),
+// generalised into a scenario engine: the communication substrate
+// (sim::Topology) and the fault model (sim::FaultSchedule) are first-class,
+// swappable components bundled into a sim::Scenario.
 //
 // Time advances in discrete rounds.  In each round every live node gets an
 // on_round() upcall in which it may *call* other nodes by sending messages;
@@ -7,10 +10,17 @@
 // (the call happens within the round).  A recipient may reply() on the
 // established call; replies are delivered in the same round and are
 // reliable, while call-initiating send()s are lost independently with
-// probability FaultModel::loss_prob.  Messages emitted *during* delivery
+// probability FaultSchedule::loss_prob.  Messages emitted *during* delivery
 // (forwarding) are queued for the next round: each forwarding hop costs one
 // round, exactly the "at most two hops of G per edge of G~" accounting the
 // paper uses for Phase III.
+//
+// Faults: a crash_fraction of nodes is down from the start, and scheduled
+// CrashEvents kill further nodes mid-run.  The engine maintains the alive
+// set incrementally: a node with death round r participates in (global)
+// rounds < r and is gone from round r on.  Scenario::start_round offsets
+// this network's clock so multi-phase pipelines can thread one global
+// schedule through per-phase Network instances.
 //
 // Protocols are plain structs; the engine discovers optional hooks with
 // C++20 `requires`, so a protocol only implements what it needs:
@@ -25,6 +35,7 @@
 // engine randomness (loss, crashes) from separate engine streams, both
 // derived from one root seed; deliveries are processed in send order.
 
+#include <algorithm>
 #include <cassert>
 #include <concepts>
 #include <cstdint>
@@ -32,69 +43,74 @@
 #include <vector>
 
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
+#include "sim/topology.hpp"
 #include "support/rng.hpp"
 
 namespace drrg::sim {
 
-using NodeId = std::uint32_t;
 inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
-
-/// The crash set every Network sharing `rngs` draws: crashed[v] == true iff
-/// node v is down from the start.  A pure function of the root seed
-/// (purpose-independent) so that all phases of a multi-phase pipeline --
-/// and result adapters that need survivor ground truth for algorithms
-/// whose outcome struct carries no alive mask -- agree on the same set.
-[[nodiscard]] inline std::vector<bool> crash_mask(std::uint32_t n, const RngFactory& rngs,
-                                                  double crash_fraction) {
-  std::vector<bool> crashed(n, false);
-  if (crash_fraction <= 0.0) return crashed;
-  Rng crash_rng = rngs.engine_stream(0xdeadULL);
-  const auto target = static_cast<std::uint32_t>(crash_fraction * static_cast<double>(n));
-  std::uint32_t count = 0;
-  while (count < target && count < n - 1) {  // keep >= 1 node alive
-    const auto v = static_cast<NodeId>(crash_rng.next_below(n));
-    if (!crashed[v]) {
-      crashed[v] = true;
-      ++count;
-    }
-  }
-  return crashed;
-}
 
 template <class Msg>
 class Network {
  public:
   /// `purpose` namespaces the per-node RNG streams so that consecutive
   /// protocol phases sharing one RngFactory draw independent randomness.
-  Network(std::uint32_t n, const RngFactory& rngs, FaultModel faults = {},
+  Network(std::uint32_t n, const RngFactory& rngs, Scenario scenario = {},
           std::uint64_t purpose = 0)
       : n_(n),
-        faults_(faults),
-        loss_rng_(rngs.engine_stream(derive_seed(purpose, 0x105eULL))),
-        crashed_(crash_mask(n, rngs, faults.crash_fraction)) {
+        scenario_(std::move(scenario)),
+        loss_rng_(rngs.engine_stream(derive_seed(purpose, 0x105eULL))) {
+    assert(scenario_.topology.is_complete() || scenario_.topology.size() == n);
     node_rngs_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) node_rngs_.push_back(rngs.node_stream(i, purpose));
+    const std::vector<std::uint32_t> death = fault_timeline(n, rngs, scenario_.faults);
+    crashed_.assign(n, false);
     alive_.reserve(n);
-    for (NodeId i = 0; i < n; ++i)
-      if (!crashed_[i]) alive_.push_back(i);
+    for (NodeId v = 0; v < n; ++v) {
+      if (death[v] <= scenario_.start_round) {
+        crashed_[v] = true;
+      } else {
+        alive_.push_back(v);
+        if (death[v] != kNeverCrashes) pending_deaths_.push_back({death[v], v});
+      }
+    }
+    std::sort(pending_deaths_.begin(), pending_deaths_.end());
   }
 
   [[nodiscard]] std::uint32_t size() const noexcept { return n_; }
   [[nodiscard]] bool alive(NodeId v) const noexcept { return !crashed_[v]; }
   [[nodiscard]] const std::vector<NodeId>& alive_nodes() const noexcept { return alive_; }
+  /// Rounds executed by *this* network (local clock).
   [[nodiscard]] std::uint32_t round() const noexcept { return round_; }
+  /// start_round + round(): the position on the scenario's global clock.
+  [[nodiscard]] std::uint32_t global_round() const noexcept {
+    return scenario_.start_round + round_;
+  }
   [[nodiscard]] Counters& counters() noexcept { return counters_; }
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
-  [[nodiscard]] const FaultModel& faults() const noexcept { return faults_; }
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+  [[nodiscard]] const FaultSchedule& faults() const noexcept { return scenario_.faults; }
+  [[nodiscard]] const Topology& topology() const noexcept { return scenario_.topology; }
+  /// True when no sends or replies are queued for delivery.
+  [[nodiscard]] bool quiescent() const noexcept {
+    return outbox_.empty() && replies_.empty();
+  }
 
   /// Per-node private randomness stream.
   [[nodiscard]] Rng& node_rng(NodeId v) noexcept { return node_rngs_[v]; }
 
-  /// Samples a node independently and uniformly at random from all of V
-  /// (the random phone call primitive; crashed nodes can be sampled -- a
-  /// call to a crashed node is simply lost).
+  /// Samples a call target for `caller` from the scenario's topology: the
+  /// random phone call primitive.  Uniform over all of V on the complete
+  /// topology (crashed nodes can be sampled -- a call to a crashed node is
+  /// simply lost); uniform over the caller's neighbors on an explicit one.
+  [[nodiscard]] NodeId sample_peer(NodeId caller) noexcept {
+    return scenario_.topology.sample_peer(caller, n_, node_rngs_[caller]);
+  }
+
+  /// Historical name for sample_peer.
   [[nodiscard]] NodeId sample_uniform(NodeId caller) noexcept {
-    return static_cast<NodeId>(node_rngs_[caller].next_below(n_));
+    return sample_peer(caller);
   }
 
   /// Initiates a call: delivered this round at the delivery step, lost with
@@ -135,6 +151,7 @@ class Network {
   /// pipelines that interleave protocols).
   template <class P>
   void step(P& proto) {
+    apply_scheduled_deaths(global_round());
     ++counters_.rounds;
     for (NodeId v : alive_) {
       if constexpr (requires { proto.on_round(*this, v); }) proto.on_round(*this, v);
@@ -158,13 +175,31 @@ class Network {
     Msg msg;
   };
 
+  /// Kills every node whose scheduled death round has arrived.  Runs at
+  /// the top of each round, so a node dying at round r is absent from
+  /// round r's upcalls and deliveries.
+  void apply_scheduled_deaths(std::uint32_t global_round) {
+    bool any = false;
+    while (next_death_ < pending_deaths_.size() &&
+           pending_deaths_[next_death_].first <= global_round) {
+      crashed_[pending_deaths_[next_death_].second] = true;
+      ++next_death_;
+      any = true;
+    }
+    if (any) {
+      alive_.erase(std::remove_if(alive_.begin(), alive_.end(),
+                                  [this](NodeId v) { return crashed_[v]; }),
+                   alive_.end());
+    }
+  }
+
   template <class P>
   void deliver_queue(P& proto, std::vector<Envelope>& queue, bool lossy, bool as_reply) {
     std::vector<Envelope> batch;
     batch.swap(queue);  // sends made during delivery land in the next batch
     in_delivery_ = true;
     for (auto& e : batch) {
-      if (crashed_[e.dst] || (lossy && loss_rng_.next_bernoulli(faults_.loss_prob))) {
+      if (crashed_[e.dst] || (lossy && loss_rng_.next_bernoulli(scenario_.faults.loss_prob))) {
         ++counters_.lost;
         continue;
       }
@@ -185,8 +220,10 @@ class Network {
   }
 
   std::uint32_t n_;
-  FaultModel faults_;
+  Scenario scenario_;
   Rng loss_rng_;
+  std::vector<std::pair<std::uint32_t, NodeId>> pending_deaths_;  // sorted
+  std::size_t next_death_ = 0;
   std::vector<bool> crashed_;
   std::vector<NodeId> alive_;
   std::vector<Rng> node_rngs_;

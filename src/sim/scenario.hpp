@@ -1,0 +1,132 @@
+#pragma once
+// sim::Scenario -- one run's environment: who can call whom (Topology) and
+// who fails when (FaultSchedule), plus the global-clock offset that lets
+// multi-phase pipelines thread a single fault schedule through per-phase
+// Network instances.  Kept separate from engine.hpp so protocol headers
+// can name Scenario in their signatures without the Network template.
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "sim/topology.hpp"
+#include "support/rng.hpp"
+
+namespace drrg::sim {
+
+using NodeId = std::uint32_t;
+
+/// death round of a node that never crashes.
+inline constexpr std::uint32_t kNeverCrashes = static_cast<std::uint32_t>(-1);
+
+/// One run's environment.  The implicit FaultSchedule conversion keeps the
+/// historical call shape `run_xxx(n, ..., faults, config)` working: a plain
+/// fault model is the scenario with the complete topology and a zero clock
+/// offset.
+struct Scenario {
+  Topology topology{};
+  FaultSchedule faults{};
+  /// Global round at which this network's clock starts (multi-phase
+  /// pipelines bump it by each phase's executed rounds so one churn
+  /// schedule spans the whole execution).
+  std::uint32_t start_round = 0;
+
+  Scenario() = default;
+  Scenario(FaultSchedule f) : faults(std::move(f)) {}  // NOLINT(google-explicit-constructor)
+  Scenario(Topology t, FaultSchedule f) : topology(std::move(t)), faults(std::move(f)) {}
+
+  /// Copy of this scenario with the clock advanced to global round `r`.
+  [[nodiscard]] Scenario at_round(std::uint32_t r) const {
+    Scenario s = *this;
+    s.start_round = r;
+    return s;
+  }
+};
+
+/// The full death timeline every Network sharing `rngs` draws:
+/// death_round[v] == 0 iff v is down from the start, r > 0 iff v crashes at
+/// the start of global round r, kNeverCrashes iff v survives the schedule.
+/// A pure function of the root seed (purpose-independent) so that all
+/// phases of a multi-phase pipeline -- and result adapters that need
+/// survivor ground truth for algorithms whose outcome struct carries no
+/// alive mask -- agree on the same sets.  The initial-crash draw sequence
+/// is identical to the historical crash_mask.
+[[nodiscard]] inline std::vector<std::uint32_t> fault_timeline(
+    std::uint32_t n, const RngFactory& rngs, const FaultSchedule& faults) {
+  std::vector<std::uint32_t> death(n, kNeverCrashes);
+  if (faults.crash_fraction <= 0.0 && faults.churn.empty()) return death;
+  Rng crash_rng = rngs.engine_stream(0xdeadULL);
+  std::uint32_t alive = n;
+  if (faults.crash_fraction > 0.0) {
+    const auto target =
+        static_cast<std::uint32_t>(faults.crash_fraction * static_cast<double>(n));
+    std::uint32_t count = 0;
+    while (count < target && count < n - 1) {  // keep >= 1 node alive
+      const auto v = static_cast<NodeId>(crash_rng.next_below(n));
+      if (death[v] == kNeverCrashes) {
+        death[v] = 0;
+        ++count;
+      }
+    }
+    alive -= count;
+  }
+  std::vector<CrashEvent> events = faults.churn;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const CrashEvent& a, const CrashEvent& b) { return a.round < b.round; });
+  for (const CrashEvent& e : events) {
+    if (e.fraction <= 0.0) continue;
+    const std::uint32_t round = std::max<std::uint32_t>(e.round, 1);
+    const auto target =
+        static_cast<std::uint32_t>(e.fraction * static_cast<double>(alive));
+    std::uint32_t count = 0;
+    while (count < target && alive > 1) {
+      const auto v = static_cast<NodeId>(crash_rng.next_below(n));
+      if (death[v] == kNeverCrashes) {
+        death[v] = round;
+        ++count;
+        --alive;
+      }
+    }
+  }
+  return death;
+}
+
+/// The start-time crash set alone (historical helper): crashed[v] == true
+/// iff node v is down from round 0.
+[[nodiscard]] inline std::vector<bool> crash_mask(std::uint32_t n, const RngFactory& rngs,
+                                                  double crash_fraction) {
+  std::vector<bool> crashed(n, false);
+  if (crash_fraction <= 0.0) return crashed;
+  Rng crash_rng = rngs.engine_stream(0xdeadULL);
+  const auto target = static_cast<std::uint32_t>(crash_fraction * static_cast<double>(n));
+  std::uint32_t count = 0;
+  while (count < target && count < n - 1) {  // keep >= 1 node alive
+    const auto v = static_cast<NodeId>(crash_rng.next_below(n));
+    if (!crashed[v]) {
+      crashed[v] = true;
+      ++count;
+    }
+  }
+  return crashed;
+}
+
+/// Final survivors of the schedule as seen by a run that executed
+/// `rounds_executed` global rounds: participating[v] == true iff v was
+/// still alive when the run ended (a churn event scheduled beyond the
+/// run's horizon never fired, so its would-be victims did participate).
+/// The default horizon covers the whole schedule.  This is the
+/// RunReport.participating ground truth for algorithms that do not track
+/// crashes themselves.
+[[nodiscard]] inline std::vector<bool> survivor_mask(
+    std::uint32_t n, const RngFactory& rngs, const FaultSchedule& faults,
+    std::uint32_t rounds_executed = kNeverCrashes) {
+  const auto death = fault_timeline(n, rngs, faults);
+  std::vector<bool> participating(n, true);
+  for (std::uint32_t v = 0; v < n; ++v)
+    participating[v] = death[v] >= rounds_executed;
+  return participating;
+}
+
+}  // namespace drrg::sim

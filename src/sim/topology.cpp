@@ -1,0 +1,63 @@
+#include "sim/topology.hpp"
+
+#include <cmath>
+
+#include "topology/builders.hpp"
+
+namespace drrg::sim {
+
+std::string_view to_string(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::kComplete: return "complete";
+    case TopologyKind::kChordRing: return "chord-ring";
+    case TopologyKind::kRandomRegular: return "random-regular";
+    case TopologyKind::kGrid2d: return "grid";
+  }
+  return "complete";
+}
+
+std::optional<TopologySpec> topology_from_name(std::string_view name) noexcept {
+  TopologySpec spec;
+  if (name == "complete") {
+    spec.kind = TopologyKind::kComplete;
+  } else if (name == "chord-ring" || name == "chord") {
+    spec.kind = TopologyKind::kChordRing;
+  } else if (name == "random-regular" || name == "regular") {
+    spec.kind = TopologyKind::kRandomRegular;
+  } else if (name == "grid") {
+    spec.kind = TopologyKind::kGrid2d;
+  } else if (name == "torus") {
+    spec.kind = TopologyKind::kGrid2d;
+    spec.torus = true;
+  } else {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+Topology make_topology(const TopologySpec& spec, std::uint32_t n, std::uint64_t seed) {
+  switch (spec.kind) {
+    case TopologyKind::kComplete:
+      return Topology::complete();
+    case TopologyKind::kChordRing:
+      return Topology::of_graph(make_chord_graph(n));
+    case TopologyKind::kRandomRegular: {
+      std::uint32_t d = spec.degree;
+      if (d == 0) d = 1;
+      if (d >= n) d = n - 1;
+      if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) ++d;  // even degree sum
+      if (d >= n) return Topology::complete();                // tiny n: K_n
+      return Topology::of_graph(make_random_regular(n, d, seed));
+    }
+    case TopologyKind::kGrid2d: {
+      std::uint32_t rows = 1;
+      const auto limit = static_cast<std::uint32_t>(std::sqrt(static_cast<double>(n)));
+      for (std::uint32_t r = 1; r <= limit; ++r)
+        if (n % r == 0) rows = r;
+      return Topology::of_graph(make_grid(rows, n / rows, spec.torus));
+    }
+  }
+  return Topology::complete();
+}
+
+}  // namespace drrg::sim

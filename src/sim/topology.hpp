@@ -1,0 +1,107 @@
+#pragma once
+// Pluggable communication substrate for the simulator.
+//
+// The paper's model (§2) is the random phone call over the complete graph:
+// any node can call any other, and the "sample a partner" primitive is
+// uniform over V.  Real gossip runtimes treat peer sampling as a policy
+// (libgossip-style), so the engine factors it out:
+//
+//   * Topology::complete()      -- K_n, the paper's model (default; K_n is
+//                                  implicit, no O(n^2) storage);
+//   * Topology::of_graph(G)     -- an explicit undirected graph; the
+//                                  sampling primitive becomes "uniform
+//                                  random neighbor of the caller".
+//
+// The topology constrains only *random peer sampling*.  Addressed sends to
+// nodes learned through sampling or tree construction (a DRR parent, a
+// root address distributed in Phase II) model established overlay
+// connections and remain point-to-point -- the same convention the paper
+// uses when roots reply "directly to the inquiring root" in Algorithm 4.
+//
+// Graphs are held by shared_ptr so Scenario/Topology values copy in O(1)
+// and are safe to share read-only across the parallel trial executor.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace drrg::sim {
+
+class Topology {
+ public:
+  /// Implicit complete graph (of whatever size the network has).
+  Topology() = default;
+
+  [[nodiscard]] static Topology complete() { return Topology{}; }
+
+  [[nodiscard]] static Topology of_graph(Graph g) {
+    Topology t;
+    if (!g.is_complete()) t.graph_ = std::make_shared<const Graph>(std::move(g));
+    return t;
+  }
+
+  [[nodiscard]] bool is_complete() const noexcept { return graph_ == nullptr; }
+
+  /// The explicit graph; nullptr for the implicit complete topology.
+  [[nodiscard]] const Graph* graph() const noexcept { return graph_.get(); }
+
+  /// Number of nodes the topology was built for (0 = any, complete).
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return graph_ ? graph_->size() : 0;
+  }
+
+  /// The random phone call primitive: a call target for `caller`, uniform
+  /// over all of V on the complete topology (self-samples possible,
+  /// historical behavior) and uniform over neighbors(caller) on an
+  /// explicit graph (an isolated node calls itself; the call is a no-op).
+  [[nodiscard]] NodeId sample_peer(NodeId caller, std::uint32_t n, Rng& rng) const {
+    if (graph_ == nullptr) return static_cast<NodeId>(rng.next_below(n));
+    const auto nbrs = graph_->neighbors(caller);
+    if (nbrs.empty()) return caller;
+    return nbrs[rng.next_below(nbrs.size())];
+  }
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+};
+
+// ---------------------------------------------------------------------------
+// Named topology families for the scenario layer (CLI / api::RunSpec).
+
+enum class TopologyKind : std::uint8_t {
+  kComplete,       ///< K_n -- the paper's random phone call model
+  kChordRing,      ///< successor + finger edges of a Chord ring
+  kRandomRegular,  ///< random d-regular (configuration model)
+  kGrid2d,         ///< 2D grid, rows x cols with rows*cols == n
+};
+
+/// Value-type description of a topology, copyable into RunSpecs.
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kComplete;
+  std::uint32_t degree = 8;  ///< random-regular only
+  bool torus = false;        ///< grid only
+
+  [[nodiscard]] bool is_complete() const noexcept {
+    return kind == TopologyKind::kComplete;
+  }
+};
+
+[[nodiscard]] std::string_view to_string(TopologyKind kind) noexcept;
+
+/// Parses "complete", "chord-ring", "random-regular", "grid", "torus".
+[[nodiscard]] std::optional<TopologySpec> topology_from_name(
+    std::string_view name) noexcept;
+
+/// Materialises a spec for n nodes.  Randomized builders draw from `seed`.
+/// Degree is bumped by one when n*degree is odd (the configuration model
+/// needs an even degree sum); grids use the largest divisor of n that is
+/// <= sqrt(n) as the row count (prime n degenerates to a 1 x n path).
+[[nodiscard]] Topology make_topology(const TopologySpec& spec, std::uint32_t n,
+                                     std::uint64_t seed);
+
+}  // namespace drrg::sim

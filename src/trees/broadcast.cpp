@@ -97,12 +97,12 @@ struct BcProtocol {
 }  // namespace
 
 BroadcastResult run_broadcast(const Forest& forest, std::span<const double> payload,
-                              const RngFactory& rngs, sim::FaultModel faults,
+                              const RngFactory& rngs, const sim::Scenario& scenario,
                               BroadcastConfig config) {
   const std::uint32_t n = forest.size();
   if (payload.size() < n) throw std::invalid_argument("run_broadcast: payload too short");
 
-  sim::Network<BcMsg> net{n, rngs, faults, derive_seed(0xbc, config.stream_tag)};
+  sim::Network<BcMsg> net{n, rngs, scenario, derive_seed(0xbc, config.stream_tag)};
   BcProtocol proto{forest, payload, n, config.simultaneous_children};
 
   std::uint32_t max_rounds = config.max_rounds;

@@ -15,6 +15,7 @@
 
 #include "forest/forest.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "support/rng.hpp"
 
 namespace drrg {
@@ -44,7 +45,7 @@ struct BroadcastResult {
 [[nodiscard]] BroadcastResult run_broadcast(const Forest& forest,
                                             std::span<const double> payload,
                                             const RngFactory& rngs,
-                                            sim::FaultModel faults = {},
+                                            const sim::Scenario& scenario = {},
                                             BroadcastConfig config = {});
 
 }  // namespace drrg

@@ -96,11 +96,11 @@ struct CcProtocol {
 
 ConvergecastResult run_convergecast(const Forest& forest, std::span<const double> values,
                                     ConvergecastOp op, const RngFactory& rngs,
-                                    sim::FaultModel faults, ConvergecastConfig config) {
+                                    const sim::Scenario& scenario, ConvergecastConfig config) {
   const std::uint32_t n = forest.size();
   if (values.size() < n) throw std::invalid_argument("run_convergecast: values too short");
 
-  sim::Network<CcMsg> net{n, rngs, faults, derive_seed(0xcc, config.stream_tag)};
+  sim::Network<CcMsg> net{n, rngs, scenario, derive_seed(0xcc, config.stream_tag)};
   CcProtocol proto{forest, values, op, n};
 
   std::uint32_t max_rounds = config.max_rounds;

@@ -19,6 +19,7 @@
 
 #include "forest/forest.hpp"
 #include "sim/counters.hpp"
+#include "sim/scenario.hpp"
 #include "support/rng.hpp"
 
 namespace drrg {
@@ -51,7 +52,7 @@ struct ConvergecastResult {
                                                   std::span<const double> values,
                                                   ConvergecastOp op,
                                                   const RngFactory& rngs,
-                                                  sim::FaultModel faults = {},
+                                                  const sim::Scenario& scenario = {},
                                                   ConvergecastConfig config = {});
 
 }  // namespace drrg

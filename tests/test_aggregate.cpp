@@ -56,8 +56,11 @@ TEST_P(Pipelines, MaxExactWithConsensus) {
   const auto t = over_participants(values, r.participating);
   EXPECT_DOUBLE_EQ(r.value, t.max);
   EXPECT_TRUE(r.consensus);
-  for (std::uint32_t v = 0; v < n; ++v)
-    if (r.participating[v]) ASSERT_DOUBLE_EQ(r.per_node[v], t.max);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (r.participating[v]) {
+      ASSERT_DOUBLE_EQ(r.per_node[v], t.max);
+    }
+  }
 }
 
 TEST_P(Pipelines, MinExactWithConsensus) {

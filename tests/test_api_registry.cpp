@@ -120,10 +120,11 @@ TEST(RunTrials, DistinctSeedsDeterministicReports) {
   const auto b = run_trials("drr", spec, 3);
   ASSERT_EQ(a.size(), 3u);
   for (int t = 0; t < 3; ++t) {
-    EXPECT_EQ(a[t].seed, spec.seed + static_cast<std::uint64_t>(t));
+    EXPECT_EQ(a[t].seed, trial_seed(spec.seed, t));  // derived, order-independent
     EXPECT_EQ(a[t].value, b[t].value);
     EXPECT_EQ(a[t].cost.sent, b[t].cost.sent);
   }
+  EXPECT_EQ(a[0].seed, spec.seed);  // trial 0 runs the spec's own seed
 }
 
 // ---------------------------------------------------------------------------

@@ -225,7 +225,7 @@ TEST(ChordUniform, PushSumAccurateWithLongerSchedule) {
   const auto values = make_values(n, 32);
   ChordUniformConfig cfg;
   cfg.round_multiplier = 24.0;
-  const auto r = chord_uniform_push_sum(chord, values, 32, 0.0, cfg);
+  const auto r = chord_uniform_push_sum(chord, values, 32, {}, cfg);
   EXPECT_LT(r.max_relative_error, 1e-2);
 }
 

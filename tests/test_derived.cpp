@@ -74,9 +74,11 @@ TEST(LeaderElection, SkipsCrashedNodes) {
 
 TEST(LeaderElection, AllNodesLearnTheLeader) {
   const auto r = drr_gossip_elect_leader(256, 13);
-  for (NodeId v = 0; v < 256; ++v)
-    if (r.detail.participating[v])
+  for (NodeId v = 0; v < 256; ++v) {
+    if (r.detail.participating[v]) {
       ASSERT_DOUBLE_EQ(r.detail.per_node[v], static_cast<double>(r.leader));
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -185,7 +187,6 @@ TEST(PairwiseAveraging, WorksOnSparseGraphs) {
   PairwiseConfig cfg;
   cfg.round_multiplier = 40.0;  // grid mixing is slower (spectral gap)
   const auto r = pairwise_average_on_graph(g, values, 32, {}, cfg);
-  const double ave = sum / g.size();
   // Sparse mixing is slow; just require substantial contraction.
   EXPECT_LT(r.max_relative_error, 0.05);
   EXPECT_NEAR(std::accumulate(r.value.begin(), r.value.end(), 0.0), sum, 1e-6 * sum);

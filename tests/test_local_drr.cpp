@@ -46,7 +46,9 @@ TEST_P(LocalDrrOnGraphs, ParentsAreNeighborsWithHigherRank) {
   EXPECT_TRUE(r.forest.respects_ranks(r.ranks));
   for (NodeId v = 0; v < g.size(); ++v) {
     const NodeId p = r.forest.parent(v);
-    if (p != kNoParent) EXPECT_TRUE(g.has_edge(v, p)) << v;
+    if (p != kNoParent) {
+      EXPECT_TRUE(g.has_edge(v, p)) << v;
+    }
   }
 }
 
@@ -146,7 +148,9 @@ TEST(LocalDrr, LossKeepsForestValid) {
   EXPECT_TRUE(r.forest.respects_ranks(r.ranks));
   for (NodeId v = 0; v < g.size(); ++v) {
     const NodeId p = r.forest.parent(v);
-    if (p != kNoParent) EXPECT_TRUE(g.has_edge(v, p));
+    if (p != kNoParent) {
+      EXPECT_TRUE(g.has_edge(v, p));
+    }
   }
 }
 

@@ -73,9 +73,13 @@ TEST_P(FaultMatrix, MaxInvariants) {
   EXPECT_LE(r.value, h.hi);
   EXPECT_EQ(r.value, h.hi);  // Max is exact under the §2 model
   check_counters(r.metrics);
-  if (r.consensus)
-    for (std::uint32_t v = 0; v < kN; ++v)
-      if (r.participating[v]) ASSERT_EQ(r.per_node[v], r.value);
+  if (r.consensus) {
+    for (std::uint32_t v = 0; v < kN; ++v) {
+      if (r.participating[v]) {
+        ASSERT_EQ(r.per_node[v], r.value);
+      }
+    }
+  }
 }
 
 TEST_P(FaultMatrix, MinInvariants) {

@@ -211,8 +211,11 @@ TEST(PushSum, RatioConsistentUnderLoss) {
   const NodeId z = s.drr.forest.largest_tree_root();
   EXPECT_NEAR(r.estimate[z], s.true_ratio, 0.15 * std::max(1.0, std::fabs(s.true_ratio)));
   // Consistency: every root agrees with z (consensus on the drifted value).
-  for (NodeId root : s.drr.forest.roots())
-    if (r.den[root] > 0.0) EXPECT_NEAR(r.estimate[root], r.estimate[z], 1e-2);
+  for (NodeId root : s.drr.forest.roots()) {
+    if (r.den[root] > 0.0) {
+      EXPECT_NEAR(r.estimate[root], r.estimate[z], 1e-2);
+    }
+  }
 }
 
 TEST(PushSum, Lemma8PotentialHalves) {

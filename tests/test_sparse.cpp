@@ -36,7 +36,9 @@ TEST(OverlayGraph, ConnectedWithLogDegrees) {
     EXPECT_TRUE(g.has_edge(v, chord.successor(v)) || v == chord.successor(v));
     for (std::uint32_t k = 0; k < chord.ring_bits(); k += 5) {
       const NodeId f = chord.finger(v, k);
-      if (f != v) EXPECT_TRUE(g.has_edge(v, f));
+      if (f != v) {
+        EXPECT_TRUE(g.has_edge(v, f));
+      }
     }
   }
 }

@@ -5,7 +5,9 @@
 //
 //   drrg_cli --algo drr --agg ave --n 8192 --loss 0.1 --trials 5
 //   drrg_cli --algo uniform --agg max --n 65536 --csv
-//   drrg_cli --algo chord-drr --agg max --n 4096 --json
+//   drrg_cli --algo drr --agg ave --n 4096 --topology chord-ring --json
+//   drrg_cli --algo drr --agg count --n 4096 --churn 10:0.1,20:0.1 --csv
+//   drrg_cli --algo drr --agg ave --trials 32 --threads 8
 //   drrg_cli --list
 //
 // Dispatch and --list are driven by the drrg::api::Registry: an algorithm
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "api/registry.hpp"
+#include "api/scenario_text.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -31,6 +34,10 @@ struct Options {
   double crash = 0.0;
   double rank_threshold = 0.0;
   int trials = 1;
+  unsigned threads = 1;
+  drrg::sim::TopologySpec topology{};
+  std::vector<drrg::sim::CrashEvent> churn;
+  std::string churn_text;
   bool csv = false;
   bool json = false;
 };
@@ -47,11 +54,15 @@ struct Options {
   }
   std::fprintf(stderr,
                "usage: drrg_cli [--algo A] [--agg G] [--n N] [--seed S]\n"
-               "                [--loss D] [--crash F] [--threshold X]\n"
-               "                [--trials T] [--csv] [--json] [--list]\n"
+               "                [--loss D] [--crash F] [--churn R:F[,R:F...]]\n"
+               "                [--topology P] [--degree D] [--threshold X]\n"
+               "                [--trials T] [--threads W] [--csv] [--json] [--list]\n"
                "  A: %s\n"
-               "  G: %s\n",
-               algos.c_str(), aggs.c_str());
+               "  G: %s\n"
+               "  P: %s\n"
+               "  --churn crashes fraction F of the then-alive nodes at round R\n"
+               "  --threads 0 uses every hardware core; any value is bit-identical\n",
+               algos.c_str(), aggs.c_str(), drrg::api::topology_names().c_str());
   std::exit(code);
 }
 
@@ -90,6 +101,29 @@ Options parse(int argc, char** argv) {
     else if (arg == "--crash") opt.crash = std::atof(next("--crash"));
     else if (arg == "--threshold") opt.rank_threshold = std::atof(next("--threshold"));
     else if (arg == "--trials") opt.trials = std::atoi(next("--trials"));
+    else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::atoi(next("--threads")));
+    else if (arg == "--degree") opt.topology.degree = static_cast<std::uint32_t>(std::atoi(next("--degree")));
+    else if (arg == "--topology") {
+      const char* name = next("--topology");
+      const auto spec = drrg::sim::topology_from_name(name);
+      if (!spec.has_value()) {
+        std::fprintf(stderr, "unknown topology: %s\n", name);
+        usage(2);
+      }
+      const auto degree = opt.topology.degree;
+      opt.topology = *spec;
+      opt.topology.degree = degree;  // --degree may precede --topology
+    }
+    else if (arg == "--churn") {
+      opt.churn_text = next("--churn");
+      const auto churn = drrg::api::parse_churn(opt.churn_text);
+      if (!churn.has_value()) {
+        std::fprintf(stderr, "malformed churn schedule: %s (want R:F[,R:F...])\n",
+                     opt.churn_text.c_str());
+        usage(2);
+      }
+      opt.churn = *churn;
+    }
     else if (arg == "--csv") opt.csv = true;
     else if (arg == "--json") opt.json = true;
     else if (arg == "--list") { list_matrix(); std::exit(0); }
@@ -113,11 +147,14 @@ Options parse(int argc, char** argv) {
 
 void print_json(const Options& opt, const drrg::api::RunReport& r) {
   std::printf("{\"algo\":\"%s\",\"agg\":\"%s\",\"n\":%u,\"seed\":%llu,"
-              "\"loss\":%.4f,\"crash\":%.4f,\"value\":%.17g,\"truth\":%.17g,"
+              "\"topology\":\"%s\",\"loss\":%.4f,\"crash\":%.4f,\"churn\":\"%s\","
+              "\"value\":%.17g,\"truth\":%.17g,"
               "\"abs_error\":%.17g,\"rel_error\":%.17g,\"consensus\":%s,"
               "\"messages\":%llu,\"delivered\":%llu,\"bits\":%llu,\"rounds\":%u}\n",
               r.algorithm.c_str(), std::string{drrg::api::to_string(r.aggregate)}.c_str(),
-              r.n, static_cast<unsigned long long>(r.seed), opt.loss, opt.crash,
+              r.n, static_cast<unsigned long long>(r.seed),
+              std::string{drrg::sim::to_string(opt.topology.kind)}.c_str(),
+              opt.loss, opt.crash, opt.churn_text.c_str(),
               r.value, r.truth, r.abs_error(), r.rel_error(),
               r.consensus ? "true" : "false",
               static_cast<unsigned long long>(r.cost.sent),
@@ -151,21 +188,26 @@ int main(int argc, char** argv) {
   spec.n = opt.n;
   spec.aggregate = *agg;
   spec.seed = opt.seed;
-  spec.faults = sim::FaultModel{opt.loss, opt.crash};
+  spec.faults = sim::FaultSchedule{opt.loss, opt.crash, opt.churn};
+  spec.topology = opt.topology;
   spec.rank_threshold = opt.rank_threshold;
 
   if (opt.csv) {
-    std::printf("algo,agg,n,seed,loss,crash,value,truth,consensus,messages,rounds\n");
+    std::printf(
+        "algo,agg,n,seed,topology,loss,crash,churn,value,truth,consensus,messages,rounds\n");
   } else if (!opt.json) {
-    std::printf("%s / %s on n = %u (loss %.3f, crash %.3f, %d trial%s)\n",
-                opt.algo.c_str(), opt.agg.c_str(), opt.n, opt.loss, opt.crash,
-                opt.trials, opt.trials == 1 ? "" : "s");
+    std::printf("%s / %s on n = %u, %s (loss %.3f, crash %.3f%s%s, %d trial%s, %u thread%s)\n",
+                opt.algo.c_str(), opt.agg.c_str(), opt.n,
+                std::string{sim::to_string(opt.topology.kind)}.c_str(), opt.loss,
+                opt.crash, opt.churn_text.empty() ? "" : ", churn ",
+                opt.churn_text.c_str(), opt.trials, opt.trials == 1 ? "" : "s",
+                opt.threads, opt.threads == 1 ? "" : "s");
   }
 
   Table table{{"seed", "value", "truth", "consensus", "messages", "rounds",
                "msgs/n"}};
   bool all_ok = true;
-  for (const api::RunReport& r : api::run_trials(opt.algo, spec, opt.trials)) {
+  for (const api::RunReport& r : api::run_trials(opt.algo, spec, opt.trials, opt.threads)) {
     if (!r.ok()) {
       std::fprintf(stderr, "run failed (seed %llu): %s\n",
                    static_cast<unsigned long long>(r.seed), r.error.c_str());
@@ -173,9 +215,11 @@ int main(int argc, char** argv) {
       continue;
     }
     if (opt.csv) {
-      std::printf("%s,%s,%u,%llu,%.4f,%.4f,%.8g,%.8g,%d,%llu,%u\n",
+      std::printf("%s,%s,%u,%llu,%s,%.4f,%.4f,%s,%.8g,%.8g,%d,%llu,%u\n",
                   r.algorithm.c_str(), opt.agg.c_str(), r.n,
-                  static_cast<unsigned long long>(r.seed), opt.loss, opt.crash,
+                  static_cast<unsigned long long>(r.seed),
+                  std::string{sim::to_string(opt.topology.kind)}.c_str(),
+                  opt.loss, opt.crash, opt.churn_text.c_str(),
                   r.value, r.truth, r.consensus ? 1 : 0,
                   static_cast<unsigned long long>(r.cost.sent), r.rounds);
     } else if (opt.json) {
