@@ -1,0 +1,113 @@
+// Experiment E -- engine micro-benchmarks for the perf trajectory.
+//
+// Unlike the paper-reproduction benches (whose counters are the claims),
+// these cases measure the *simulator itself*: wall-clock throughput of the
+// hot path in rounds/sec and messages/sec per topology, and heap
+// allocations per run (the pooled-queue engine should hold this constant
+// in rounds: steady-state rounds allocate nothing).
+//
+// tools/bench_baseline.sh runs these alongside the pinned CLI sweep and
+// folds the counters into BENCH_engine.json, the machine-readable perf
+// trajectory that future PRs diff against.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "api/registry.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// Counting replacement of the global allocator (this binary only).  GCC
+// flags malloc-backed operator new paired with free() as a mismatch even
+// though that pairing is exactly what the replacement defines; silence it
+// for these definitions only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace drrg {
+namespace {
+
+/// One engine case: run (algorithm, ave) once per iteration on the given
+/// topology and report simulated-rounds/sec, messages/sec and the heap
+/// allocation count of a single run.
+void engine_case(benchmark::State& state, const std::string& algorithm,
+                 sim::TopologyKind kind) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  api::RunSpec spec;
+  spec.n = n;
+  spec.aggregate = api::Aggregate::kAve;
+  spec.seed = 1000;
+  spec.topology.kind = kind;
+
+  double rounds = 0.0;
+  double msgs = 0.0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const api::RunReport r = api::run(algorithm, spec);
+    allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    if (!r.ok()) {
+      state.SkipWithError(r.error.c_str());
+      break;  // SkipWithError requires leaving the KeepRunning loop
+    }
+    rounds += r.rounds;
+    msgs += static_cast<double>(r.cost.sent);
+  }
+  state.counters["rounds_per_sec"] =
+      benchmark::Counter(rounds, benchmark::Counter::kIsRate);
+  state.counters["msgs_per_sec"] = benchmark::Counter(msgs, benchmark::Counter::kIsRate);
+  state.counters["allocs_per_run"] = static_cast<double>(allocs);
+  state.counters["msgs"] = msgs / static_cast<double>(std::max<std::size_t>(
+                                      1, state.iterations()));
+}
+
+void BM_EngineDrrComplete(benchmark::State& state) {
+  engine_case(state, "drr", sim::TopologyKind::kComplete);
+}
+BENCHMARK(BM_EngineDrrComplete)->RangeMultiplier(4)->Range(1 << 10, 1 << 14);
+
+void BM_EngineDrrGrid(benchmark::State& state) {
+  engine_case(state, "drr", sim::TopologyKind::kGrid2d);
+}
+BENCHMARK(BM_EngineDrrGrid)->RangeMultiplier(4)->Range(1 << 10, 1 << 14);
+
+void BM_EngineDrrChordRing(benchmark::State& state) {
+  engine_case(state, "drr", sim::TopologyKind::kChordRing);
+}
+BENCHMARK(BM_EngineDrrChordRing)->RangeMultiplier(4)->Range(1 << 10, 1 << 14);
+
+void BM_EngineUniformComplete(benchmark::State& state) {
+  engine_case(state, "uniform", sim::TopologyKind::kComplete);
+}
+BENCHMARK(BM_EngineUniformComplete)->RangeMultiplier(4)->Range(1 << 10, 1 << 14);
+
+}  // namespace
+}  // namespace drrg
+
+BENCHMARK_MAIN();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace drrg {
@@ -52,7 +53,7 @@ LeaderOutcome drr_gossip_elect_leader(std::uint32_t n, std::uint64_t seed,
 HistogramOutcome drr_gossip_histogram(std::uint32_t n, std::span<const double> values,
                                       std::span<const double> edges, std::uint64_t seed,
                                       const sim::Scenario& scenario,
-                                      const DrrGossipConfig& config) {
+                                      const DrrGossipConfig& config, unsigned threads) {
   if (edges.size() < 2) throw std::invalid_argument("histogram: need >= 2 edges");
   if (!std::is_sorted(edges.begin(), edges.end()) ||
       std::adjacent_find(edges.begin(), edges.end()) != edges.end())
@@ -61,14 +62,18 @@ HistogramOutcome drr_gossip_histogram(std::uint32_t n, std::span<const double> v
   HistogramOutcome out;
   // rank(e) = #values < e; bucket i = rank(e_{i+1}) - rank(e_i).  Every
   // rank query shares the root seed (one crash set across the histogram);
-  // per-query randomness comes from salted stream tags.
+  // per-query randomness comes from salted stream tags.  The queries are
+  // mutually independent, so they fan onto the deterministic executor and
+  // are absorbed in fixed index order -- bit-identical at any `threads`.
+  const std::vector<AggregateOutcome> queries =
+      parallel_map(edges.size(), threads, [&](std::size_t i) {
+        return drr_gossip_rank(n, values, edges[i], seed, scenario,
+                               with_stream_salt(config, 0x8157ULL + i));
+      });
   std::vector<double> ranks(edges.size(), 0.0);
   for (std::size_t i = 0; i < edges.size(); ++i) {
-    const AggregateOutcome r = drr_gossip_rank(
-        n, values, edges[i], seed, scenario,
-        with_stream_salt(config, 0x8157ULL + i));
-    ranks[i] = r.value;
-    out.total += r.metrics.total();
+    ranks[i] = queries[i].value;
+    out.total += queries[i].metrics.total();
     ++out.pipeline_runs;
   }
   out.counts.resize(edges.size() - 1);

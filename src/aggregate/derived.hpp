@@ -53,11 +53,16 @@ struct HistogramOutcome {
 
 /// Distributed histogram over `edges.size() - 1` buckets: one Rank run
 /// per interior edge (edges must be strictly increasing, >= 2 entries).
+/// The per-edge rank queries are independent (one shared crash set, per
+/// query salted streams) and fan onto the deterministic executor:
+/// `threads` is purely a wall-clock knob (1 = inline, 0 = all hardware
+/// cores), bit-identical for any value.
 [[nodiscard]] HistogramOutcome drr_gossip_histogram(std::uint32_t n,
                                                     std::span<const double> values,
                                                     std::span<const double> edges,
                                                     std::uint64_t seed,
                                                     const sim::Scenario& scenario = {},
-                                                    const DrrGossipConfig& config = {});
+                                                    const DrrGossipConfig& config = {},
+                                                    unsigned threads = 1);
 
 }  // namespace drrg

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rootgossip/ordered_key.hpp"
+#include "support/mathutil.hpp"
 #include "support/rng.hpp"
 
 namespace drrg {
@@ -13,6 +14,18 @@ namespace drrg {
 namespace {
 
 constexpr double kAgreeTolerance = 1e-9;  // relative, consensus checks
+
+/// Phase III round-budget scale for the scenario's substrate: 1.0 on the
+/// complete topology and on overlays whose diameter is within the O(log n)
+/// schedule, diameter/log-proportional beyond that (the grid/torus fix).
+double phase3_scale(std::uint32_t n, const sim::Scenario& scenario,
+                    const DrrGossipConfig& config) {
+  if (config.phase3_diameter_multiplier <= 0.0 || scenario.topology.is_complete())
+    return 1.0;
+  const double diameter = scenario.topology.diameter();
+  const double budget = static_cast<double>(ceil_log2(n));
+  return std::max(1.0, config.phase3_diameter_multiplier * diameter / budget);
+}
 
 struct Phase12 {
   DrrResult drr;
@@ -125,6 +138,8 @@ AggregateOutcome max_pipeline(std::uint32_t n, std::span<const double> values,
   for (NodeId r : forest.roots()) keys[r] = encode_ordered(p.cc.aggregate[r]);
   GossipMaxConfig gm_cfg = config.gossip_max;
   gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 3);
+  gm_cfg.round_budget_scale *= phase3_scale(n, scenario, config);
+  gm_cfg.member_relay &= config.phase3_diameter_multiplier > 0.0;
   const GossipMaxResult gm =
       run_gossip_max(forest, keys, rngs, scenario.at_round(p.end_round), gm_cfg);
   out.metrics.gossip = gm.counters;
@@ -167,8 +182,12 @@ AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
     // as Algorithm 8 prescribes -- not from global forest knowledge.
     size_keys[r] = encode_size_id(static_cast<std::uint32_t>(p.cc.weight[r]), r);
   }
+  const double budget_scale = phase3_scale(n, scenario, config);
+  const bool topology_adapt = config.phase3_diameter_multiplier > 0.0;
   GossipMaxConfig gm_cfg = config.gossip_max;
   gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 4);
+  gm_cfg.round_budget_scale *= budget_scale;
+  gm_cfg.member_relay &= topology_adapt;
   const GossipMaxResult election =
       run_gossip_max(forest, size_keys, rngs, scenario.at_round(p.end_round), gm_cfg);
 
@@ -188,6 +207,8 @@ AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
   }
   PushSumConfig ps_cfg = config.push_sum;
   ps_cfg.stream_tag = derive_seed(ps_cfg.stream_tag, 5);
+  ps_cfg.round_budget_scale *= budget_scale;
+  ps_cfg.member_relay &= topology_adapt;
   const PushSumResult ps = run_root_push_sum(
       forest, num0, den0, rngs, scenario.at_round(p.end_round + election.rounds), ps_cfg);
   gossip_counters += ps.counters;
@@ -204,6 +225,8 @@ AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
   }
   GossipMaxConfig spread_cfg = config.gossip_max;
   spread_cfg.stream_tag = derive_seed(spread_cfg.stream_tag, 6);
+  spread_cfg.round_budget_scale *= budget_scale;
+  spread_cfg.member_relay &= topology_adapt;
   const GossipMaxResult spread = run_gossip_max(
       forest, spread_init, rngs,
       scenario.at_round(p.end_round + gossip_rounds), spread_cfg);

@@ -17,6 +17,13 @@ namespace drrg {
 struct QuantileConfig {
   /// Bisection iterations on the value domain.
   std::uint32_t iterations = 40;
+  /// Worker threads for the *independent* sub-runs (the Min/Max/Count
+  /// bracket).  The bisection itself is inherently sequential.  1 = run
+  /// inline; 0 = one thread per hardware core.  Any value is
+  /// bit-identical (the sub-runs are pure functions of their salted
+  /// configs); api::run_trials threads its leftover budget through here
+  /// via RunSpec::intra_threads.
+  unsigned threads = 1;
   DrrGossipConfig pipeline;
 };
 

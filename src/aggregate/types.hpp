@@ -25,6 +25,18 @@ struct DrrGossipConfig {
   /// Whether to run the final value broadcast so every node (not just
   /// every root) ends with the aggregate.
   bool broadcast_result = true;
+  /// Topology-aware Phase III on explicit substrates: (a) the root
+  /// gossip's O(log n) round schedule is scaled by
+  ///   max(1, phase3_diameter_multiplier * diameter / ceil(log2 n)),
+  /// because neighbor-constrained sampling moves information O(1) grid
+  /// distance per round, and (b) root gossip leaves each tree through a
+  /// uniform random tree *member* (GossipMaxConfig::member_relay), so the
+  /// G~ overlay inherits the substrate's tree-adjacency connectivity --
+  /// without both, diameter-heavy substrates (grid, torus) finish with
+  /// consensus = 0.  The complete topology (diameter 1) is bit-for-bit
+  /// unaffected; 0 disables the whole adaptation (historical behavior,
+  /// used by the pinned engine benchmarks for cross-PR comparability).
+  double phase3_diameter_multiplier = 1.0;
 };
 
 /// Copy of `config` with every phase's RNG stream tag salted by `salt`.

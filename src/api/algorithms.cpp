@@ -17,6 +17,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "api/registry.hpp"
@@ -59,10 +61,40 @@ template <class T>
 
 /// The run's environment: topology materialised from the spec's seed
 /// (randomized builders resample per trial) plus the fault schedule.
+/// Materialisation is memoised (last-used entry): a Monte-Carlo sweep over
+/// a deterministic substrate (grid, chord-ring) rebuilds the same CSR
+/// arrays for every trial otherwise.  Randomized builders key on the
+/// derived seed, so distinct trials still resample.  Topology copies are
+/// O(1) shared_ptr handles, safe to share across the trial executor.
 [[nodiscard]] sim::Scenario make_scenario(const RunSpec& spec) {
-  return sim::Scenario{
-      sim::make_topology(spec.topology, spec.n, derive_seed(spec.seed, 0x7090ULL)),
-      spec.faults};
+  if (spec.topology.is_complete()) return sim::Scenario{sim::Topology::complete(), spec.faults};
+  const std::uint64_t seed = derive_seed(spec.seed, 0x7090ULL);
+  struct Key {
+    sim::TopologyKind kind;
+    std::uint32_t degree;
+    bool torus;
+    std::uint32_t n;
+    std::uint64_t seed;
+    bool operator==(const Key&) const = default;
+  };
+  const bool randomized = spec.topology.kind == sim::TopologyKind::kRandomRegular;
+  const Key key{spec.topology.kind, spec.topology.degree, spec.topology.torus, spec.n,
+                randomized ? seed : 0};
+  static std::mutex mu;
+  static std::optional<Key> cached_key;
+  static sim::Topology cached;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (cached_key.has_value() && *cached_key == key)
+      return sim::Scenario{cached, spec.faults};
+  }
+  sim::Topology topology = sim::make_topology(spec.topology, spec.n, seed);
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    cached_key = key;
+    cached = topology;
+  }
+  return sim::Scenario{std::move(topology), spec.faults};
 }
 
 [[nodiscard]] bool has_crashes(const RunSpec& spec) {
@@ -134,6 +166,12 @@ RunReport run_drr(const RunSpec& spec) {
       cfg.pipeline = config_as<DrrGossipConfig>(spec, report);
       if (!report.error.empty()) return report;
     }
+    // The spec's intra-run budget fans the bisection's independent
+    // bracket runs; an explicit QuantileConfig::threads wins if larger,
+    // and 0 ("all hardware cores") on either side wins outright.
+    cfg.threads = (cfg.threads == 0 || spec.intra_threads == 0)
+                      ? 0
+                      : std::max(cfg.threads, spec.intra_threads);
     const QuantileOutcome q = drr_gossip_median(spec.n, values, spec.seed, scenario, cfg);
     report.value = q.value;
     report.consensus = true;  // every query run reached consensus internally

@@ -94,6 +94,14 @@ struct RunSpec {
   workload::ValueRange workload_range{};
   /// Threshold x of the Rank aggregate: |{ alive v : values[v] < x }|.
   double rank_threshold = 0.0;
+  /// Worker threads for *intra-run* fan-outs -- through the facade that
+  /// is the Median bisection's Min/Max/Count bracket (the direct-call
+  /// drr_gossip_histogram API takes the same knob as a parameter).
+  /// 1 = inline, 0 = all hardware cores; bit-identical for any value.
+  /// run_trials threads its leftover budget through here, so nesting
+  /// under the trial executor never oversubscribes: outer workers x
+  /// intra threads <= the requested total.
+  unsigned intra_threads = 1;
   AlgorithmConfig config{};
 };
 

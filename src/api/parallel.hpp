@@ -1,78 +1,15 @@
 #pragma once
-// Deterministic parallel trial executor.
-//
-// Monte-Carlo sweeps (run_trials, run_matrix) are embarrassingly parallel:
-// every cell is a pure function of its RunSpec (all randomness flows from
-// the spec's root seed, no globals are mutated after the registry is
-// built).  The executor therefore guarantees *bit-identical* output for
-// any thread count, including 1:
-//
-//   * the task list and each task's inputs are fixed up front (per-trial
-//     root seeds are derived from the base seed by index, never from
-//     execution order);
-//   * workers pull task indices from an atomic counter and write results
-//     into a pre-sized slot array -- results are ordered by task index,
-//     not completion order;
-//   * nothing about scheduling feeds back into any task's computation.
-//
-// So `threads` is purely a wall-clock knob; correctness tests can run the
-// same sweep at --threads 1/4/8 and memcmp the reports.
+// Historical location of the deterministic parallel executor.  The
+// implementation moved to support/parallel.hpp so the aggregate layer can
+// fan intra-run sub-runs (quantile bracket, histogram rank queries) onto
+// the same executor without depending on the api facade; this header
+// keeps the api::parallel_map / api::resolve_threads spellings working.
 
-#include <atomic>
-#include <cstddef>
-#include <exception>
-#include <thread>
-#include <utility>
-#include <vector>
+#include "support/parallel.hpp"
 
 namespace drrg::api {
 
-/// Resolves a thread-count request: 0 = one thread per hardware core,
-/// otherwise the request itself, clamped to the task count.
-[[nodiscard]] inline unsigned resolve_threads(unsigned requested, std::size_t tasks) {
-  unsigned t = requested != 0 ? requested : std::thread::hardware_concurrency();
-  if (t == 0) t = 1;
-  if (tasks < t) t = static_cast<unsigned>(tasks == 0 ? 1 : tasks);
-  return t;
-}
-
-/// Runs fn(i) for every i in [0, count) on `threads` workers and returns
-/// the results ordered by index.  With threads <= 1 the loop runs inline
-/// (no thread is spawned).  The first exception (by task index) is
-/// rethrown after all workers join.
-template <class F>
-auto parallel_map(std::size_t count, unsigned threads, F&& fn)
-    -> std::vector<decltype(fn(std::size_t{0}))> {
-  using R = decltype(fn(std::size_t{0}));
-  std::vector<R> results(count);
-  if (count == 0) return results;
-
-  const unsigned workers = resolve_threads(threads, count);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(count);
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        results[i] = fn(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  for (std::exception_ptr& e : errors)
-    if (e) std::rethrow_exception(e);
-  return results;
-}
+using drrg::parallel_map;
+using drrg::resolve_threads;
 
 }  // namespace drrg::api

@@ -1,0 +1,84 @@
+#pragma once
+// Canonical 64-bit digest of a RunReport (FNV-1a over a fixed-order byte
+// serialisation of every result field).  Two reports hash equal iff they
+// are bit-identical in everything the facade promises to be deterministic:
+// the computed value and truth (as IEEE-754 bit patterns), consensus, the
+// whole message/round accounting, the forest shape and the participation
+// mask.  The golden determinism tests pin these digests across engine
+// rewrites and thread counts; the bench goldens diff them across PRs.
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "api/api.hpp"
+
+namespace drrg::api {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(const void* data, std::size_t len,
+                                               std::uint64_t h) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a_u64(std::uint64_t v, std::uint64_t h) noexcept {
+  return fnv1a_bytes(&v, sizeof(v), h);
+}
+
+[[nodiscard]] inline std::uint64_t hash_counters(const sim::Counters& c,
+                                                 std::uint64_t h) noexcept {
+  h = fnv1a_u64(c.sent, h);
+  h = fnv1a_u64(c.delivered, h);
+  h = fnv1a_u64(c.lost, h);
+  h = fnv1a_u64(c.bits, h);
+  h = fnv1a_u64(c.rounds, h);
+  return h;
+}
+
+/// Digest of one report.  Field order is part of the golden contract: do
+/// not reorder without regenerating every committed golden.
+[[nodiscard]] inline std::uint64_t report_checksum(const RunReport& r) noexcept {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_bytes(r.algorithm.data(), r.algorithm.size(), h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(r.aggregate), h);
+  h = fnv1a_u64(r.n, h);
+  h = fnv1a_u64(r.seed, h);
+  h = fnv1a_u64(r.supported ? 1 : 0, h);
+  h = fnv1a_bytes(r.error.data(), r.error.size(), h);
+  h = fnv1a_u64(std::bit_cast<std::uint64_t>(r.value), h);
+  h = fnv1a_u64(std::bit_cast<std::uint64_t>(r.truth), h);
+  h = fnv1a_u64(r.consensus ? 1 : 0, h);
+  h = fnv1a_u64(r.rounds, h);
+  h = hash_counters(r.cost, h);
+  h = hash_counters(r.phases.drr, h);
+  h = hash_counters(r.phases.convergecast, h);
+  h = hash_counters(r.phases.root_broadcast, h);
+  h = hash_counters(r.phases.gossip, h);
+  h = hash_counters(r.phases.spread, h);
+  h = hash_counters(r.phases.value_broadcast, h);
+  h = fnv1a_u64(r.forest.num_trees, h);
+  h = fnv1a_u64(r.forest.max_tree_size, h);
+  h = fnv1a_u64(r.forest.max_tree_height, h);
+  h = fnv1a_u64(r.forest.largest_tree_root, h);
+  h = fnv1a_u64(r.participating.size(), h);
+  for (bool b : r.participating) h = fnv1a_u64(b ? 1 : 0, h);
+  return h;
+}
+
+/// Digest of a whole sweep (order-sensitive).
+[[nodiscard]] inline std::uint64_t sweep_checksum(
+    const std::vector<RunReport>& reports) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const RunReport& r : reports) h = fnv1a_u64(report_checksum(r), h);
+  return h;
+}
+
+}  // namespace drrg::api

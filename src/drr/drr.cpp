@@ -1,5 +1,7 @@
 #include "drr/drr.hpp"
 
+#include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "sim/engine.hpp"
@@ -25,10 +27,10 @@ struct DrrProtocol {
         connect_cap(cfg.connect_attempt_cap),
         rank_bits(3 * address_bits(n)),
         addr_bits(address_bits(n)),
+        rank(n, 0.0),
         state(n) {}
 
   struct NodeState {
-    double rank = 0.0;
     std::uint32_t attempts = 0;         // probes consumed
     bool probe_outstanding = false;     // sent this round, awaiting reply
     std::uint32_t connect_attempts = 0;
@@ -41,13 +43,27 @@ struct DrrProtocol {
   std::uint32_t connect_cap;
   std::uint32_t rank_bits;
   std::uint32_t addr_bits;
+  /// Ranks live in their own dense array: the probe-reply handler touches
+  /// nothing else, and probes hit random nodes -- a 32 KB rank table stays
+  /// cache-resident where the full state records would not.
+  std::vector<double> rank;
   std::vector<NodeState> state;
+  std::vector<sim::NodeId> active;  // unsettled nodes, ascending
   std::uint64_t total_probes = 0;
   std::uint32_t unsettled = 0;  // maintained by the runner
 
   void init_ranks(sim::Network<DrrMsg>& net) {
-    for (sim::NodeId v : net.alive_nodes()) state[v].rank = net.node_rng(v).next_unit();
+    for (sim::NodeId v : net.alive_nodes()) rank[v] = net.node_rng(v).next_unit();
     unsettled = static_cast<std::uint32_t>(net.alive_nodes().size());
+    active = net.alive_nodes();
+  }
+
+  /// Settled nodes are pure no-ops in on_round/on_round_end; handing the
+  /// engine the shrinking unsettled list keeps the late rounds (few
+  /// stragglers retrying connects) from scanning all n nodes.  Pruned in
+  /// done(), which runs between rounds -- never while the engine iterates.
+  [[nodiscard]] std::span<const sim::NodeId> active_nodes() const noexcept {
+    return active;
   }
 
   void settle(NodeState& s) {
@@ -84,7 +100,7 @@ struct DrrProtocol {
                   const DrrMsg& m) {
     switch (m.kind) {
       case DrrMsg::Kind::kProbe:
-        net.reply(dst, src, DrrMsg{DrrMsg::Kind::kProbeReply, state[dst].rank}, rank_bits);
+        net.reply(dst, src, DrrMsg{DrrMsg::Kind::kProbeReply, rank[dst]}, rank_bits);
         break;
       case DrrMsg::Kind::kConnect:
         // Record the child; duplicates from retries are idempotent because
@@ -102,7 +118,7 @@ struct DrrProtocol {
       case DrrMsg::Kind::kProbeReply:
         s.probe_outstanding = false;
         ++s.attempts;
-        if (m.rank > s.rank) s.pending_parent = src;
+        if (m.rank > rank[dst]) s.pending_parent = src;
         break;
       case DrrMsg::Kind::kConnectAck:
         s.parent = src;
@@ -129,8 +145,90 @@ struct DrrProtocol {
     if (s.attempts >= budget) settle(s);  // no higher-ranked node found: root
   }
 
-  [[nodiscard]] bool done(const sim::Network<DrrMsg>&) const { return unsettled == 0; }
+  [[nodiscard]] bool done(const sim::Network<DrrMsg>&) {
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [this](sim::NodeId v) { return state[v].settled; }),
+                 active.end());
+    return unsettled == 0;
+  }
 };
+
+/// Flat fault-free executor.  With no losses possible, every probe is
+/// answered in its own round and the first connect call is acknowledged
+/// immediately, so the whole round resolves inline: probe replies read
+/// only the static rank table and connect acks read nothing, so no
+/// handler can observe another node's same-round mutations -- inlining
+/// the two delivery passes is exactly the engine's schedule.  Counters,
+/// RNG draw order (ranks then probes, one stream per node) and the
+/// resulting forest are bit-identical to the Network path (pinned by the
+/// golden determinism tests).
+DrrResult run_drr_flat(std::uint32_t n, const RngFactory& rngs,
+                       const sim::Scenario& scenario, const DrrConfig& config,
+                       std::uint64_t purpose) {
+  DrrProtocol proto{n, config};
+  const sim::Topology& topology = scenario.topology;
+  const bool complete = topology.is_complete();
+
+  // One stream per node, first draw the rank -- the engine's init_ranks.
+  std::vector<Rng> rng;
+  rng.reserve(n);
+  for (NodeId v = 0; v < n; ++v) rng.push_back(rngs.node_stream(v, purpose));
+  for (NodeId v = 0; v < n; ++v) proto.rank[v] = rng[v].next_unit();
+  proto.unsettled = n;
+  proto.active.resize(n);
+  for (NodeId v = 0; v < n; ++v) proto.active[v] = v;
+
+  std::uint64_t probes = 0;    // probe + rank-reply exchanges
+  std::uint64_t connects = 0;  // connect + ack exchanges
+  const sim::Topology::PeerSampler sample = topology.sampler(n);
+  const double* rank_of = proto.rank.data();
+  const std::uint32_t max_rounds = proto.budget + config.connect_attempt_cap + 2;
+  std::uint32_t rounds = 0;
+  for (std::uint32_t r = 0; r < max_rounds; ++r) {
+    ++rounds;
+    for (NodeId v : proto.active) {
+      DrrProtocol::NodeState& s = proto.state[v];
+      if (s.pending_parent != sim::kNoNode) {
+        // Connect + ack, both delivered this round: settled.
+        ++s.connect_attempts;
+        ++connects;
+        s.parent = s.pending_parent;
+        proto.settle(s);
+        continue;
+      }
+      if (s.attempts < proto.budget) {
+        NodeId u = sample(v, rng[v]);
+        if (u == v && complete) u = (u + 1) % n;
+        // Probe out, rank reply back, both delivered this round.
+        ++probes;
+        ++s.attempts;
+        if (rank_of[u] > rank_of[v]) s.pending_parent = u;
+      }
+      if (s.pending_parent == sim::kNoNode && s.attempts >= proto.budget)
+        proto.settle(s);  // no higher-ranked node found: root
+    }
+    proto.active.erase(std::remove_if(proto.active.begin(), proto.active.end(),
+                                      [&proto](sim::NodeId v) {
+                                        return proto.state[v].settled;
+                                      }),
+                       proto.active.end());
+    if (proto.unsettled == 0) break;
+  }
+
+  proto.total_probes = probes;
+  sim::Counters counters;
+  counters.sent = 2 * (probes + connects);
+  counters.delivered = 2 * (probes + connects);
+  counters.bits = probes * (proto.addr_bits + proto.rank_bits) +
+                  connects * 2 * proto.addr_bits;
+  counters.rounds = rounds;
+  std::vector<NodeId> parent(n, kNoParent);
+  std::vector<bool> member(n, true);
+  for (NodeId v = 0; v < n; ++v) parent[v] = proto.state[v].parent;
+  DrrResult result{Forest::from_parents(std::move(parent), std::move(member)),
+                   std::move(proto.rank), counters, proto.total_probes, rounds};
+  return result;
+}
 
 }  // namespace
 
@@ -139,6 +237,7 @@ DrrResult run_drr(std::uint32_t n, const RngFactory& rngs, const sim::Scenario& 
   if (n < 2) throw std::invalid_argument("run_drr: need n >= 2");
   const std::uint64_t purpose =
       config.stream_tag != 0 ? derive_seed(0x11ddULL, config.stream_tag) : 0x11ddULL;
+  if (scenario.faults.fault_free()) return run_drr_flat(n, rngs, scenario, config, purpose);
   sim::Network<DrrMsg> net{n, rngs, scenario, purpose};
   DrrProtocol proto{n, config};
   proto.init_ranks(net);
@@ -157,7 +256,7 @@ DrrResult run_drr(std::uint32_t n, const RngFactory& rngs, const sim::Scenario& 
     // A parent that crashed mid-phase (churn) is gone: its orphaned child
     // becomes a root, exactly as if the connection had never been acked.
     if (parent[v] != kNoParent && !net.alive(parent[v])) parent[v] = kNoParent;
-    ranks[v] = proto.state[v].rank;
+    ranks[v] = proto.rank[v];
   }
 
   DrrResult result{Forest::from_parents(std::move(parent), std::move(member)),

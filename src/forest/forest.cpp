@@ -77,6 +77,16 @@ Forest Forest::from_parents(std::vector<NodeId> parent, std::vector<bool> member
     f.tree_height_[r] = std::max(f.tree_height_[r], f.depth_[v]);
     if (f.parent_[v] == kNoParent) f.roots_.push_back(v);
   }
+
+  // Per-tree member lists (CSR by root id, members ascending).
+  f.member_offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) f.member_offsets_[v + 1] = f.member_offsets_[v] + f.tree_size_[v];
+  f.member_storage_.assign(f.member_offsets_[n], 0);
+  {
+    std::vector<std::uint64_t> cursor(f.member_offsets_.begin(), f.member_offsets_.end() - 1);
+    for (NodeId v = 0; v < n; ++v)
+      if (f.member_[v]) f.member_storage_[cursor[f.root_of_[v]]++] = v;
+  }
   return f;
 }
 

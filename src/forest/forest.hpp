@@ -35,10 +35,33 @@ class Forest {
   }
   [[nodiscard]] NodeId parent(NodeId v) const noexcept { return parent_[v]; }
   [[nodiscard]] std::span<const NodeId> children(NodeId v) const noexcept;
+  /// Base index of v's slice in the flat child storage.  Protocols keep
+  /// per-child state (broadcast acks) in one flat array indexed by
+  /// child_offset(v) + i instead of n per-node vectors.
+  [[nodiscard]] std::uint64_t child_offset(NodeId v) const noexcept {
+    return child_offsets_[v];
+  }
+  /// Members of the tree rooted at r, ascending, r included (empty slice
+  /// for non-roots).  Phase III's member relay on explicit topologies
+  /// samples from this: gossip leaving a tree through a uniform random
+  /// member reaches the tree's whole boundary, not just the root node's
+  /// own neighbors.
+  [[nodiscard]] std::span<const NodeId> tree_members(NodeId r) const noexcept {
+    return {member_storage_.data() + member_offsets_[r],
+            member_storage_.data() + member_offsets_[r + 1]};
+  }
+  /// Total number of child slots (== members that have a parent).
+  [[nodiscard]] std::uint64_t child_slots() const noexcept {
+    return child_storage_.size();
+  }
   [[nodiscard]] const std::vector<NodeId>& roots() const noexcept { return roots_; }
 
   /// Root of the tree containing v (v itself if root).
   [[nodiscard]] NodeId root_of(NodeId v) const noexcept { return root_of_[v]; }
+  /// Raw root-of table for tight loops (root_of_table()[v] == root_of(v);
+  /// a stack-local pointer stays in a register where the member access
+  /// would be reloaded around heap writes).
+  [[nodiscard]] const NodeId* root_of_table() const noexcept { return root_of_.data(); }
   /// Number of nodes in the tree rooted at r (queried by any member).
   [[nodiscard]] std::uint32_t tree_size(NodeId v) const noexcept {
     return tree_size_[root_of_[v]];
@@ -72,6 +95,8 @@ class Forest {
   std::vector<bool> member_;
   std::vector<std::uint64_t> child_offsets_;
   std::vector<NodeId> child_storage_;
+  std::vector<std::uint64_t> member_offsets_;  // per-tree member CSR, by root id
+  std::vector<NodeId> member_storage_;
   std::vector<NodeId> roots_;
   std::vector<NodeId> root_of_;
   std::vector<std::uint32_t> depth_;

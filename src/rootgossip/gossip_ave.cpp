@@ -1,6 +1,8 @@
 #include "rootgossip/gossip_ave.hpp"
 
+#include <span>
 #include <stdexcept>
+#include <type_traits>
 
 #include "sim/engine.hpp"
 #include "support/mathutil.hpp"
@@ -9,34 +11,51 @@ namespace drrg {
 
 namespace {
 
+// The protocol is compiled twice: the measurement variant (kTrack) carries
+// the Lemma 8 contribution half-rows in every message, the production
+// variant carries a 24-byte POD -- no vector member, no heap traffic on
+// the engine's hottest queue.  Both draw identical randomness (streams are
+// a function of seed/purpose only), so the split is observationally free.
+struct NoPayload {};
+
+template <bool kTrack>
 struct PsMsg {
-  enum class Kind : std::uint8_t { kMass, kAck };
-  Kind kind = Kind::kMass;
+  // kRelayMass: first hop of the member relay on explicit topologies (the
+  // root hands its half to a uniform random member of its own tree, which
+  // samples *its* substrate neighbor) -- see GmMsg for the rationale.
+  enum class Kind : std::uint8_t { kMass, kAck, kRelayMass };
+  // Field order keeps the production variant at 24 bytes (32-byte queue
+  // envelopes): the queues are the engine's hottest memory traffic.
   double num = 0.0;
   double den = 0.0;
   // True on the initiating hop from the sending root; the first receiver
   // acknowledges it so the sender can detect a lost call.
   bool first_hop = false;
-  // Contribution half-row (track_potential only; empty otherwise).  The
-  // vector is bookkeeping for the Lemma 8 measurement, not protocol
-  // payload -- bit accounting charges only the (num, den) pair.
-  std::vector<double> y;
+  Kind kind = Kind::kMass;
+  // Contribution half-row (kTrack only).  The vector is bookkeeping for
+  // the Lemma 8 measurement, not protocol payload -- bit accounting
+  // charges only the (num, den) pair.
+  [[no_unique_address]] std::conditional_t<kTrack, std::vector<double>, NoPayload> y{};
 };
 
+template <bool kTrack>
 struct PushSumProtocol {
+  using Msg = PsMsg<kTrack>;
+
   PushSumProtocol(const Forest& f, std::span<const double> num0,
                   std::span<const double> den0, const PushSumConfig& cfg,
-                  std::uint32_t n)
+                  std::uint32_t n, bool relay_members)
       : forest(f),
         forward(cfg.forward_via_trees),
-        track(cfg.track_potential),
+        relay(relay_members && cfg.forward_via_trees),
         recover(cfg.recover_lost_mass),
         num(n, 0.0),
         den(n, 0.0),
         pending(n),
         root_index(n, 0),
-        push_rounds(static_cast<std::uint32_t>(
-                        cfg.rounds_multiplier * static_cast<double>(ceil_log2(n))) +
+        push_rounds(static_cast<std::uint32_t>(cfg.rounds_multiplier *
+                                               static_cast<double>(ceil_log2(n)) *
+                                               cfg.round_budget_scale) +
                     cfg.extra_rounds),
         pair_bits(2 * 64 + address_bits(n)) {
     const auto& roots = f.roots();
@@ -45,7 +64,7 @@ struct PushSumProtocol {
       num[r] = num0[r];
       den[r] = den0[r];
     }
-    if (track) {
+    if constexpr (kTrack) {
       // y_{0,i} = e_i over the m roots.
       Y.assign(roots.size(), std::vector<double>(roots.size(), 0.0));
       for (std::uint32_t i = 0; i < roots.size(); ++i) Y[i][i] = 1.0;
@@ -60,12 +79,12 @@ struct PushSumProtocol {
     bool active = false;
     double num = 0.0;
     double den = 0.0;
-    std::vector<double> y;
+    [[no_unique_address]] std::conditional_t<kTrack, std::vector<double>, NoPayload> y{};
   };
 
   const Forest& forest;
   bool forward;
-  bool track;
+  bool relay;  // explicit topology: leave the tree via a random member
   bool recover;
   std::vector<double> num;
   std::vector<double> den;
@@ -75,18 +94,40 @@ struct PushSumProtocol {
   std::uint32_t push_rounds;
   std::uint32_t pair_bits;
 
-  void on_round(sim::Network<PsMsg>& net, sim::NodeId v) {
-    if (!forest.is_root(v) || net.round() >= push_rounds) return;
+  /// Only roots push mass or hold pending halves; the engine thins its
+  /// per-round upcall scans to the (ascending) root list.
+  [[nodiscard]] std::span<const sim::NodeId> active_nodes() const noexcept {
+    return forest.roots();
+  }
+
+  void on_round(sim::Network<Msg>& net, sim::NodeId v) {
+    if (net.round() >= push_rounds) return;
     // Keep half, send half (computed before any of this round's receipts).
     num[v] *= 0.5;
     den[v] *= 0.5;
-    PsMsg m{PsMsg::Kind::kMass, num[v], den[v], /*first_hop=*/true, {}};
-    if (track) {
+    Msg m{num[v], den[v], /*first_hop=*/true, Msg::Kind::kMass, {}};
+    if constexpr (kTrack) {
       auto& row = Y[root_index[v]];
       for (double& yj : row) yj *= 0.5;
       m.y = row;
     }
-    if (recover) pending[v] = Outstanding{true, m.num, m.den, m.y};
+    if (recover) {
+      if constexpr (kTrack) {
+        pending[v] = Outstanding{true, m.num, m.den, m.y};
+      } else {
+        pending[v] = Outstanding{true, m.num, m.den, {}};
+      }
+    }
+    if (relay) {
+      const auto members = forest.tree_members(v);
+      const auto carrier = static_cast<sim::NodeId>(
+          members[net.node_rng(v).next_below(members.size())]);
+      if (carrier != v) {
+        m.kind = Msg::Kind::kRelayMass;
+        net.send(v, carrier, std::move(m), pair_bits);
+        return;
+      }
+    }
     sim::NodeId target = net.sample_peer(v);
     if (!forward && forest.is_member(target)) {
       // Analysis mode: the G~ edge collapses to one direct hop, with the
@@ -96,40 +137,55 @@ struct PushSumProtocol {
     net.send(v, target, std::move(m), pair_bits);
   }
 
-  void on_message(sim::Network<PsMsg>& net, sim::NodeId src, sim::NodeId dst, const PsMsg& m) {
-    if (m.kind == PsMsg::Kind::kAck) return;  // acks ride the reply path
+  void on_message(sim::Network<Msg>& net, sim::NodeId src, sim::NodeId dst, const Msg& m) {
+    if (m.kind == Msg::Kind::kAck) return;  // acks ride the reply path
     if (recover && m.first_hop) {
       // Acknowledge on the established call: the sender now knows its
       // half arrived (replies are reliable in the §2 model).
-      net.reply(dst, src, PsMsg{PsMsg::Kind::kAck, 0.0, 0.0, false, {}}, 1);
+      net.reply(dst, src, Msg{0.0, 0.0, false, Msg::Kind::kAck, {}}, 1);
     }
-    if (!forest.is_root(dst)) {
-      PsMsg fwd = m;
+    if (m.kind == Msg::Kind::kRelayMass) {
+      // Relay hop: this member samples *its* substrate neighbor.
+      Msg fwd = m;
       fwd.first_hop = false;
-      net.send(dst, forest.root_of(dst), std::move(fwd), pair_bits);
+      fwd.kind = Msg::Kind::kMass;
+      const sim::NodeId target = net.sample_peer(dst);
+      net.send(dst, target, std::move(fwd), pair_bits);
+      return;
+    }
+    // root_of(v) == v iff v is a member root: one load on the hot path.
+    const sim::NodeId root = forest.root_of(dst);
+    if (root != dst) {
+      Msg fwd = m;
+      fwd.first_hop = false;
+      net.send(dst, root, std::move(fwd), pair_bits);
       return;
     }
     num[dst] += m.num;
     den[dst] += m.den;
-    if (track && !m.y.empty()) {
-      auto& row = Y[root_index[dst]];
-      for (std::size_t j = 0; j < row.size(); ++j) row[j] += m.y[j];
+    if constexpr (kTrack) {
+      if (!m.y.empty()) {
+        auto& row = Y[root_index[dst]];
+        for (std::size_t j = 0; j < row.size(); ++j) row[j] += m.y[j];
+      }
     }
   }
 
-  void on_reply(sim::Network<PsMsg>&, sim::NodeId, sim::NodeId dst, const PsMsg& m) {
-    if (m.kind == PsMsg::Kind::kAck) pending[dst].active = false;
+  void on_reply(sim::Network<Msg>&, sim::NodeId, sim::NodeId dst, const Msg& m) {
+    if (m.kind == Msg::Kind::kAck) pending[dst].active = false;
   }
 
-  void on_round_end(sim::Network<PsMsg>&, sim::NodeId v) {
+  void on_round_end(sim::Network<Msg>&, sim::NodeId v) {
     if (!recover || !pending[v].active) return;
     // No ack: the initiating call was lost.  Re-absorb the sent half so
     // no (num, den) mass leaves the system.
     num[v] += pending[v].num;
     den[v] += pending[v].den;
-    if (track && !pending[v].y.empty()) {
-      auto& row = Y[root_index[v]];
-      for (std::size_t j = 0; j < row.size(); ++j) row[j] += pending[v].y[j];
+    if constexpr (kTrack) {
+      if (!pending[v].y.empty()) {
+        auto& row = Y[root_index[v]];
+        for (std::size_t j = 0; j < row.size(); ++j) row[j] += pending[v].y[j];
+      }
     }
     pending[v].active = false;
   }
@@ -151,28 +207,22 @@ struct PushSumProtocol {
   }
 };
 
-}  // namespace
-
-PushSumResult run_root_push_sum(const Forest& forest, std::span<const double> num0,
+template <bool kTrack>
+PushSumResult run_push_sum_impl(const Forest& forest, std::span<const double> num0,
                                 std::span<const double> den0, const RngFactory& rngs,
-                                const sim::Scenario& scenario, PushSumConfig config) {
+                                const sim::Scenario& scenario,
+                                const PushSumConfig& config) {
   const std::uint32_t n = forest.size();
-  if (num0.size() < n || den0.size() < n)
-    throw std::invalid_argument("run_root_push_sum: inputs too short");
-  if (config.track_potential && config.forward_via_trees)
-    throw std::invalid_argument(
-        "run_root_push_sum: potential tracking requires analysis mode "
-        "(forward_via_trees = false)");
-
-  sim::Network<PsMsg> net{n, rngs, scenario, derive_seed(0xa4e, config.stream_tag)};
-  PushSumProtocol proto{forest, num0, den0, config, n};
+  sim::Network<PsMsg<kTrack>> net{n, rngs, scenario, derive_seed(0xa4e, config.stream_tag)};
+  PushSumProtocol<kTrack> proto{forest, num0, den0, config, n,
+                                config.member_relay && !scenario.topology.is_complete()};
 
   PushSumResult result;
   const NodeId z = forest.largest_tree_root();
   const std::uint32_t drain = config.forward_via_trees ? 3 : 0;
   for (std::uint32_t r = 0; r < proto.push_rounds + drain; ++r) {
     net.step(proto);
-    if (config.track_potential) {
+    if constexpr (kTrack) {
       result.potential_per_round.push_back(proto.potential());
       result.z_estimate_per_round.push_back(
           proto.den[z] > 0.0 ? proto.num[z] / proto.den[z] : 0.0);
@@ -187,6 +237,141 @@ PushSumResult run_root_push_sum(const Forest& forest, std::span<const double> nu
   result.counters = net.counters();
   result.rounds = proto.push_rounds + drain;
   return result;
+}
+
+/// Flat fault-free executor (production mode: forwarding on, no potential
+/// tracking).  The same protocol unrolled onto two pooled plain-array
+/// queues: forwards queued during round r's delivery are carried over and
+/// delivered at the *front* of round r+1's batch, ahead of that round's
+/// fresh root pushes (the engine's leftover-outbox order), and (num, den)
+/// absorption happens in exact delivery order -- so every counter and
+/// every IEEE-754 accumulation is bit-identical to the Network path (the
+/// golden determinism tests pin this).  With no faults possible, every
+/// first hop is acknowledged: the ack is pure message accounting and the
+/// lost-mass bookkeeping never fires.  NOTE: the lazy rng_at slots, the
+/// relay-carrier pick and the cur/nxt queue discipline mirror
+/// run_gossip_max_flat (gossip_max.cpp); keep the two in lockstep or the
+/// checksums will tell you.
+PushSumResult run_push_sum_flat(const Forest& forest, std::span<const double> num0,
+                                std::span<const double> den0, const RngFactory& rngs,
+                                const sim::Scenario& scenario,
+                                const PushSumConfig& config) {
+  const std::uint32_t n = forest.size();
+  const bool relay = config.member_relay && !scenario.topology.is_complete();
+  PushSumProtocol<false> proto{forest, num0, den0, config, n, relay};
+  const std::uint64_t purpose = derive_seed(0xa4e, config.stream_tag);
+  const sim::Topology& topology = scenario.topology;
+  const std::vector<NodeId>& roots = forest.roots();
+
+  // Per-node sampling streams, identical to Network::node_rng(v): lazily
+  // constructed (relay touches arbitrary members, roots always draw).
+  std::vector<Rng> rng_slot(relay ? n : roots.size(), Rng{});
+  std::vector<std::uint8_t> rng_init(relay ? n : roots.size(), 0);
+  auto rng_at = [&](NodeId v, std::size_t slot) -> Rng& {
+    if (!rng_init[slot]) {
+      rng_slot[slot] = rngs.node_stream(v, purpose);
+      rng_init[slot] = 1;
+    }
+    return rng_slot[slot];
+  };
+
+  enum class Hop : std::uint8_t { kFirst, kRelayFirst, kForward };
+  struct Pending {
+    NodeId dst;
+    Hop hop;
+    double num;
+    double den;
+  };
+  std::vector<Pending> cur, nxt;
+  cur.reserve(roots.size() * 2);
+  nxt.reserve(roots.size() * 2);
+
+  // Locals keep the tallies in registers; (num, den) pairs all carry
+  // pair_bits and acks carry 1 bit, so the bit total factors out.
+  std::uint64_t pair_msgs = 0;
+  std::uint64_t pairs_delivered = 0;
+  std::uint64_t acks = 0;
+  const sim::Topology::PeerSampler sample = topology.sampler(n);
+  const NodeId* root_of = forest.root_of_table();
+  double* num = proto.num.data();
+  double* den = proto.den.data();
+  const bool recover = proto.recover;
+  const std::uint32_t drain = 3;  // forward_via_trees
+  for (std::uint32_t r = 0; r < proto.push_rounds + drain; ++r) {
+    if (r < proto.push_rounds) {
+      for (std::size_t i = 0; i < roots.size(); ++i) {
+        const NodeId v = roots[i];
+        num[v] *= 0.5;
+        den[v] *= 0.5;
+        Rng& vrng = rng_at(v, relay ? v : i);
+        ++pair_msgs;
+        if (relay) {
+          const auto members = forest.tree_members(v);
+          const auto carrier =
+              static_cast<NodeId>(members[vrng.next_below(members.size())]);
+          if (carrier != v) {
+            cur.push_back(Pending{carrier, Hop::kRelayFirst, num[v], den[v]});
+            continue;
+          }
+        }
+        const NodeId target = sample(v, vrng);
+        cur.push_back(Pending{target, Hop::kFirst, num[v], den[v]});
+      }
+    }
+    for (const Pending& e : cur) {
+      ++pairs_delivered;
+      if (recover && e.hop != Hop::kForward) ++acks;  // 1-bit ack, established call
+      if (e.hop == Hop::kRelayFirst) {
+        // Relay hop: this member samples *its* substrate neighbor.
+        const NodeId target = sample(e.dst, rng_at(e.dst, e.dst));
+        ++pair_msgs;
+        nxt.push_back(Pending{target, Hop::kForward, e.num, e.den});
+        continue;
+      }
+      const NodeId root = root_of[e.dst];
+      if (root != e.dst) {  // second hop of the G~ edge, next round
+        ++pair_msgs;
+        nxt.push_back(Pending{root, Hop::kForward, e.num, e.den});
+        continue;
+      }
+      num[e.dst] += e.num;
+      den[e.dst] += e.den;
+    }
+    cur.swap(nxt);
+    nxt.clear();
+  }
+
+  PushSumResult result;
+  result.num = std::move(proto.num);
+  result.den = std::move(proto.den);
+  result.estimate.assign(n, 0.0);
+  for (NodeId v : roots)
+    if (result.den[v] > 0.0) result.estimate[v] = result.num[v] / result.den[v];
+  result.counters.sent = pair_msgs + acks;
+  result.counters.delivered = pairs_delivered + acks;
+  result.counters.bits = pair_msgs * proto.pair_bits + acks;
+  result.counters.rounds = proto.push_rounds + drain;
+  result.rounds = proto.push_rounds + drain;
+  return result;
+}
+
+}  // namespace
+
+PushSumResult run_root_push_sum(const Forest& forest, std::span<const double> num0,
+                                std::span<const double> den0, const RngFactory& rngs,
+                                const sim::Scenario& scenario, PushSumConfig config) {
+  const std::uint32_t n = forest.size();
+  if (num0.size() < n || den0.size() < n)
+    throw std::invalid_argument("run_root_push_sum: inputs too short");
+  if (config.track_potential && config.forward_via_trees)
+    throw std::invalid_argument(
+        "run_root_push_sum: potential tracking requires analysis mode "
+        "(forward_via_trees = false)");
+  if (!config.track_potential && config.forward_via_trees && scenario.faults.fault_free())
+    return run_push_sum_flat(forest, num0, den0, rngs, scenario, config);
+  return config.track_potential
+             ? run_push_sum_impl<true>(forest, num0, den0, rngs, scenario, config)
+             : run_push_sum_impl<false>(forest, num0, den0, rngs, scenario, config);
 }
 
 }  // namespace drrg

@@ -33,6 +33,12 @@ struct PushSumConfig {
   /// Push rounds = rounds_multiplier * ceil(log2 n) + extra_rounds.
   double rounds_multiplier = 4.0;
   std::uint32_t extra_rounds = 8;
+  /// Multiplies the push-round budget (1.0 = the paper's O(log n)
+  /// schedule); raised by the DRR pipelines on diameter-heavy substrates.
+  double round_budget_scale = 1.0;
+  /// On explicit topologies, leave the tree through a uniform random tree
+  /// member (see GossipMaxConfig::member_relay).  No effect on K_n.
+  bool member_relay = true;
   /// Realistic mode: route via the selected node (2 hops per G~ edge).
   /// Analysis mode (false): deliver directly to the selected node's root.
   bool forward_via_trees = true;

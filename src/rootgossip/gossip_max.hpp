@@ -35,6 +35,16 @@ struct GossipMaxConfig {
   /// Drain rounds appended after each procedure so in-flight forwarded
   /// messages settle.
   std::uint32_t drain_rounds = 4;
+  /// Multiplies both procedures' round budgets (1.0 = the paper's O(log n)
+  /// schedule).  The DRR pipelines raise it on diameter-heavy substrates
+  /// where neighbor-constrained sampling spreads information in O(diam)
+  /// rounds, not O(log n) -- see DrrGossipConfig::phase3_diameter_multiplier.
+  double round_budget_scale = 1.0;
+  /// On explicit topologies, leave the tree through a uniform random tree
+  /// member (the G~ overlay then inherits the substrate's tree-adjacency
+  /// connectivity).  No effect on the complete topology.  false restores
+  /// the historical root-node-only sampling.
+  bool member_relay = true;
   /// Disambiguates RNG streams when one pipeline runs the protocol twice.
   std::uint64_t stream_tag = 0;
 };

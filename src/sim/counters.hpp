@@ -61,6 +61,15 @@ struct FaultSchedule {
       : loss_prob(loss), crash_fraction(crash), churn(std::move(events)) {}
 
   [[nodiscard]] bool has_churn() const noexcept { return !churn.empty(); }
+
+  /// True when the schedule can neither lose nor crash anything.  This is
+  /// the dispatch predicate for the protocols' flat fault-free executors:
+  /// under it, the generic engine path and the flat path are step-for-step
+  /// equivalent, so keep it the single source of truth when extending the
+  /// fault model.
+  [[nodiscard]] bool fault_free() const noexcept {
+    return loss_prob <= 0.0 && crash_fraction <= 0.0 && !has_churn();
+  }
 };
 
 /// Historical name (static start-time crashes + link loss); every

@@ -30,15 +30,35 @@
 //   void on_reply(Network<Msg>&, NodeId src, NodeId dst, const Msg&)
 //   void on_round_end(Network<Msg>&, NodeId)                  -- detect lost calls
 //   bool done(const Network<Msg>&)                            -- early termination
+//   span<const NodeId> active_nodes()                         -- upcall thinning
+//
+// active_nodes() is a pure optimisation contract: a protocol whose
+// per-round work is confined to a known node subset (Phase III acts only
+// on the forest roots) returns that subset -- sorted ascending, a superset
+// of every node whose on_round/on_round_end does anything -- and the
+// engine iterates it instead of the whole alive set.  The engine still
+// filters crashed nodes, and ascending order keeps the send sequence (and
+// therefore every downstream delivery and RNG draw) bit-identical to the
+// full alive scan.
 //
 // Determinism: all protocol randomness comes from per-node streams and all
 // engine randomness (loss, crashes) from separate engine streams, both
 // derived from one root seed; deliveries are processed in send order.
+// Per-node streams are constructed lazily (first use), which is invisible:
+// stream state is a pure function of (root seed, node, purpose).
+//
+// Hot-path notes: the delivery queues are pooled (capacity survives across
+// rounds, so steady-state rounds allocate nothing), the crash flags are a
+// flat byte array, and the loss coin is skipped entirely for loss-free
+// runs (the loss stream feeds nothing else, so eliding the draws cannot
+// perturb any observable).
 
 #include <algorithm>
 #include <cassert>
 #include <concepts>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -60,16 +80,18 @@ class Network {
           std::uint64_t purpose = 0)
       : n_(n),
         scenario_(std::move(scenario)),
-        loss_rng_(rngs.engine_stream(derive_seed(purpose, 0x105eULL))) {
+        rngs_(rngs),
+        purpose_(purpose),
+        loss_rng_(rngs.engine_stream(derive_seed(purpose, 0x105eULL))),
+        lossy_run_(scenario_.faults.loss_prob > 0.0) {
     assert(scenario_.topology.is_complete() || scenario_.topology.size() == n);
-    node_rngs_.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) node_rngs_.push_back(rngs.node_stream(i, purpose));
+    node_rngs_.resize(n);  // lazily seeded on first use
     const std::vector<std::uint32_t> death = fault_timeline(n, rngs, scenario_.faults);
-    crashed_.assign(n, false);
+    crashed_.assign(n, 0);
     alive_.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
       if (death[v] <= scenario_.start_round) {
-        crashed_[v] = true;
+        crashed_[v] = 1;
       } else {
         alive_.push_back(v);
         if (death[v] != kNeverCrashes) pending_deaths_.push_back({death[v], v});
@@ -79,7 +101,7 @@ class Network {
   }
 
   [[nodiscard]] std::uint32_t size() const noexcept { return n_; }
-  [[nodiscard]] bool alive(NodeId v) const noexcept { return !crashed_[v]; }
+  [[nodiscard]] bool alive(NodeId v) const noexcept { return crashed_[v] == 0; }
   [[nodiscard]] const std::vector<NodeId>& alive_nodes() const noexcept { return alive_; }
   /// Rounds executed by *this* network (local clock).
   [[nodiscard]] std::uint32_t round() const noexcept { return round_; }
@@ -97,15 +119,19 @@ class Network {
     return outbox_.empty() && replies_.empty();
   }
 
-  /// Per-node private randomness stream.
-  [[nodiscard]] Rng& node_rng(NodeId v) noexcept { return node_rngs_[v]; }
+  /// Per-node private randomness stream (constructed on first use).
+  [[nodiscard]] Rng& node_rng(NodeId v) noexcept {
+    std::optional<Rng>& slot = node_rngs_[v];
+    if (!slot.has_value()) slot.emplace(rngs_.node_stream(v, purpose_));
+    return *slot;
+  }
 
   /// Samples a call target for `caller` from the scenario's topology: the
   /// random phone call primitive.  Uniform over all of V on the complete
   /// topology (crashed nodes can be sampled -- a call to a crashed node is
   /// simply lost); uniform over the caller's neighbors on an explicit one.
   [[nodiscard]] NodeId sample_peer(NodeId caller) noexcept {
-    return scenario_.topology.sample_peer(caller, n_, node_rngs_[caller]);
+    return scenario_.topology.sample_peer(caller, n_, node_rng(caller));
   }
 
   /// Historical name for sample_peer.
@@ -153,7 +179,9 @@ class Network {
   void step(P& proto) {
     apply_scheduled_deaths(global_round());
     ++counters_.rounds;
-    for (NodeId v : alive_) {
+    const bool check_crash = alive_.size() != n_;  // crash-free fast path
+    for (NodeId v : upcall_set(proto)) {
+      if (check_crash && crashed_[v]) continue;
       if constexpr (requires { proto.on_round(*this, v); }) proto.on_round(*this, v);
     }
     deliver_queue(proto, outbox_, /*lossy=*/true, /*as_reply=*/false);
@@ -162,8 +190,11 @@ class Network {
     while (!replies_.empty()) {
       deliver_queue(proto, replies_, /*lossy=*/false, /*as_reply=*/true);
     }
-    for (NodeId v : alive_) {
-      if constexpr (requires { proto.on_round_end(*this, v); }) proto.on_round_end(*this, v);
+    if constexpr (requires(NodeId v) { proto.on_round_end(*this, v); }) {
+      for (NodeId v : upcall_set(proto)) {
+        if (check_crash && crashed_[v]) continue;
+        proto.on_round_end(*this, v);
+      }
     }
     ++round_;
   }
@@ -175,6 +206,21 @@ class Network {
     Msg msg;
   };
 
+  /// The node set scanned for per-round upcalls: the protocol's declared
+  /// active set when it has one, the full alive list otherwise.  Both are
+  /// ascending, and the engine re-checks crashed_ per node, so the two
+  /// scans produce identical observable behavior.
+  template <class P>
+  [[nodiscard]] std::span<const NodeId> upcall_set(P& proto) const noexcept {
+    if constexpr (requires {
+                    { proto.active_nodes() } -> std::convertible_to<std::span<const NodeId>>;
+                  }) {
+      return proto.active_nodes();
+    } else {
+      return {alive_.data(), alive_.size()};
+    }
+  }
+
   /// Kills every node whose scheduled death round has arrived.  Runs at
   /// the top of each round, so a node dying at round r is absent from
   /// round r's upcalls and deliveries.
@@ -182,28 +228,36 @@ class Network {
     bool any = false;
     while (next_death_ < pending_deaths_.size() &&
            pending_deaths_[next_death_].first <= global_round) {
-      crashed_[pending_deaths_[next_death_].second] = true;
+      crashed_[pending_deaths_[next_death_].second] = 1;
       ++next_death_;
       any = true;
     }
     if (any) {
       alive_.erase(std::remove_if(alive_.begin(), alive_.end(),
-                                  [this](NodeId v) { return crashed_[v]; }),
+                                  [this](NodeId v) { return crashed_[v] != 0; }),
                    alive_.end());
     }
   }
 
   template <class P>
   void deliver_queue(P& proto, std::vector<Envelope>& queue, bool lossy, bool as_reply) {
-    std::vector<Envelope> batch;
-    batch.swap(queue);  // sends made during delivery land in the next batch
+    scratch_.swap(queue);  // sends made during delivery land in the next batch
     in_delivery_ = true;
-    for (auto& e : batch) {
-      if (crashed_[e.dst] || (lossy && loss_rng_.next_bernoulli(scenario_.faults.loss_prob))) {
-        ++counters_.lost;
+    const bool coin = lossy && lossy_run_;
+    const double loss_prob = scenario_.faults.loss_prob;
+    // Drop counters are accumulated locally and flushed once: the handlers
+    // bump counters_.sent through send(), so the compiler cannot keep the
+    // members in registers across the upcalls.
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    const bool check_crash = alive_.size() != n_;
+    for (Envelope& e : scratch_) {
+      if ((check_crash && crashed_[e.dst]) ||
+          (coin && loss_rng_.next_bernoulli(loss_prob))) {
+        ++lost;
         continue;
       }
-      ++counters_.delivered;
+      ++delivered;
       if (as_reply) {
         if constexpr (requires { proto.on_reply(*this, e.src, e.dst, e.msg); }) {
           proto.on_reply(*this, e.src, e.dst, e.msg);
@@ -216,19 +270,26 @@ class Network {
         }
       }
     }
+    counters_.delivered += delivered;
+    counters_.lost += lost;
     in_delivery_ = false;
+    scratch_.clear();  // keeps capacity: steady-state rounds allocate nothing
   }
 
   std::uint32_t n_;
   Scenario scenario_;
+  RngFactory rngs_;
+  std::uint64_t purpose_;
   Rng loss_rng_;
+  bool lossy_run_;
   std::vector<std::pair<std::uint32_t, NodeId>> pending_deaths_;  // sorted
   std::size_t next_death_ = 0;
-  std::vector<bool> crashed_;
+  std::vector<std::uint8_t> crashed_;  // flat byte array: branch-light delivery check
   std::vector<NodeId> alive_;
-  std::vector<Rng> node_rngs_;
+  std::vector<std::optional<Rng>> node_rngs_;  // lazily seeded
   std::vector<Envelope> outbox_;
   std::vector<Envelope> replies_;
+  std::vector<Envelope> scratch_;  // pooled delivery batch (double buffer)
   Counters counters_{};
   std::uint32_t round_ = 0;
   bool in_delivery_ = false;

@@ -20,6 +20,12 @@
 //
 // Graphs are held by shared_ptr so Scenario/Topology values copy in O(1)
 // and are safe to share read-only across the parallel trial executor.
+// The CSR arrays (offsets + flat neighbor storage) are additionally cached
+// as raw pointers at construction, so the sample_peer hot path is a single
+// offset computation -- no shared_ptr chase, no span materialisation, no
+// per-call neighbor list.  The graph's pseudo-diameter is measured once
+// here too; the DRR pipelines read it to scale the Phase III round budget
+// on diameter-heavy substrates.
 
 #include <cstdint>
 #include <memory>
@@ -41,7 +47,12 @@ class Topology {
 
   [[nodiscard]] static Topology of_graph(Graph g) {
     Topology t;
-    if (!g.is_complete()) t.graph_ = std::make_shared<const Graph>(std::move(g));
+    if (!g.is_complete()) {
+      t.graph_ = std::make_shared<const Graph>(std::move(g));
+      t.offsets_ = t.graph_->csr_offsets().data();
+      t.adjacency_ = t.graph_->csr_adjacency().data();
+      t.diameter_ = t.graph_->pseudo_diameter();
+    }
     return t;
   }
 
@@ -55,19 +66,60 @@ class Topology {
     return graph_ ? graph_->size() : 0;
   }
 
+  /// Degree of v on an explicit topology (straight off the cached CSR
+  /// offsets; callers special-case the complete topology).
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Measured (pseudo-)diameter of the substrate: 1 for the complete
+  /// topology, Graph::pseudo_diameter() for an explicit one.  Cached at
+  /// construction -- reading it per run costs nothing.
+  [[nodiscard]] std::uint32_t diameter() const noexcept { return diameter_; }
+
   /// The random phone call primitive: a call target for `caller`, uniform
   /// over all of V on the complete topology (self-samples possible,
   /// historical behavior) and uniform over neighbors(caller) on an
   /// explicit graph (an isolated node calls itself; the call is a no-op).
+  /// One index computation on the cached CSR arrays -- the engine's
+  /// hottest call after the RNG itself.
   [[nodiscard]] NodeId sample_peer(NodeId caller, std::uint32_t n, Rng& rng) const {
-    if (graph_ == nullptr) return static_cast<NodeId>(rng.next_below(n));
-    const auto nbrs = graph_->neighbors(caller);
-    if (nbrs.empty()) return caller;
-    return nbrs[rng.next_below(nbrs.size())];
+    if (adjacency_ == nullptr) return static_cast<NodeId>(rng.next_below(n));
+    const std::uint64_t begin = offsets_[caller];
+    const std::uint64_t deg = offsets_[caller + 1] - begin;
+    if (deg == 0) return caller;
+    return adjacency_[begin + rng.next_below(deg)];
+  }
+
+  /// Value-type view of the sampling arrays for tight loops: a stack-local
+  /// sampler lets the compiler keep the CSR pointers in registers across
+  /// calls that also touch the heap (which would force member reloads).
+  /// Samples identically to sample_peer.
+  struct PeerSampler {
+    const std::uint64_t* offsets;
+    const NodeId* adjacency;
+    std::uint32_t n;
+
+    [[nodiscard]] NodeId operator()(NodeId caller, Rng& rng) const {
+      if (adjacency == nullptr) return static_cast<NodeId>(rng.next_below(n));
+      const std::uint64_t begin = offsets[caller];
+      const std::uint64_t deg = offsets[caller + 1] - begin;
+      if (deg == 0) return caller;
+      return adjacency[begin + rng.next_below(deg)];
+    }
+  };
+
+  [[nodiscard]] PeerSampler sampler(std::uint32_t n) const noexcept {
+    return {offsets_, adjacency_, n};
   }
 
  private:
   std::shared_ptr<const Graph> graph_;
+  // Cached views into *graph_ (stable: the Graph is immutable and shared);
+  // null for the implicit complete topology.
+  const std::uint64_t* offsets_ = nullptr;
+  const NodeId* adjacency_ = nullptr;
+  std::uint32_t diameter_ = 1;
 };
 
 // ---------------------------------------------------------------------------

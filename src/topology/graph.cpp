@@ -6,6 +6,10 @@
 
 namespace drrg {
 
+namespace {
+constexpr std::uint32_t kNeverSeen = static_cast<std::uint32_t>(-1);
+}  // namespace
+
 Graph Graph::from_edges(std::uint32_t n,
                         const std::vector<std::pair<NodeId, NodeId>>& edges) {
   Graph g;
@@ -85,6 +89,40 @@ bool Graph::connected() const {
     }
   }
   return visited == n_;
+}
+
+std::uint32_t Graph::pseudo_diameter() const {
+  if (n_ <= 1) return 0;
+  if (complete_) return 1;
+  // Two BFS sweeps: farthest node from 0, then the eccentricity of that
+  // node.  Exact on trees/grids, a strong lower bound in general -- and a
+  // lower bound only ever under-scales the Phase III budget, never
+  // inflates it.
+  std::vector<std::uint32_t> dist(n_);
+  auto bfs = [&](NodeId start) -> NodeId {
+    std::fill(dist.begin(), dist.end(), kNeverSeen);
+    std::vector<NodeId> frontier{start};
+    dist[start] = 0;
+    NodeId farthest = start;
+    while (!frontier.empty()) {
+      std::vector<NodeId> next;
+      for (NodeId v : frontier) {
+        for (NodeId w : neighbors(v)) {
+          if (dist[w] == kNeverSeen) {
+            dist[w] = dist[v] + 1;
+            if (dist[w] > dist[farthest] || (dist[w] == dist[farthest] && w < farthest))
+              farthest = w;
+            next.push_back(w);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    return farthest;
+  };
+  const NodeId u = bfs(0);
+  const NodeId w = bfs(u);
+  return dist[w];
 }
 
 std::uint32_t Graph::min_degree() const noexcept {

@@ -40,8 +40,22 @@ class Graph {
 
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
 
+  /// Raw CSR views (explicit graphs; empty for implicit K_n).  The flat
+  /// arrays back sim::Topology's allocation-free peer sampling.
+  [[nodiscard]] std::span<const std::uint64_t> csr_offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const NodeId> csr_adjacency() const noexcept {
+    return adjacency_;
+  }
+
   /// True if every node can reach every other (BFS).
   [[nodiscard]] bool connected() const;
+
+  /// Double-sweep BFS lower bound on the diameter (exact on trees and
+  /// grids, a tight heuristic elsewhere).  1 for K_n; eccentricity within
+  /// node 0's component on a disconnected graph.  Deterministic.
+  [[nodiscard]] std::uint32_t pseudo_diameter() const;
 
   [[nodiscard]] std::uint32_t min_degree() const noexcept;
   [[nodiscard]] std::uint32_t max_degree() const noexcept;

@@ -1,6 +1,7 @@
 #include "trees/convergecast.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "sim/engine.hpp"
@@ -27,7 +28,10 @@ struct CcProtocol {
       s.acc_a = values[v];
       s.acc_b = 1.0;
       s.pending_children = static_cast<std::uint32_t>(f.children(v).size());
-      if (!f.is_root(v)) ++unfinished;
+      if (!f.is_root(v)) {
+        ++unfinished;
+        active.push_back(v);  // roots never act in on_round
+      }
     }
     for (NodeId r : f.roots())
       if (state[r].pending_children > 0) ++unfinished_roots;
@@ -44,8 +48,13 @@ struct CcProtocol {
   ConvergecastOp op;
   std::uint32_t value_bits;
   std::vector<NodeState> state;
+  std::vector<NodeId> active;          // non-roots not yet acked, ascending
   std::uint32_t unfinished = 0;        // non-roots that have not been acked
   std::uint32_t unfinished_roots = 0;  // roots still waiting on children
+
+  [[nodiscard]] std::span<const sim::NodeId> active_nodes() const noexcept {
+    return active;
+  }
 
   void absorb(NodeState& s, double a, double b) {
     switch (op) {
@@ -59,7 +68,6 @@ struct CcProtocol {
   }
 
   void on_round(sim::Network<CcMsg>& net, sim::NodeId v) {
-    if (forest.is_root(v) || !forest.is_member(v)) return;
     NodeState& s = state[v];
     if (s.sent_up || s.pending_children > 0) return;
     // All children reported: push the partial aggregate to the parent,
@@ -87,10 +95,76 @@ struct CcProtocol {
     }
   }
 
-  [[nodiscard]] bool done(const sim::Network<CcMsg>&) const {
+  [[nodiscard]] bool done(const sim::Network<CcMsg>&) {
+    // Acked nodes are pure no-ops from here on; pruning runs between
+    // rounds (never while the engine iterates the active span).
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [this](NodeId v) { return state[v].sent_up; }),
+                 active.end());
     return unfinished == 0 && unfinished_roots == 0;
   }
 };
+
+/// Flat fault-free executor.  Each ready node's value reaches its parent
+/// (and is acked) within its own round, so the round resolves inline.
+/// The ordering hazard -- a parent whose last child reports in round r
+/// must not push upward until round r+1 (the engine runs all upcalls
+/// before any delivery) -- is handled by stamping ready_at when
+/// pending_children hits zero.  A parent absorbing inline is safe in
+/// either id order: a parent still waiting on children never sends in
+/// that same round, so no same-round send can observe the absorption
+/// early.  Per-parent absorption order is the ascending-child send order
+/// the engine produces, keeping the IEEE-754 sums bit-identical (pinned
+/// by the golden determinism tests); no RNG is ever drawn by either path.
+ConvergecastResult run_convergecast_flat(const Forest& forest,
+                                         std::span<const double> values,
+                                         ConvergecastOp op, std::uint32_t n,
+                                         std::uint32_t max_rounds) {
+  CcProtocol proto{forest, values, op, n};
+  std::vector<std::uint32_t> ready_at(n, 0);  // leaves: ready from round 0
+
+  sim::Counters counters;
+  std::uint32_t rounds = 0;
+  while (rounds < max_rounds) {
+    const std::uint32_t r = rounds;
+    ++counters.rounds;
+    ++rounds;
+    for (NodeId v : proto.active) {
+      CcProtocol::NodeState& s = proto.state[v];
+      if (s.sent_up || s.pending_children > 0 || ready_at[v] > r) continue;
+      // Value up, absorbed at the parent, 1-bit ack back -- all this round.
+      const NodeId p = forest.parent(v);
+      counters.sent += 2;
+      counters.delivered += 2;
+      counters.bits += proto.value_bits + 1;
+      CcProtocol::NodeState& ps = proto.state[p];
+      proto.absorb(ps, s.acc_a, s.acc_b);
+      --ps.pending_children;
+      if (ps.pending_children == 0) {
+        ready_at[p] = r + 1;  // pushes upward from the next round
+        if (forest.is_root(p) && proto.unfinished_roots > 0) --proto.unfinished_roots;
+      }
+      s.sent_up = true;
+      --proto.unfinished;
+    }
+    proto.active.erase(std::remove_if(proto.active.begin(), proto.active.end(),
+                                      [&proto](NodeId v) { return proto.state[v].sent_up; }),
+                       proto.active.end());
+    if (proto.unfinished == 0 && proto.unfinished_roots == 0) break;
+  }
+
+  ConvergecastResult result;
+  result.aggregate.assign(n, 0.0);
+  result.weight.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    result.aggregate[v] = proto.state[v].acc_a;
+    result.weight[v] = proto.state[v].acc_b;
+  }
+  result.counters = counters;
+  result.rounds = rounds;
+  result.complete = proto.unfinished == 0 && proto.unfinished_roots == 0;
+  return result;
+}
 
 }  // namespace
 
@@ -100,9 +174,6 @@ ConvergecastResult run_convergecast(const Forest& forest, std::span<const double
   const std::uint32_t n = forest.size();
   if (values.size() < n) throw std::invalid_argument("run_convergecast: values too short");
 
-  sim::Network<CcMsg> net{n, rngs, scenario, derive_seed(0xcc, config.stream_tag)};
-  CcProtocol proto{forest, values, op, n};
-
   std::uint32_t max_rounds = config.max_rounds;
   if (max_rounds == 0) {
     // height rounds at delta = 0; each level adds a geometric number of
@@ -110,6 +181,12 @@ ConvergecastResult run_convergecast(const Forest& forest, std::span<const double
     // the whp horizon.
     max_rounds = 8 * (forest.max_tree_height() + 2) + 64;
   }
+  if (scenario.faults.fault_free())
+    return run_convergecast_flat(forest, values, op, n, max_rounds);
+
+  sim::Network<CcMsg> net{n, rngs, scenario, derive_seed(0xcc, config.stream_tag)};
+  CcProtocol proto{forest, values, op, n};
+
   const std::uint32_t rounds = net.run(proto, max_rounds);
 
   ConvergecastResult result;

@@ -103,6 +103,25 @@ TEST(Histogram, MatchesDirectCounts) {
   EXPECT_NEAR(total, n, 0.1 * n);
 }
 
+TEST(Histogram, ThreadedQueriesAreBitIdentical) {
+  // The per-edge rank queries fan onto the deterministic executor; any
+  // thread count (0 = all cores) must reproduce the inline result.
+  const std::uint32_t n = 256;
+  Rng rng{29};
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.next_uniform(0.0, 100.0);
+  const std::vector<double> edges{0.0, 30.0, 60.0, 100.0001};
+  const auto inline_run = drr_gossip_histogram(n, values, edges, 7, {}, {}, 1);
+  for (const unsigned threads : {3u, 0u}) {
+    const auto h = drr_gossip_histogram(n, values, edges, 7, {}, {}, threads);
+    ASSERT_EQ(h.counts.size(), inline_run.counts.size());
+    for (std::size_t b = 0; b < h.counts.size(); ++b)
+      EXPECT_EQ(h.counts[b], inline_run.counts[b]) << "threads " << threads;
+    EXPECT_EQ(h.total.sent, inline_run.total.sent);
+    EXPECT_EQ(h.total.bits, inline_run.total.bits);
+  }
+}
+
 TEST(Histogram, RejectsBadEdges) {
   std::vector<double> values(16, 1.0);
   EXPECT_THROW((void)drr_gossip_histogram(16, values, std::vector<double>{1.0}, 1),

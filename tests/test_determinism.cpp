@@ -1,0 +1,264 @@
+// Golden determinism tests: the bit-identity contract of the flat-core
+// engine rewrite.
+//
+// The checksums below were generated from the PRE-rewrite tree (generic
+// Network-only hot path, per-round queue allocation, eager per-node RNGs)
+// and must keep matching forever: the pooled-queue engine, the flat
+// fault-free executors, the CSR topology view and the intra-run fan-outs
+// are required to be *observationally invisible*.  Two families:
+//
+//   * kPreRewriteGoldens -- bit-identical to the pre-rewrite binary (all
+//     complete-topology runs, plus every faulty run, which exercises the
+//     generic engine path);
+//   * kExplicitTopologyGoldens -- pinned at the introduction of the
+//     Phase III member relay + diameter-scaled budget (that feature
+//     deliberately changed explicit-substrate traffic); they guard the
+//     behavior from here on.
+//
+// Every sweep is additionally checked at --threads 1/4/8 (and the median
+// bisection at intra_threads 1/4): any divergence is a scheduling leak.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/report_hash.hpp"
+#include "support/parallel.hpp"
+
+namespace drrg {
+namespace {
+
+struct GoldenCase {
+  const char* name;
+  const char* algo;
+  std::uint64_t expected;
+  api::RunSpec spec;
+};
+
+api::RunSpec spec_of(std::uint32_t n, api::Aggregate agg, std::uint64_t seed) {
+  api::RunSpec s;
+  s.n = n;
+  s.aggregate = agg;
+  s.seed = seed;
+  return s;
+}
+
+/// The pre-rewrite pins: complete topology and/or faulty schedules.
+std::vector<GoldenCase> pre_rewrite_goldens() {
+  std::vector<GoldenCase> cases;
+  {
+    GoldenCase c{"drr_ave_complete", "drr", 0x3f2eb88241b9e20fULL,
+                 spec_of(256, api::Aggregate::kAve, 77)};
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"drr_count_faulty", "drr", 0xb942627d51402357ULL,
+                 spec_of(256, api::Aggregate::kCount, 42)};
+    c.spec.faults = sim::FaultSchedule{0.05, 0.2, {{8, 0.05}}};
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"drr_median_crash", "drr", 0xbc6c9034675e67b9ULL,
+                 spec_of(128, api::Aggregate::kMedian, 9)};
+    c.spec.faults.crash_fraction = 0.3;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"drr_rank_complete", "drr", 0x5f79acccb0b08cceULL,
+                 spec_of(256, api::Aggregate::kRank, 11)};
+    c.spec.rank_threshold = 50.0;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"uniform_ave_lossy", "uniform", 0xd46d45a0b23c1c08ULL,
+                 spec_of(256, api::Aggregate::kAve, 3)};
+    c.spec.faults.loss_prob = 0.05;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"efficient_max", "efficient", 0x15ba9600b576e794ULL,
+                 spec_of(256, api::Aggregate::kMax, 13)};
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"pairwise_ave", "pairwise", 0x153b26bb62341637ULL,
+                 spec_of(256, api::Aggregate::kAve, 17)};
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"extrema_count_lossy", "extrema", 0x2b89a66114d3e330ULL,
+                 spec_of(256, api::Aggregate::kCount, 19)};
+    c.spec.faults.loss_prob = 0.1;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"chord_uniform_ave_crash", "chord-uniform", 0x4fd1c788c8ac7a21ULL,
+                 spec_of(256, api::Aggregate::kAve, 23)};
+    c.spec.faults.crash_fraction = 0.1;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+/// Explicit-substrate pins (member relay + diameter budget era).
+std::vector<GoldenCase> explicit_topology_goldens() {
+  std::vector<GoldenCase> cases;
+  {
+    GoldenCase c{"drr_max_chord_ring", "drr", 0x31ede523ddd5adb2ULL,
+                 spec_of(256, api::Aggregate::kMax, 7)};
+    c.spec.topology.kind = sim::TopologyKind::kChordRing;
+    c.spec.faults.loss_prob = 0.1;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"drr_leader_regular", "drr", 0x0f07a96dcd35f2b3ULL,
+                 spec_of(256, api::Aggregate::kLeader, 5)};
+    c.spec.topology.kind = sim::TopologyKind::kRandomRegular;
+    c.spec.topology.degree = 8;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+void check_case(const GoldenCase& c) {
+  const auto t1 = api::run_trials(c.algo, c.spec, 3, 1);
+  const std::uint64_t h1 = api::sweep_checksum(t1);
+  EXPECT_EQ(h1, c.expected) << c.name << ": golden drift (0x" << std::hex << h1 << ")";
+  for (const unsigned threads : {4u, 8u}) {
+    const auto ht = api::sweep_checksum(api::run_trials(c.algo, c.spec, 3, threads));
+    EXPECT_EQ(ht, h1) << c.name << ": thread-count divergence at " << threads;
+  }
+}
+
+TEST(GoldenDeterminism, PreRewriteSweepsAreBitIdentical) {
+  for (const GoldenCase& c : pre_rewrite_goldens()) check_case(c);
+}
+
+TEST(GoldenDeterminism, ExplicitTopologySweepsAreBitIdentical) {
+  for (const GoldenCase& c : explicit_topology_goldens()) check_case(c);
+}
+
+TEST(GoldenDeterminism, GridSweepIsThreadCountInvariant) {
+  api::RunSpec spec = spec_of(240, api::Aggregate::kAve, 31);
+  spec.topology.kind = sim::TopologyKind::kGrid2d;
+  const std::uint64_t h1 = api::sweep_checksum(api::run_trials("drr", spec, 3, 1));
+  for (const unsigned threads : {4u, 8u})
+    EXPECT_EQ(api::sweep_checksum(api::run_trials("drr", spec, 3, threads)), h1);
+}
+
+TEST(GoldenDeterminism, MedianIntraThreadsAreBitIdentical) {
+  api::RunSpec spec = spec_of(128, api::Aggregate::kMedian, 5);
+  const std::uint64_t inline_hash = api::report_checksum(api::run("drr", spec));
+  spec.intra_threads = 4;
+  EXPECT_EQ(api::report_checksum(api::run("drr", spec)), inline_hash);
+  spec.intra_threads = 0;  // all cores
+  EXPECT_EQ(api::report_checksum(api::run("drr", spec)), inline_hash);
+}
+
+// The flat fault-free executors must agree with the generic engine path
+// byte for byte.  A vanishing loss probability forces the engine path
+// (fault_free() is false) while leaving every delivery intact -- the loss
+// stream feeds nothing else -- so the pair must hash equal on every
+// substrate.
+TEST(GoldenDeterminism, FlatExecutorsMatchEnginePath) {
+  for (const sim::TopologyKind kind :
+       {sim::TopologyKind::kComplete, sim::TopologyKind::kChordRing,
+        sim::TopologyKind::kRandomRegular, sim::TopologyKind::kGrid2d}) {
+    for (const api::Aggregate agg : {api::Aggregate::kAve, api::Aggregate::kMax}) {
+      api::RunSpec flat = spec_of(256, agg, 97);
+      flat.topology.kind = kind;
+      api::RunSpec engine = flat;
+      engine.faults.loss_prob = 1e-300;  // engine path, zero effective loss
+      const api::RunReport a = api::run("drr", flat);
+      const api::RunReport b = api::run("drr", engine);
+      EXPECT_EQ(a.value, b.value) << sim::to_string(kind);
+      EXPECT_EQ(a.consensus, b.consensus) << sim::to_string(kind);
+      EXPECT_EQ(a.rounds, b.rounds) << sim::to_string(kind);
+      EXPECT_EQ(a.cost.sent, b.cost.sent) << sim::to_string(kind);
+      EXPECT_EQ(a.cost.delivered, b.cost.delivered) << sim::to_string(kind);
+      EXPECT_EQ(a.cost.bits, b.cost.bits) << sim::to_string(kind);
+      EXPECT_EQ(a.forest.num_trees, b.forest.num_trees) << sim::to_string(kind);
+    }
+  }
+}
+
+// CSR flat-view sampling must agree with a naive neighbor-span walk over
+// every explicit topology family.
+TEST(GoldenDeterminism, CsrSamplingMatchesNaiveNeighborSampling) {
+  const std::uint32_t n = 192;
+  for (const char* name : {"chord-ring", "random-regular", "grid", "torus"}) {
+    const auto spec = sim::topology_from_name(name);
+    ASSERT_TRUE(spec.has_value()) << name;
+    const sim::Topology t = sim::make_topology(*spec, n, 13);
+    ASSERT_NE(t.graph(), nullptr) << name;
+    Rng csr_rng{99};
+    Rng naive_rng{99};
+    for (int i = 0; i < 4000; ++i) {
+      const NodeId caller = static_cast<NodeId>(i % n);
+      const NodeId fast = t.sample_peer(caller, n, csr_rng);
+      const auto nbrs = t.graph()->neighbors(caller);
+      const NodeId naive =
+          nbrs.empty() ? caller : nbrs[naive_rng.next_below(nbrs.size())];
+      ASSERT_EQ(fast, naive) << name << " caller " << caller;
+      ASSERT_EQ(t.degree(caller), nbrs.size()) << name;
+    }
+  }
+}
+
+// Satellite regression: diameter-heavy substrates now converge (member
+// relay + diameter-scaled Phase III budget); the knob disables cleanly.
+TEST(DiameterBudget, GridAndTorusReachConsensus) {
+  for (const bool torus : {false, true}) {
+    api::RunSpec spec = spec_of(256, api::Aggregate::kAve, 42);
+    spec.topology.kind = sim::TopologyKind::kGrid2d;
+    spec.topology.torus = torus;
+    const api::RunReport r = api::run("drr", spec);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.consensus) << (torus ? "torus" : "grid");
+    EXPECT_LT(r.rel_error(), 0.1) << (torus ? "torus" : "grid");
+  }
+}
+
+TEST(DiameterBudget, MultiplierScalesRounds) {
+  api::RunSpec spec = spec_of(256, api::Aggregate::kAve, 42);
+  spec.topology.kind = sim::TopologyKind::kGrid2d;
+  DrrGossipConfig off;
+  off.phase3_diameter_multiplier = 0.0;
+  spec.config = off;
+  const api::RunReport base = api::run("drr", spec);
+  DrrGossipConfig big;
+  big.phase3_diameter_multiplier = 2.0;
+  spec.config = big;
+  const api::RunReport scaled = api::run("drr", spec);
+  ASSERT_TRUE(base.ok() && scaled.ok());
+  EXPECT_GT(scaled.rounds, base.rounds);
+  // The complete topology has diameter 1: the knob must be a no-op there.
+  api::RunSpec complete_spec = spec_of(256, api::Aggregate::kAve, 42);
+  const std::uint64_t plain = api::report_checksum(api::run("drr", complete_spec));
+  complete_spec.config = big;
+  EXPECT_EQ(api::report_checksum(api::run("drr", complete_spec)), plain);
+}
+
+// Satellite regression: parallel_map keeps first-error-by-index semantics
+// with its per-worker (not per-task) error slots.
+TEST(ParallelMap, FirstErrorByIndexIsRethrown) {
+  try {
+    (void)parallel_map(64, 8, [](std::size_t i) -> int {
+      if (i == 7 || i == 23 || i == 51) throw std::runtime_error(std::to_string(i));
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "7");
+  }
+}
+
+TEST(ParallelMap, SurvivingResultsAreOrdered) {
+  const auto r = parallel_map(100, 8, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_EQ(r[i], i * i);
+}
+
+}  // namespace
+}  // namespace drrg

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# bench_baseline.sh -- the pinned engine-performance baseline.
+#
+# Runs three things against a Release build and folds every row into one
+# machine-readable JSON-lines file (default BENCH_engine.json), the perf
+# trajectory future PRs diff against:
+#
+#   1. the pinned CLI sweep (drr/ave, n = 4096, 64 trials, complete + grid,
+#      --threads = hardware cores; grid pinned at --diam-mult 0 so the
+#      logical work is identical across PRs regardless of the default
+#      Phase III budget), timed as min-of-3 wall clock, with a
+#      threads-1-vs-threads-4 output hash proving bit-identical reports;
+#   2. bench_table1 --table1_json on the pinned config matrix
+#      (n in {256, 1024, 4096}, complete + grid) -- the ops counters
+#      (rounds/msgs) the CI golden check pins;
+#   3. bench_engine micro-benchmarks (rounds/sec, msgs/sec, allocs/run).
+#
+# Usage:
+#   tools/bench_baseline.sh [BUILD_DIR] [OUT_JSON]
+#   PRE_CLI=path/to/old/drrg_cli tools/bench_baseline.sh   # adds speedup rows
+#   SMOKE=1 tools/bench_baseline.sh                        # CI-sized matrix
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_engine.json}"
+CLI="$BUILD_DIR/drrg_cli"
+TABLE1="$BUILD_DIR/bench_table1"
+ENGINE="$BUILD_DIR/bench_engine"
+THREADS="$(nproc 2>/dev/null || echo 1)"
+
+if [ ! -x "$CLI" ]; then
+  echo "bench_baseline: $CLI not found (build first: cmake --build $BUILD_DIR -j)" >&2
+  exit 2
+fi
+
+# The table1 matrix is always complete (its ops counters are the CI golden
+# contract); SMOKE only shrinks the timed sweep.
+T1_FILTER='/(256|1024|4096)/'
+if [ "${SMOKE:-0}" = "1" ]; then
+  SWEEP_N=1024; SWEEP_TRIALS=8; REPS=1
+else
+  SWEEP_N=4096; SWEEP_TRIALS=64; REPS=5
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+: > "$TMP/rows.json"
+
+# --- 1. pinned CLI sweep ----------------------------------------------------
+sweep() { # topology extra_flags...
+  local topo="$1"; shift
+  "$CLI" --algo drr --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+         --threads "$THREADS" --topology "$topo" "$@" --csv
+}
+
+for TOPO in complete grid; do
+  EXTRA=()
+  [ "$TOPO" = grid ] && EXTRA=(--diam-mult 0)
+  BEST=""
+  for _ in $(seq "$REPS"); do
+    S=$(date +%s.%N)
+    sweep "$TOPO" "${EXTRA[@]}" > "$TMP/sweep.csv"
+    E=$(date +%s.%N)
+    D=$(python3 -c "print(f'{$E - $S:.4f}')")
+    if [ -z "$BEST" ] || python3 -c "exit(0 if $D < $BEST else 1)"; then BEST="$D"; fi
+  done
+  # Bit-identity across thread counts: hash the report CSV at 1 and 4.
+  H1=$("$CLI" --algo drr --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+       --threads 1 --topology "$TOPO" "${EXTRA[@]}" --csv | sha256sum | cut -d' ' -f1)
+  H4=$("$CLI" --algo drr --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+       --threads 4 --topology "$TOPO" "${EXTRA[@]}" --csv | sha256sum | cut -d' ' -f1)
+  DET=false; [ "$H1" = "$H4" ] && DET=true
+  ROW="{\"bench\":\"engine_sweep\",\"topology\":\"$TOPO\",\"n\":$SWEEP_N,\"trials\":$SWEEP_TRIALS,\"threads\":$THREADS,\"wall_s\":$BEST,\"deterministic\":$DET,\"sha256\":\"$H1\""
+  if [ -n "${PRE_CLI:-}" ] && [ -x "${PRE_CLI}" ]; then
+    # The pre-PR binary has no --diam-mult flag; it also has no diameter
+    # scaling, so plain flags run the identical logical workload.
+    PBEST=""
+    for _ in $(seq "$REPS"); do
+      S=$(date +%s.%N)
+      "$PRE_CLI" --algo drr --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+                 --threads "$THREADS" --topology "$TOPO" --csv > /dev/null
+      E=$(date +%s.%N)
+      D=$(python3 -c "print(f'{$E - $S:.4f}')")
+      if [ -z "$PBEST" ] || python3 -c "exit(0 if $D < $PBEST else 1)"; then PBEST="$D"; fi
+    done
+    SPEEDUP=$(python3 -c "print(f'{$PBEST / $BEST:.2f}')")
+    ROW="$ROW,\"wall_s_pre\":$PBEST,\"speedup\":$SPEEDUP"
+  fi
+  echo "$ROW}" >> "$TMP/rows.json"
+done
+
+# --- 2. bench_table1 pinned matrix (ops counters for the CI goldens) --------
+if [ -x "$TABLE1" ]; then
+  for TOPO in complete grid; do
+    "$TABLE1" --table1_topology="$TOPO" --table1_json="$TMP/t1.json" \
+              --benchmark_filter="$T1_FILTER" > /dev/null 2>&1
+    sed "s/\"topology\":\"[a-z-]*\"/\"topology\":\"$TOPO\"/" "$TMP/t1.json" >> "$TMP/rows.json"
+  done
+fi
+
+# --- 3. bench_engine micro-benchmarks ---------------------------------------
+if [ -x "$ENGINE" ]; then
+  "$ENGINE" --benchmark_format=json > "$TMP/engine.json" 2>/dev/null
+  python3 - "$TMP/engine.json" >> "$TMP/rows.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for b in doc.get("benchmarks", []):
+    name = b.get("name", "")
+    row = {
+        "bench": "engine_micro",
+        "case": name,
+        "rounds_per_sec": round(b.get("rounds_per_sec", 0.0), 1),
+        "msgs_per_sec": round(b.get("msgs_per_sec", 0.0), 1),
+        "allocs_per_run": b.get("allocs_per_run", 0.0),
+    }
+    print(json.dumps(row))
+PY
+fi
+
+mv "$TMP/rows.json" "$OUT"
+echo "bench_baseline: wrote $(wc -l < "$OUT") rows to $OUT"

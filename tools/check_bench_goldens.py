@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Engine ops-counter golden check.
+
+Compares the bench_table1 rows of a freshly generated BENCH_engine.json
+against the committed goldens (tests/golden/bench_table1_ops.json).  The
+simulator is deterministic, so the per-(algo, n, topology) ops counters --
+rounds and messages -- must match *exactly*; any drift means an engine or
+protocol change altered simulated behavior, which a perf PR must not do.
+Wall-clock fields are ignored (they are the point of the file, not a
+contract).
+
+Usage: tools/check_bench_goldens.py BENCH_engine.json tests/golden/bench_table1_ops.json
+Exit 0 on match, 1 on drift or missing rows.
+"""
+
+import json
+import sys
+
+
+def table1_rows(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("bench") != "table1":
+                continue
+            key = (row["algo"], row["n"], row.get("topology", "complete"),
+                   row.get("churn", ""))
+            rows[key] = (row["rounds"], row["msgs"])
+    return rows
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh = table1_rows(sys.argv[1])
+    golden = table1_rows(sys.argv[2])
+    if not golden:
+        print(f"check_bench_goldens: no table1 rows in golden {sys.argv[2]}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for key, want in sorted(golden.items()):
+        got = fresh.get(key)
+        if got is None:
+            print(f"MISSING  {key}: golden rounds={want[0]} msgs={want[1]}, "
+                  "no fresh row")
+            failures += 1
+        elif got != want:
+            print(f"DRIFT    {key}: rounds {want[0]} -> {got[0]}, "
+                  f"msgs {want[1]} -> {got[1]}")
+            failures += 1
+    checked = len(golden)
+    if failures:
+        print(f"check_bench_goldens: {failures}/{checked} rows drifted")
+        return 1
+    print(f"check_bench_goldens: all {checked} ops rows match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

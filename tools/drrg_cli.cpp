@@ -35,6 +35,8 @@ struct Options {
   double rank_threshold = 0.0;
   int trials = 1;
   unsigned threads = 1;
+  unsigned intra_threads = 1;
+  double diam_mult = 1.0;
   drrg::sim::TopologySpec topology{};
   std::vector<drrg::sim::CrashEvent> churn;
   std::string churn_text;
@@ -56,12 +58,18 @@ struct Options {
                "usage: drrg_cli [--algo A] [--agg G] [--n N] [--seed S]\n"
                "                [--loss D] [--crash F] [--churn R:F[,R:F...]]\n"
                "                [--topology P] [--degree D] [--threshold X]\n"
-               "                [--trials T] [--threads W] [--csv] [--json] [--list]\n"
+               "                [--trials T] [--threads W] [--intra-threads I]\n"
+               "                [--diam-mult M] [--csv] [--json] [--list]\n"
                "  A: %s\n"
                "  G: %s\n"
                "  P: %s\n"
                "  --churn crashes fraction F of the then-alive nodes at round R\n"
-               "  --threads 0 uses every hardware core; any value is bit-identical\n",
+               "  --threads 0 uses every hardware core; any value is bit-identical\n"
+               "  --intra-threads fans a run's independent sub-runs (median bracket);\n"
+               "      0 = all cores, bit-identical for any value\n"
+               "  --diam-mult scales the DRR Phase III budget by M*diameter/log2(n)\n"
+               "      on explicit topologies (1 = default; 0 disables the whole\n"
+               "      topology adaptation incl. the tree-member relay)\n",
                algos.c_str(), aggs.c_str(), drrg::api::topology_names().c_str());
   std::exit(code);
 }
@@ -102,6 +110,8 @@ Options parse(int argc, char** argv) {
     else if (arg == "--threshold") opt.rank_threshold = std::atof(next("--threshold"));
     else if (arg == "--trials") opt.trials = std::atoi(next("--trials"));
     else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::atoi(next("--threads")));
+    else if (arg == "--intra-threads") opt.intra_threads = static_cast<unsigned>(std::atoi(next("--intra-threads")));
+    else if (arg == "--diam-mult") opt.diam_mult = std::atof(next("--diam-mult"));
     else if (arg == "--degree") opt.topology.degree = static_cast<std::uint32_t>(std::atoi(next("--degree")));
     else if (arg == "--topology") {
       const char* name = next("--topology");
@@ -191,6 +201,18 @@ int main(int argc, char** argv) {
   spec.faults = sim::FaultSchedule{opt.loss, opt.crash, opt.churn};
   spec.topology = opt.topology;
   spec.rank_threshold = opt.rank_threshold;
+  spec.intra_threads = opt.intra_threads;
+  if (opt.diam_mult != 1.0) {
+    // Only the DRR family reads the knob; leave the config variant alone
+    // otherwise so other algorithms keep their defaults.
+    if (opt.algo == "drr") {
+      DrrGossipConfig cfg;
+      cfg.phase3_diameter_multiplier = opt.diam_mult;
+      spec.config = cfg;
+    } else {
+      std::fprintf(stderr, "--diam-mult only applies to --algo drr (ignored)\n");
+    }
+  }
 
   if (opt.csv) {
     std::printf(
