@@ -139,6 +139,19 @@ BENCHMARK(BM_PairwiseAve)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Iteration
 void BM_DrrGossipAve(benchmark::State& state) { run_ave_case(state, "drr"); }
 BENCHMARK(BM_DrrGossipAve)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Iterations(1);
 
+// §4 row: the sparse pipeline on the Chord overlay (Theorem 14) -- its
+// ops counters joined the CI goldens when Phase III moved onto the shared
+// engine.  The family fixes its own substrate, so the row only exists on
+// the complete --table1_topology (no json row is emitted otherwise).
+void BM_ChordDrrAve(benchmark::State& state) {
+  if (!options().topology.is_complete()) {
+    state.SkipWithError("chord-drr fixes its own overlay; --table1_topology n/a");
+    return;
+  }
+  run_ave_case(state, "chord-drr");
+}
+BENCHMARK(BM_ChordDrrAve)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->Iterations(1);
+
 /// Strips --table1_* flags (ours) from argv before google-benchmark's own
 /// flag parsing rejects them.
 int parse_own_flags(int argc, char** argv) {

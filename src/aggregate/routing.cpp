@@ -1,0 +1,188 @@
+#include "aggregate/routing.hpp"
+
+#include <stdexcept>
+
+#include "support/mathutil.hpp"
+
+namespace drrg {
+
+SparseRouter SparseRouter::on_chord(const ChordOverlay& chord) {
+  SparseRouter r;
+  r.chord_ = &chord;
+  r.n_ = chord.size();
+  return r;
+}
+
+SparseRouter SparseRouter::on_substrate(const sim::Topology& topology) {
+  if (topology.is_complete())
+    throw std::invalid_argument("SparseRouter: substrate topology must be explicit");
+  SparseRouter r;
+  r.n_ = topology.size();
+  if (topology.is_grid()) {
+    r.rows_ = topology.grid_rows();
+    r.cols_ = topology.grid_cols();
+    r.torus_ = topology.grid_torus();
+  } else {
+    // Walk length: on a constant-spectral-gap substrate the walk is within
+    // O(1/n) of uniform after O(log n) steps; the factor 2 buys slack for
+    // the moderately-expanding families without changing the O(log n) hop
+    // bill Theorem 14 charges per G~ edge.
+    r.walk_len_ = std::max<std::uint32_t>(8, 2 * ceil_log2(topology.size()));
+    r.sampler_ = topology.sampler(topology.size());
+  }
+  return r;
+}
+
+RouteState SparseRouter::begin_random(NodeId src, Rng& rng) const {
+  RouteState st;
+  if (chord_ != nullptr) {
+    st.mode = RouteState::Mode::kChordRoute;
+    st.target = rng.next_below(chord_->ring_size());
+    st.steps = static_cast<std::uint32_t>(rng.next_below(chord_->smear_width()));
+    return st;
+  }
+  if (cols_ != 0) {
+    st.mode = RouteState::Mode::kGrid;
+    st.target = rng.next_below(n_);  // exactly uniform over V
+    return st;
+  }
+  st.mode = RouteState::Mode::kWalk;
+  st.steps = walk_len_;
+  (void)src;
+  return st;
+}
+
+RouteState SparseRouter::begin_directed(NodeId dst) const {
+  RouteState st;
+  if (chord_ != nullptr) {
+    // Greedy routing on dst's own ring id lands exactly on dst.
+    st.mode = RouteState::Mode::kChordRoute;
+    st.target = chord_->id_of(dst);
+    return st;
+  }
+  if (cols_ != 0) {
+    st.mode = RouteState::Mode::kGrid;
+    st.target = dst;
+    return st;
+  }
+  return st;  // kDone: single point-to-point send
+}
+
+namespace {
+
+/// (to - from) clockwise on a power-of-two ring.
+[[nodiscard]] std::uint64_t ring_dist(std::uint64_t from, std::uint64_t to,
+                                      std::uint64_t ring) noexcept {
+  return (to - from) & (ring - 1);
+}
+
+/// First alive node clockwise after v (stabilized successor pointer).
+[[nodiscard]] NodeId successor_live(const ChordOverlay& chord, NodeId v,
+                                    const LivenessView& alive) {
+  NodeId s = chord.successor(v);
+  for (std::uint32_t guard = 0; guard < chord.size() && !alive(s); ++guard)
+    s = chord.successor(s);
+  return s;
+}
+
+/// The alive node owning `key` on the stabilized ring: the static owner,
+/// or its first alive successor when the owner crashed.
+[[nodiscard]] NodeId owner_live(const ChordOverlay& chord, std::uint64_t key,
+                                const LivenessView& alive) {
+  NodeId o = chord.owner_of_key(key);
+  for (std::uint32_t guard = 0; guard < chord.size() && !alive(o); ++guard)
+    o = chord.successor(o);
+  return o;
+}
+
+/// Greedy Chord step on the stabilized overlay: the closest preceding
+/// *alive* finger, else the alive successor chain.  Reduces to the static
+/// ChordOverlay::next_hop when everyone is alive.
+[[nodiscard]] NodeId chord_next_hop_live(const ChordOverlay& chord, NodeId v,
+                                         std::uint64_t key, const LivenessView& alive) {
+  if (owner_live(chord, key, alive) == v) return v;
+  const std::uint64_t ring = chord.ring_size();
+  const std::uint64_t dv = ring_dist(chord.id_of(v), key, ring);
+  for (std::uint32_t k = chord.ring_bits(); k-- > 0;) {
+    const NodeId c = chord.finger(v, k);
+    if (c == v || !alive(c)) continue;
+    const std::uint64_t dc = ring_dist(chord.id_of(c), key, ring);
+    if (dc < dv) return c;  // fingers are scanned longest-jump first
+  }
+  return successor_live(chord, v, alive);
+}
+
+}  // namespace
+
+NodeId SparseRouter::next_hop(NodeId at, RouteState& state, Rng& rng,
+                              const LivenessView& alive) const {
+  switch (state.mode) {
+    case RouteState::Mode::kDone:
+      return at;
+    case RouteState::Mode::kChordRoute: {
+      const NodeId nh = chord_next_hop_live(*chord_, at, state.target, alive);
+      if (nh != at) return nh;
+      state.mode =
+          state.steps > 0 ? RouteState::Mode::kChordSmear : RouteState::Mode::kDone;
+      return state.steps > 0 ? next_hop(at, state, rng, alive) : at;
+    }
+    case RouteState::Mode::kChordSmear:
+      if (state.steps == 0) {
+        state.mode = RouteState::Mode::kDone;
+        return at;
+      }
+      --state.steps;
+      if (state.steps == 0) state.mode = RouteState::Mode::kDone;
+      return successor_live(*chord_, at, alive);
+    case RouteState::Mode::kGrid: {
+      const auto target = static_cast<std::uint32_t>(state.target);
+      if (target == at) {
+        state.mode = RouteState::Mode::kDone;
+        return at;
+      }
+      const std::uint32_t ar = at / cols_, ac = at % cols_;
+      const std::uint32_t tr = target / cols_, tc = target % cols_;
+      // Row first, then column; torus wraps take the shorter direction,
+      // and an exact tie (possible for any even dimension: down ==
+      // rows - down at the antipode) deterministically goes forward --
+      // the <= below is load-bearing for the pinned determinism sweeps.
+      if (ar != tr) {
+        const std::uint32_t down = (tr + rows_ - ar) % rows_;
+        const bool forward = !torus_ ? tr > ar : down <= rows_ - down;
+        const std::uint32_t nr = forward ? (ar + 1) % rows_ : (ar + rows_ - 1) % rows_;
+        return nr * cols_ + ac;
+      }
+      const std::uint32_t right = (tc + cols_ - ac) % cols_;
+      const bool forward = !torus_ ? tc > ac : right <= cols_ - right;
+      const std::uint32_t nc = forward ? (ac + 1) % cols_ : (ac + cols_ - 1) % cols_;
+      return ar * cols_ + nc;
+    }
+    case RouteState::Mode::kWalk:
+      if (state.steps == 0) {
+        state.mode = RouteState::Mode::kDone;
+        return at;
+      }
+      --state.steps;
+      if (state.steps == 0) state.mode = RouteState::Mode::kDone;
+      return sampler_(at, rng);
+  }
+  return at;
+}
+
+std::uint32_t SparseRouter::max_route_hops() const noexcept {
+  if (chord_ != nullptr) return 2 * chord_->ring_bits() + chord_->smear_width() + 2;
+  if (cols_ != 0) return rows_ + cols_;
+  return walk_len_;
+}
+
+std::uint32_t SparseRouter::typical_route_hops() const noexcept {
+  // Chord: greedy routing of a random key takes ~(log2 n)/2 expected hops
+  // and the smear walk averages S/2 more.  Grids: expected per-dimension
+  // distance to a uniform target is dim/3 (dim/4 on a torus).  Walks: the
+  // length is fixed.
+  if (chord_ != nullptr) return ceil_log2(n_) / 2 + chord_->smear_width() / 2 + 1;
+  if (cols_ != 0) return torus_ ? (rows_ + cols_) / 4 : (rows_ + cols_) / 3;
+  return walk_len_;
+}
+
+}  // namespace drrg

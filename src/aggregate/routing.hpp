@@ -1,0 +1,120 @@
+#pragma once
+// Hop-by-hop substrate routing for the §4 sparse pipeline's Phase III.
+//
+// On a sparse substrate a root cannot call a random node directly: the
+// call is *routed* (Assumption 2), and every logical G~ edge expands into
+// real overlay hops.  This header gives the Phase III protocols the two
+// verbs that expansion needs, with the per-message routing state kept as a
+// small POD that travels inside the engine envelope -- so mid-run churn,
+// per-hop loss and the round clock of sim::Network apply to every
+// intermediate hop, exactly as they do for chord-uniform:
+//
+//   * begin_random(src)    -- start an Assumption-2 near-uniform sample;
+//   * begin_directed(dst)  -- start a route to a specific known node (the
+//                             non-address-oblivious reply step);
+//   * next_hop(at, state)  -- advance one overlay hop; `at` unchanged
+//                             means the route has arrived.
+//
+// Three samplers cover the substrate families:
+//
+//   * Chord overlay: greedy finger routing of a uniformly random key,
+//     then a successor smear of j in [0, S) steps (the King et al. [10]
+//     substitute documented in chord.hpp) -- O(log n) hops, near-uniform;
+//   * grid / torus: row-then-column coordinate routing to an *exactly*
+//     uniform random node id (torus wraps pick the shorter direction) --
+//     O(diam) hops;
+//   * everything else (random-regular, chord-ring-as-graph, ...): a
+//     random walk of Theta(log n) steps; on the expander-like substrates
+//     this family serves, the walk mixes to near-uniform.
+//
+// Directed routes exist for Chord (route to the target's ring id) and
+// grids (route to the target's coordinates).  Walk substrates have no
+// keyed routing scheme, so begin_directed degenerates to a single
+// point-to-point send -- the established-connection convention the engine
+// already uses for Algorithm 4's "reply directly to the inquiring root"
+// (see sim/topology.hpp).
+
+#include <cstdint>
+
+#include "chord/chord.hpp"
+#include "sim/topology.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+
+/// Liveness oracle for fault-aware routing: Chord hops detour around
+/// crashed fingers/successors, modelling the overlay's stabilization
+/// (each node pings its neighbors and repairs its successor pointers --
+/// the successor-list guarantee of Stoica et al. [25]).  A default view
+/// treats everyone as alive.  The Phase III protocols wrap the engine's
+/// alive set; the pair is cheaper than a std::function on the hop path.
+struct LivenessView {
+  const void* ctx = nullptr;
+  bool (*fn)(const void*, NodeId) = nullptr;
+  [[nodiscard]] bool operator()(NodeId v) const {
+    return fn == nullptr || fn(ctx, v);
+  }
+};
+
+/// Per-message routing state (16 bytes, POD).
+struct RouteState {
+  enum class Mode : std::uint8_t {
+    kDone,        ///< arrived: the current holder is the route's endpoint
+    kChordRoute,  ///< greedy finger routing toward `target` (a ring key)
+    kChordSmear,  ///< successor walk, `steps` left
+    kGrid,        ///< coordinate routing toward node id `target`
+    kWalk,        ///< random walk, `steps` left
+  };
+  std::uint64_t target = 0;
+  std::uint32_t steps = 0;
+  Mode mode = Mode::kDone;
+};
+
+class SparseRouter {
+ public:
+  /// Routes on a Chord overlay (the chord-drr family).
+  [[nodiscard]] static SparseRouter on_chord(const ChordOverlay& chord);
+
+  /// Routes on an explicit substrate: coordinate routing when the
+  /// topology is a recorded lattice (Topology::of_grid), a Theta(log n)
+  /// random walk otherwise.  The topology must be explicit.
+  [[nodiscard]] static SparseRouter on_substrate(const sim::Topology& topology);
+
+  /// Starts an Assumption-2 near-uniform sample from `src`, drawing the
+  /// route's randomness (key + smear / target id / nothing) from `rng`.
+  [[nodiscard]] RouteState begin_random(NodeId src, Rng& rng) const;
+
+  /// Starts a route to the known node `dst`.  Mode kDone means the
+  /// substrate has no keyed routing: deliver with one direct send.
+  [[nodiscard]] RouteState begin_directed(NodeId dst) const;
+
+  /// Advances the route one overlay hop from its current holder `at`;
+  /// draws from `rng` (the holder's stream) only in kWalk mode.  Chord
+  /// hops consult `alive` and detour around crashed nodes (stabilized
+  /// overlay); lattice and walk hops are static -- a dead carrier kills
+  /// the delivery, exactly like any other lost hop.  Returns the next
+  /// carrier, or `at` itself when the route has arrived (the state is
+  /// then kDone).
+  [[nodiscard]] NodeId next_hop(NodeId at, RouteState& state, Rng& rng,
+                                const LivenessView& alive = {}) const;
+
+  /// Generous upper bound on the hops of any single route this router can
+  /// emit (drain horizons are sized from it).
+  [[nodiscard]] std::uint32_t max_route_hops() const noexcept;
+
+  /// Expected hops of a begin_random route (the pipeline's latency
+  /// estimate: routed push-sum scales its initiation window by
+  /// 1 + typical/log2 n so the delayed shares still complete the paper's
+  /// O(log n) mixing generations).
+  [[nodiscard]] std::uint32_t typical_route_hops() const noexcept;
+
+ private:
+  const ChordOverlay* chord_ = nullptr;
+  std::uint32_t n_ = 0;
+  std::uint32_t rows_ = 0, cols_ = 0;  // lattice layout (kGrid)
+  bool torus_ = false;
+  std::uint32_t walk_len_ = 0;  // kWalk length
+  sim::Topology::PeerSampler sampler_{nullptr, nullptr, 0};
+};
+
+}  // namespace drrg

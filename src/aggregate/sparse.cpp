@@ -4,10 +4,12 @@
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
-#include "aggregate/routed_transport.hpp"
+#include "aggregate/routing.hpp"
 #include "rootgossip/ordered_key.hpp"
+#include "sim/engine.hpp"
 #include "support/mathutil.hpp"
 #include "trees/broadcast.hpp"
 #include "trees/convergecast.hpp"
@@ -33,100 +35,156 @@ namespace {
 constexpr double kAgreeTolerance = 1e-9;
 
 // ---------------------------------------------------------------------------
-// Routed Gossip-max over the forest roots.
+// Phase III carriers.  A logical G~ send travels as one engine envelope
+// that is re-sent hop by hop: first along the substrate route (SparseRouter
+// state machine), then up the landing node's ranking tree.  Each hop is
+// one engine message in one round, so the FaultSchedule applies to every
+// intermediate carrier and a delivery's latency equals its hop count --
+// the accounting the paper's "at most T hops of G per edge of G~" uses.
 
-struct GmPayload {
+/// The engine's alive set as a routing liveness oracle: Chord hops detour
+/// around crashed nodes (stabilized overlay, see routing.hpp).
+template <class Msg>
+[[nodiscard]] LivenessView liveness_of(const sim::Network<Msg>& net) noexcept {
+  return LivenessView{&net, [](const void* p, NodeId v) {
+                        return static_cast<const sim::Network<Msg>*>(p)->alive(v);
+                      }};
+}
+
+/// Common hop step shared by both Phase III protocols.  Returns the root
+/// the message has arrived at (absorption point), or kNoNode when the
+/// message was forwarded (or stranded on a non-member).
+template <class Msg>
+[[nodiscard]] sim::NodeId route_or_climb(sim::Network<Msg>& net, const Forest& forest,
+                                         const SparseRouter& router, sim::NodeId x,
+                                         Msg&& m, std::uint32_t bits) {
+  if (!m.climbing) {
+    if (m.route.mode != RouteState::Mode::kDone) {
+      const NodeId nh = router.next_hop(x, m.route, net.node_rng(x), liveness_of(net));
+      if (nh != x) {
+        net.send(x, nh, std::move(m), bits);
+        return sim::kNoNode;
+      }
+    }
+    m.climbing = true;  // the route has arrived at x
+  }
+  if (!forest.is_member(x)) return sim::kNoNode;  // stranded: delivery dies here
+  const NodeId parent = forest.parent(x);
+  if (parent != kNoParent) {
+    // Tree walk: one more hop of G per level, forwarded next round.  A
+    // crashed parent simply never delivers -- churn severs the path.
+    net.send(x, parent, std::move(m), bits);
+    return sim::kNoNode;
+  }
+  return x;  // x is a root: absorb
+}
+
+// ---------------------------------------------------------------------------
+// Routed Gossip-max over the forest roots (Algorithm 4 on the substrate).
+
+struct SgmMsg {
   enum class Kind : std::uint8_t { kGossip, kInquiry, kReply };
-  Kind kind;
   std::uint64_t key = 0;
-  NodeId origin = kNoParent;
+  std::uint64_t aux = 0;  // payload riding the key (spread: the estimate)
+  RouteState route;
+  sim::NodeId origin = sim::kNoNode;  // inquiring root (kInquiry)
+  Kind kind = Kind::kGossip;
+  bool climbing = false;  // routing finished; walking up the tree
 };
 
 struct SparseGmResult {
   std::vector<std::uint64_t> key;
-  std::vector<std::uint64_t> key_after_gossip;
+  std::vector<std::uint64_t> aux;
   sim::Counters counters;
   std::uint32_t rounds = 0;
 };
 
-SparseGmResult sparse_gossip_max(const ChordOverlay& chord, const Forest& forest,
-                                 std::span<const std::uint64_t> init,
-                                 const RngFactory& rngs, double loss,
-                                 const GossipMaxConfig& cfg) {
-  const std::uint32_t n = forest.size();
-  SparseGmResult result;
-  result.key.assign(n, kKeyBottom);
-  for (NodeId r : forest.roots()) result.key[r] = init[r];
+struct SparseGossipMaxProtocol {
+  enum class Procedure : std::uint8_t { kIdle, kGossip, kSampling };
 
-  const std::uint32_t bits = 64 + 2 * address_bits(n);
-  RoutedTransport<GmPayload> transport{
-      chord, forest, loss,
-      rngs.engine_stream(derive_seed(0x59a2, cfg.stream_tag)), bits};
-  std::vector<Rng> root_rng;
-  root_rng.reserve(forest.roots().size());
-  std::vector<std::uint32_t> root_slot(n, 0);
-  for (std::uint32_t i = 0; i < forest.roots().size(); ++i) {
-    root_slot[forest.roots()[i]] = i;
-    root_rng.push_back(rngs.node_stream(forest.roots()[i], derive_seed(0x59a3, cfg.stream_tag)));
-  }
+  const Forest& forest;
+  const SparseRouter& router;
+  std::vector<std::uint64_t> key;
+  std::vector<std::uint64_t> aux;  // adopted alongside a larger key
+  std::uint32_t bits;
+  Procedure procedure = Procedure::kIdle;
 
-  const auto G = static_cast<std::uint32_t>(cfg.gossip_multiplier *
-                                            static_cast<double>(ceil_log2(n)));
-  const auto S = static_cast<std::uint32_t>(cfg.sampling_multiplier *
-                                            static_cast<double>(ceil_log2(n)));
-
-  auto handle = [&](NodeId dst, const GmPayload& m, std::uint32_t now) {
-    switch (m.kind) {
-      case GmPayload::Kind::kGossip:
-      case GmPayload::Kind::kReply:
-        result.key[dst] = std::max(result.key[dst], m.key);
-        break;
-      case GmPayload::Kind::kInquiry:
-        transport.send_to_root_direct(dst, m.origin,
-                                      GmPayload{GmPayload::Kind::kReply, result.key[dst],
-                                                kNoParent},
-                                      now);
-        break;
+  SparseGossipMaxProtocol(const Forest& f, const SparseRouter& r,
+                          std::span<const std::uint64_t> init,
+                          std::span<const std::uint64_t> init_aux, std::uint32_t n)
+      : forest(f),
+        router(r),
+        key(n, kKeyBottom),
+        aux(n, 0),
+        bits((init_aux.empty() ? 64 : 2 * 64) + 2 * address_bits(n)) {
+    for (NodeId root : f.roots()) {
+      key[root] = init[root];
+      if (!init_aux.empty()) aux[root] = init_aux[root];
     }
-  };
-
-  std::uint32_t t = 0;
-  // Gossip procedure, then drain in-flight messages.
-  while (t < G || !transport.idle()) {
-    for (auto& [dst, m] : transport.collect(t)) handle(dst, m, t);
-    if (t < G)
-      for (NodeId r : forest.roots())
-        transport.send_to_random_root(
-            r, GmPayload{GmPayload::Kind::kGossip, result.key[r], kNoParent}, t,
-            root_rng[root_slot[r]]);
-    ++t;
-  }
-  result.key_after_gossip = result.key;
-
-  // Sampling procedure, then drain (replies may trigger further sends, so
-  // the loop keeps collecting until the transport is quiet).
-  const std::uint32_t base = t;
-  while (t < base + S || !transport.idle()) {
-    for (auto& [dst, m] : transport.collect(t)) handle(dst, m, t);
-    if (t < base + S)
-      for (NodeId r : forest.roots())
-        transport.send_to_random_root(r, GmPayload{GmPayload::Kind::kInquiry, 0, r}, t,
-                                      root_rng[root_slot[r]]);
-    ++t;
   }
 
-  result.counters = transport.counters();
-  result.counters.rounds = t;
-  result.rounds = t;
-  return result;
-}
+  /// Only roots act; the engine thins its upcall scans to the root list.
+  [[nodiscard]] std::span<const sim::NodeId> active_nodes() const noexcept {
+    return forest.roots();
+  }
+
+  void on_round(sim::Network<SgmMsg>& net, sim::NodeId v) {
+    if (procedure == Procedure::kIdle) return;
+    SgmMsg m;
+    m.route = router.begin_random(v, net.node_rng(v));
+    if (procedure == Procedure::kGossip) {
+      m.key = key[v];
+      m.aux = aux[v];
+    } else {
+      m.kind = SgmMsg::Kind::kInquiry;
+      m.origin = v;
+    }
+    hop(net, v, std::move(m));
+  }
+
+  void on_message(sim::Network<SgmMsg>& net, sim::NodeId, sim::NodeId dst, const SgmMsg& m) {
+    hop(net, dst, SgmMsg{m});
+  }
+
+  void hop(sim::Network<SgmMsg>& net, sim::NodeId x, SgmMsg&& m) {
+    const sim::NodeId at = route_or_climb(net, forest, router, x, std::move(m), bits);
+    if (at == sim::kNoNode) return;
+    switch (m.kind) {
+      case SgmMsg::Kind::kGossip:
+      case SgmMsg::Kind::kReply:
+        if (m.key > key[at]) {
+          key[at] = m.key;
+          aux[at] = m.aux;
+        }
+        break;
+      case SgmMsg::Kind::kInquiry: {
+        // Reply to the inquiring root: routed where the substrate has a
+        // keyed scheme, one direct send otherwise (the established-call
+        // convention -- the non-address-oblivious step of Algorithm 4).
+        SgmMsg reply;
+        reply.key = key[at];
+        reply.aux = aux[at];
+        reply.kind = SgmMsg::Kind::kReply;
+        reply.route = router.begin_directed(m.origin);
+        if (reply.route.mode == RouteState::Mode::kDone && at != m.origin) {
+          net.send(at, m.origin, std::move(reply), bits);
+        } else {
+          hop(net, at, std::move(reply));
+        }
+        break;
+      }
+    }
+  }
+};
 
 // ---------------------------------------------------------------------------
-// Routed push-sum over the forest roots.
+// Routed push-sum over the forest roots (Algorithm 6 on the substrate).
 
-struct PsPayload {
+struct SpsMsg {
   double num = 0.0;
   double den = 0.0;
+  RouteState route;
+  bool climbing = false;
 };
 
 struct SparsePsResult {
@@ -136,54 +194,131 @@ struct SparsePsResult {
   std::uint32_t rounds = 0;
 };
 
-SparsePsResult sparse_push_sum(const ChordOverlay& chord, const Forest& forest,
-                               std::span<const double> num0, std::span<const double> den0,
-                               const RngFactory& rngs, double loss,
-                               const PushSumConfig& cfg) {
-  const std::uint32_t n = forest.size();
-  SparsePsResult result;
-  result.num.assign(n, 0.0);
-  result.den.assign(n, 0.0);
-  for (NodeId r : forest.roots()) {
-    result.num[r] = num0[r];
-    result.den[r] = den0[r];
+struct SparsePushSumProtocol {
+  const Forest& forest;
+  const SparseRouter& router;
+  std::vector<double> num;
+  std::vector<double> den;
+  std::uint32_t bits;
+  bool initiate = false;
+
+  SparsePushSumProtocol(const Forest& f, const SparseRouter& r,
+                        std::span<const double> num0, std::span<const double> den0,
+                        std::uint32_t n)
+      : forest(f), router(r), num(n, 0.0), den(n, 0.0), bits(2 * 64 + address_bits(n)) {
+    for (NodeId root : f.roots()) {
+      num[root] = num0[root];
+      den[root] = den0[root];
+    }
   }
 
-  const std::uint32_t bits = 2 * 64 + address_bits(n);
-  RoutedTransport<PsPayload> transport{
-      chord, forest, loss,
-      rngs.engine_stream(derive_seed(0x59b2, cfg.stream_tag)), bits};
-  std::vector<Rng> root_rng;
-  std::vector<std::uint32_t> root_slot(n, 0);
-  for (std::uint32_t i = 0; i < forest.roots().size(); ++i) {
-    root_slot[forest.roots()[i]] = i;
-    root_rng.push_back(rngs.node_stream(forest.roots()[i], derive_seed(0x59b3, cfg.stream_tag)));
+  [[nodiscard]] std::span<const sim::NodeId> active_nodes() const noexcept {
+    return forest.roots();
   }
 
+  void on_round(sim::Network<SpsMsg>& net, sim::NodeId v) {
+    if (!initiate) return;
+    num[v] *= 0.5;
+    den[v] *= 0.5;
+    SpsMsg m;
+    m.num = num[v];
+    m.den = den[v];
+    m.route = router.begin_random(v, net.node_rng(v));
+    hop(net, v, std::move(m));
+  }
+
+  void on_message(sim::Network<SpsMsg>& net, sim::NodeId, sim::NodeId dst, const SpsMsg& m) {
+    hop(net, dst, SpsMsg{m});
+  }
+
+  void hop(sim::Network<SpsMsg>& net, sim::NodeId x, SpsMsg&& m) {
+    const sim::NodeId at = route_or_climb(net, forest, router, x, std::move(m), bits);
+    if (at == sim::kNoNode) return;
+    num[at] += m.num;
+    den[at] += m.den;
+  }
+};
+
+/// Runs `steps` initiation rounds with the protocol live, then drains
+/// until the network is quiescent (every in-flight envelope has landed or
+/// died), capped by the longest possible residual path.
+template <class Msg, class P>
+void run_then_drain(sim::Network<Msg>& net, P& proto, std::uint32_t steps,
+                    std::uint32_t drain_cap) {
+  for (std::uint32_t r = 0; r < steps; ++r) net.step(proto);
+  for (std::uint32_t r = 0; r < drain_cap && !net.quiescent(); ++r) net.step(proto);
+}
+
+/// Residual-path bound: substrate route + tree climb + slack.
+[[nodiscard]] std::uint32_t drain_cap(const SparseRouter& router, const Forest& forest,
+                                      std::uint32_t slack) {
+  return router.max_route_hops() + forest.max_tree_height() + slack + 2;
+}
+
+SparseGmResult run_sparse_gossip_max(std::uint32_t n, const SparseRouter& router,
+                                     const Forest& forest,
+                                     std::span<const std::uint64_t> init,
+                                     const RngFactory& rngs, const sim::Scenario& scenario,
+                                     const GossipMaxConfig& cfg,
+                                     std::span<const std::uint64_t> init_aux = {}) {
+  sim::Network<SgmMsg> net{n, rngs, scenario, derive_seed(0x59a2, cfg.stream_tag)};
+  SparseGossipMaxProtocol proto{forest, router, init, init_aux, n};
+  const auto G = static_cast<std::uint32_t>(cfg.gossip_multiplier *
+                                            static_cast<double>(ceil_log2(n)));
+  const auto S = static_cast<std::uint32_t>(cfg.sampling_multiplier *
+                                            static_cast<double>(ceil_log2(n)));
+  const std::uint32_t cap = drain_cap(router, forest, cfg.drain_rounds);
+
+  // Procedures are gated off before each drain: with roots still
+  // initiating, the quiescence exit would be unreachable and the drain
+  // rounds would silently double the configured O(log n) G~ budget.
+  proto.procedure = SparseGossipMaxProtocol::Procedure::kGossip;
+  run_then_drain(net, proto, G, 0);
+  proto.procedure = SparseGossipMaxProtocol::Procedure::kIdle;
+  run_then_drain(net, proto, 0, cap);
+  proto.procedure = SparseGossipMaxProtocol::Procedure::kSampling;
+  run_then_drain(net, proto, S, 0);
+  proto.procedure = SparseGossipMaxProtocol::Procedure::kIdle;
+  // Replies may chain one more routed leg; drain with double headroom.
+  run_then_drain(net, proto, 0, 2 * cap);
+
+  SparseGmResult result;
+  result.key = std::move(proto.key);
+  result.aux = std::move(proto.aux);
+  result.counters = net.counters();
+  result.rounds = net.counters().rounds;
+  return result;
+}
+
+SparsePsResult run_sparse_push_sum(std::uint32_t n, const SparseRouter& router,
+                                   const Forest& forest, std::span<const double> num0,
+                                   std::span<const double> den0, const RngFactory& rngs,
+                                   const sim::Scenario& scenario, const PushSumConfig& cfg) {
+  sim::Network<SpsMsg> net{n, rngs, scenario, derive_seed(0x59b2, cfg.stream_tag)};
+  SparsePushSumProtocol proto{forest, router, num0, den0, n};
+  // Latency compensation: a share initiated now only re-mixes after its
+  // ~typical_route_hops() round trip, so the O(log n) initiation window is
+  // scaled by (1 + typical/log2 n) to preserve the number of completed
+  // mixing generations.  On Chord (typical = Theta(log n)) this is a
+  // constant factor; message complexity stays O(n log n).
+  const double latency_scale =
+      1.0 + static_cast<double>(router.typical_route_hops()) /
+                static_cast<double>(ceil_log2(n));
   const std::uint32_t T = static_cast<std::uint32_t>(
-                              cfg.rounds_multiplier * static_cast<double>(ceil_log2(n))) +
+                              cfg.rounds_multiplier * static_cast<double>(ceil_log2(n)) *
+                              latency_scale) +
                           cfg.extra_rounds;
 
-  std::uint32_t t = 0;
-  while (t < T || !transport.idle()) {
-    for (auto& [dst, m] : transport.collect(t)) {
-      result.num[dst] += m.num;
-      result.den[dst] += m.den;
-    }
-    if (t < T) {
-      for (NodeId r : forest.roots()) {
-        result.num[r] *= 0.5;
-        result.den[r] *= 0.5;
-        transport.send_to_random_root(r, PsPayload{result.num[r], result.den[r]}, t,
-                                      root_rng[root_slot[r]]);
-      }
-    }
-    ++t;
-  }
+  proto.initiate = true;
+  for (std::uint32_t r = 0; r < T; ++r) net.step(proto);
+  proto.initiate = false;
+  run_then_drain(net, proto, 0, drain_cap(router, forest, T));
 
-  result.counters = transport.counters();
-  result.counters.rounds = t;
-  result.rounds = t;
+  SparsePsResult result;
+  result.num = std::move(proto.num);
+  result.den = std::move(proto.den);
+  result.counters = net.counters();
+  result.rounds = net.counters().rounds;
   return result;
 }
 
@@ -194,20 +329,31 @@ struct SparsePhase12 {
   LocalDrrResult drr;
   ConvergecastResult cc;
   BroadcastResult addr;
+  std::uint32_t end_round = 0;  ///< global clock after Phase II
 };
 
+/// Phases I and II.  Each phase's Network starts where the previous one
+/// stopped on the scenario's global clock, so one churn schedule spans
+/// the whole pipeline.
 SparsePhase12 run_sparse_phase12(const Graph& links, std::span<const double> values,
                                  ConvergecastOp op, const RngFactory& rngs,
-                                 sim::FaultModel faults, const SparseGossipConfig& config) {
+                                 const sim::Scenario& scenario,
+                                 const SparseGossipConfig& config) {
   SparsePhase12 p;
-  p.drr = run_local_drr(links, rngs, faults, config.local_drr);
-  p.cc = run_convergecast(p.drr.forest, values, op, rngs, faults, config.convergecast);
+  std::uint32_t clock = scenario.start_round;
+  p.drr = run_local_drr(links, rngs, scenario, config.local_drr);
+  clock += p.drr.rounds;
+  p.cc = run_convergecast(p.drr.forest, values, op, rngs, scenario.at_round(clock),
+                          config.convergecast);
+  clock += p.cc.rounds;
   std::vector<double> addr_payload(links.size(), 0.0);
   for (NodeId r : p.drr.forest.roots()) addr_payload[r] = static_cast<double>(r);
   BroadcastConfig addr_cfg = config.broadcast;
   addr_cfg.simultaneous_children = true;
   addr_cfg.stream_tag = derive_seed(addr_cfg.stream_tag, 1);
-  p.addr = run_broadcast(p.drr.forest, addr_payload, rngs, faults, addr_cfg);
+  p.addr = run_broadcast(p.drr.forest, addr_payload, rngs, scenario.at_round(clock),
+                         addr_cfg);
+  p.end_round = clock + p.addr.rounds;
   return p;
 }
 
@@ -220,45 +366,80 @@ void fill_summary(const Forest& f, AggregateOutcome& out) {
   for (NodeId v = 0; v < f.size(); ++v) out.participating[v] = f.is_member(v);
 }
 
-void sparse_finish(const Forest& forest, std::span<const double> root_value,
-                   const RngFactory& rngs, sim::FaultModel faults,
-                   const SparseGossipConfig& config, AggregateOutcome& out) {
-  out.consensus = true;
-  const double ref = root_value[forest.roots().front()];
+void sparse_finish(std::uint32_t n, const Forest& forest,
+                   std::span<const double> root_value, const RngFactory& rngs,
+                   const sim::Scenario& scenario, const SparseGossipConfig& config,
+                   AggregateOutcome& out) {
+  bool bc_incomplete = false;
+  if (config.broadcast_result) {
+    BroadcastConfig value_cfg = config.broadcast;
+    value_cfg.simultaneous_children = true;
+    value_cfg.stream_tag = derive_seed(value_cfg.stream_tag, 2);
+    std::vector<double> payload(root_value.begin(), root_value.end());
+    const BroadcastResult bc = run_broadcast(
+        forest, payload, rngs,
+        scenario.at_round(scenario.start_round + out.rounds_total), value_cfg);
+    out.metrics.value_broadcast = bc.counters;
+    out.rounds_total += bc.rounds;
+    out.per_node = bc.received;
+    bc_incomplete = !bc.complete;
+  }
+
+  // Consensus is judged among the roots that survive the *whole* run
+  // (value-broadcast rounds included, so the reported value never
+  // originates from a root the participating mask excludes): a root
+  // crashed mid-run holds a frozen key that no live participant can
+  // observe.  Fault-free and crash-only runs see every root, the
+  // historical criterion.  The same mask prunes the participating set
+  // (Phase I membership captures who was alive at the *start*).
+  std::vector<bool> alive;
+  if (scenario.faults.has_churn()) {
+    alive = sim::survivor_mask(n, rngs, scenario.faults,
+                               scenario.start_round + out.rounds_total);
+    for (std::uint32_t v = 0; v < n; ++v)
+      out.participating[v] = out.participating[v] && alive[v];
+  }
+
+  NodeId agree_root = kNoParent;  // largest surviving tree, ties to small id
   for (NodeId r : forest.roots()) {
+    if (!alive.empty() && !alive[r]) continue;
+    if (agree_root == kNoParent || forest.tree_size(r) > forest.tree_size(agree_root))
+      agree_root = r;
+  }
+  if (agree_root == kNoParent) {  // every root died: no consensus to report
+    out.consensus = false;
+    return;
+  }
+  out.consensus = true;
+  const double ref = root_value[agree_root];
+  for (NodeId r : forest.roots()) {
+    if (!alive.empty() && !alive[r]) continue;
     const double scale = std::max({std::fabs(ref), std::fabs(root_value[r]), 1.0});
     if (std::fabs(root_value[r] - ref) > kAgreeTolerance * scale) {
       out.consensus = false;
       break;
     }
   }
-  out.value = root_value[out.forest.largest_tree_root];
-
-  if (config.broadcast_result) {
-    BroadcastConfig value_cfg = config.broadcast;
-    value_cfg.simultaneous_children = true;
-    value_cfg.stream_tag = derive_seed(value_cfg.stream_tag, 2);
-    std::vector<double> payload(root_value.begin(), root_value.end());
-    const BroadcastResult bc = run_broadcast(forest, payload, rngs, faults, value_cfg);
-    out.metrics.value_broadcast = bc.counters;
-    out.rounds_total += bc.rounds;
-    out.per_node = bc.received;
-    if (!bc.complete) out.consensus = false;
-  }
+  out.value = ref;
+  // Under churn a tree whose root died is legitimately cut off; the
+  // roots' agreement above is the consensus criterion then.  Without
+  // churn, broadcast incompleteness means retry exhaustion: report it.
+  if (bc_incomplete && !scenario.faults.has_churn()) out.consensus = false;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// The two pipelines, generic in the (links graph, router) pair.
 
-AggregateOutcome sparse_drr_gossip_max(const ChordOverlay& chord, const Graph& links,
-                                       std::span<const double> values, std::uint64_t seed,
-                                       sim::FaultModel faults,
-                                       const SparseGossipConfig& config) {
-  const std::uint32_t n = chord.size();
-  if (links.size() != n) throw std::invalid_argument("sparse_drr_gossip: graph/overlay mismatch");
+AggregateOutcome sparse_max_pipeline(std::uint32_t n, const Graph& links,
+                                     const SparseRouter& router,
+                                     std::span<const double> values, std::uint64_t seed,
+                                     const sim::Scenario& scenario,
+                                     const SparseGossipConfig& config) {
   if (values.size() < n) throw std::invalid_argument("sparse_drr_gossip: values too short");
   RngFactory rngs{seed};
 
-  SparsePhase12 p = run_sparse_phase12(links, values, ConvergecastOp::kMax, rngs, faults, config);
+  SparsePhase12 p = run_sparse_phase12(links, values, ConvergecastOp::kMax, rngs,
+                                       scenario, config);
   const Forest& forest = p.drr.forest;
 
   AggregateOutcome out;
@@ -267,32 +448,33 @@ AggregateOutcome sparse_drr_gossip_max(const ChordOverlay& chord, const Graph& l
   out.metrics.convergecast = p.cc.counters;
   out.metrics.root_broadcast = p.addr.counters;
   out.rounds_total = p.drr.rounds + p.cc.rounds + p.addr.rounds;
+  if (forest.roots().empty()) return out;
 
   std::vector<std::uint64_t> keys(n, kKeyBottom);
   for (NodeId r : forest.roots()) keys[r] = encode_ordered(p.cc.aggregate[r]);
   GossipMaxConfig gm_cfg = config.gossip_max;
   gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 3);
-  const SparseGmResult gm =
-      sparse_gossip_max(chord, forest, keys, rngs, faults.loss_prob, gm_cfg);
+  const SparseGmResult gm = run_sparse_gossip_max(
+      n, router, forest, keys, rngs, scenario.at_round(p.end_round), gm_cfg);
   out.metrics.gossip = gm.counters;
   out.rounds_total += gm.rounds;
 
   std::vector<double> root_value(n, 0.0);
   for (NodeId r : forest.roots()) root_value[r] = decode_ordered(gm.key[r]);
-  sparse_finish(forest, root_value, rngs, faults, config, out);
+  sparse_finish(n, forest, root_value, rngs, scenario, config, out);
   return out;
 }
 
-AggregateOutcome sparse_drr_gossip_ave(const ChordOverlay& chord, const Graph& links,
-                                       std::span<const double> values, std::uint64_t seed,
-                                       sim::FaultModel faults,
-                                       const SparseGossipConfig& config) {
-  const std::uint32_t n = chord.size();
-  if (links.size() != n) throw std::invalid_argument("sparse_drr_gossip: graph/overlay mismatch");
+AggregateOutcome sparse_ave_pipeline(std::uint32_t n, const Graph& links,
+                                     const SparseRouter& router,
+                                     std::span<const double> values, std::uint64_t seed,
+                                     const sim::Scenario& scenario,
+                                     const SparseGossipConfig& config) {
   if (values.size() < n) throw std::invalid_argument("sparse_drr_gossip: values too short");
   RngFactory rngs{seed};
 
-  SparsePhase12 p = run_sparse_phase12(links, values, ConvergecastOp::kSum, rngs, faults, config);
+  SparsePhase12 p = run_sparse_phase12(links, values, ConvergecastOp::kSum, rngs,
+                                       scenario, config);
   const Forest& forest = p.drr.forest;
 
   AggregateOutcome out;
@@ -301,19 +483,9 @@ AggregateOutcome sparse_drr_gossip_ave(const ChordOverlay& chord, const Graph& l
   out.metrics.convergecast = p.cc.counters;
   out.metrics.root_broadcast = p.addr.counters;
   out.rounds_total = p.drr.rounds + p.cc.rounds + p.addr.rounds;
+  if (forest.roots().empty()) return out;
 
-  // Elect z on (tree size, id) keys.
-  std::vector<std::uint64_t> size_keys(n, kKeyBottom);
-  for (NodeId r : forest.roots())
-    size_keys[r] = encode_size_id(static_cast<std::uint32_t>(p.cc.weight[r]), r);
-  GossipMaxConfig gm_cfg = config.gossip_max;
-  gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 4);
-  const SparseGmResult election =
-      sparse_gossip_max(chord, forest, size_keys, rngs, faults.loss_prob, gm_cfg);
-  sim::Counters gossip_counters = election.counters;
-  std::uint32_t gossip_rounds = election.rounds;
-
-  // Push-sum on (local sum, tree size).
+  // Phase III(a): push-sum on (local sum, tree size).
   std::vector<double> num0(n, 0.0), den0(n, 0.0);
   for (NodeId r : forest.roots()) {
     num0[r] = p.cc.aggregate[r];
@@ -321,31 +493,94 @@ AggregateOutcome sparse_drr_gossip_ave(const ChordOverlay& chord, const Graph& l
   }
   PushSumConfig ps_cfg = config.push_sum;
   ps_cfg.stream_tag = derive_seed(ps_cfg.stream_tag, 5);
-  const SparsePsResult ps =
-      sparse_push_sum(chord, forest, num0, den0, rngs, faults.loss_prob, ps_cfg);
-  gossip_counters += ps.counters;
-  gossip_rounds += ps.rounds;
-  out.metrics.gossip = gossip_counters;
-  out.rounds_total += gossip_rounds;
+  const SparsePsResult ps = run_sparse_push_sum(
+      n, router, forest, num0, den0, rngs, scenario.at_round(p.end_round), ps_cfg);
+  out.metrics.gossip = ps.counters;
+  out.rounds_total += ps.rounds;
 
-  // Data-spread from the believed-largest root(s).
-  std::vector<std::uint64_t> spread_init(n, kKeyBottom);
+  // Phase III(b): elect-and-spread.  Algorithm 8 first elects z (gossip-
+  // max on (tree size, id)), then data-spreads z's estimate; that shape
+  // deadlocks under churn when z crashes after its winning key circulated
+  // -- no live root believes it is z and nothing spreads.  Fused here:
+  // every root spreads (size-key, own estimate) and the estimate rides
+  // the key through every max-merge, so all roots converge on the
+  // estimate of the largest root that actually managed to spread -- z
+  // itself whenever z survives, byte for byte the paper's outcome -- one
+  // whole gossip phase cheaper, and immune to z's death.
+  std::vector<std::uint64_t> spread_keys(n, kKeyBottom), spread_aux(n, 0);
   for (NodeId r : forest.roots()) {
-    if (election.key[r] == size_keys[r] && ps.den[r] > 0.0)
-      spread_init[r] = encode_ordered(ps.num[r] / ps.den[r]);
+    if (ps.den[r] > 0.0) {
+      spread_keys[r] = encode_size_id(static_cast<std::uint32_t>(p.cc.weight[r]), r);
+      spread_aux[r] = encode_ordered(ps.num[r] / ps.den[r]);
+    }
   }
   GossipMaxConfig spread_cfg = config.gossip_max;
   spread_cfg.stream_tag = derive_seed(spread_cfg.stream_tag, 6);
-  const SparseGmResult spread =
-      sparse_gossip_max(chord, forest, spread_init, rngs, faults.loss_prob, spread_cfg);
+  const SparseGmResult spread = run_sparse_gossip_max(
+      n, router, forest, spread_keys, rngs,
+      scenario.at_round(p.end_round + ps.rounds), spread_cfg, spread_aux);
   out.metrics.spread = spread.counters;
   out.rounds_total += spread.rounds;
 
   std::vector<double> root_value(n, 0.0);
   for (NodeId r : forest.roots())
-    root_value[r] = spread.key[r] == kKeyBottom ? 0.0 : decode_ordered(spread.key[r]);
-  sparse_finish(forest, root_value, rngs, faults, config, out);
+    root_value[r] = spread.key[r] == kKeyBottom ? 0.0 : decode_ordered(spread.aux[r]);
+  sparse_finish(n, forest, root_value, rngs, scenario, config, out);
   return out;
+}
+
+void check_chord_args(const ChordOverlay& chord, const Graph& links,
+                      const sim::Scenario& scenario) {
+  if (links.size() != chord.size())
+    throw std::invalid_argument("sparse_drr_gossip: graph/overlay mismatch");
+  if (!scenario.topology.is_complete())
+    throw std::invalid_argument(
+        "sparse_drr_gossip: the Chord overlay is the substrate; scenario.topology "
+        "must be complete");
+}
+
+[[nodiscard]] const Graph& substrate_graph(const sim::Scenario& scenario) {
+  if (scenario.topology.is_complete())
+    throw std::invalid_argument(
+        "sparse_drr_gossip: explicit substrate required (use drr_gossip_* on the "
+        "complete topology)");
+  return *scenario.topology.graph();
+}
+
+}  // namespace
+
+AggregateOutcome sparse_drr_gossip_max(const ChordOverlay& chord, const Graph& links,
+                                       std::span<const double> values, std::uint64_t seed,
+                                       const sim::Scenario& scenario,
+                                       const SparseGossipConfig& config) {
+  check_chord_args(chord, links, scenario);
+  return sparse_max_pipeline(chord.size(), links, SparseRouter::on_chord(chord), values,
+                             seed, scenario, config);
+}
+
+AggregateOutcome sparse_drr_gossip_ave(const ChordOverlay& chord, const Graph& links,
+                                       std::span<const double> values, std::uint64_t seed,
+                                       const sim::Scenario& scenario,
+                                       const SparseGossipConfig& config) {
+  check_chord_args(chord, links, scenario);
+  return sparse_ave_pipeline(chord.size(), links, SparseRouter::on_chord(chord), values,
+                             seed, scenario, config);
+}
+
+AggregateOutcome sparse_drr_gossip_max(std::span<const double> values, std::uint64_t seed,
+                                       const sim::Scenario& scenario,
+                                       const SparseGossipConfig& config) {
+  const Graph& g = substrate_graph(scenario);
+  return sparse_max_pipeline(g.size(), g, SparseRouter::on_substrate(scenario.topology),
+                             values, seed, scenario, config);
+}
+
+AggregateOutcome sparse_drr_gossip_ave(std::span<const double> values, std::uint64_t seed,
+                                       const sim::Scenario& scenario,
+                                       const SparseGossipConfig& config) {
+  const Graph& g = substrate_graph(scenario);
+  return sparse_ave_pipeline(g.size(), g, SparseRouter::on_substrate(scenario.topology),
+                             values, seed, scenario, config);
 }
 
 }  // namespace drrg

@@ -1,6 +1,6 @@
 #pragma once
 // DRR-gossip on sparse networks (§4): Local-DRR + tree aggregation +
-// routed root gossip on a Chord overlay.
+// routed root gossip, executed end to end on the shared sim::Engine.
 //
 // Theorem 14 (instantiated for Chord, T = M = O(log n)): the pipeline
 // takes O(log^2 n) time and O(n log n) messages whp, versus
@@ -11,9 +11,28 @@
 //   Phase I    Local-DRR       O(1) time*, O(|E|) messages
 //   Phase II   Convergecast + broadcast along tree (overlay) edges,
 //              O(log n) time by Theorem 11, O(n) messages
-//   Phase III  root gossip, O(log n) G~-rounds x O(log n) hops each
+//   Phase III  root gossip, O(log n) G~-rounds x O(T) routed hops each
 //
 // (*plus the constant-round loss-resilient rank re-exchange.)
+//
+// Phase III runs on sim::Network: every logical G~ send is expanded into
+// real hop-by-hop envelopes (substrate routing via SparseRouter, then the
+// tree walk up to the landing node's root), so mid-run churn kills
+// intermediate carriers, per-hop loss comes from the engine's loss coin,
+// and one global round clock spans all phases -- the full sim::Scenario
+// fault schedule applies exactly as it does to every other family.
+//
+// Two substrate shapes are supported:
+//   * the Chord overlay of §4 (sparse_drr_gossip_* overloads taking a
+//     ChordOverlay) -- greedy finger routing + successor smear;
+//   * any explicit sim::Topology (grid, torus, random-regular, ...) --
+//     Local-DRR runs on the substrate's CSR adjacency and Phase III
+//     routes by coordinates (grids) or a Theta(log n) random walk.
+//     Because the routed sampler is (near-)uniform over V, the root
+//     push-sum mixes like the complete graph instead of diffusing along
+//     the lattice -- this is the accurate sparse Ave that the dense
+//     pipeline's member-relay push-sum (Theta(diam^2) mixing) cannot
+//     reach at an O(diam log n) budget.
 
 #include <cstdint>
 #include <span>
@@ -38,12 +57,14 @@ struct SparseGossipConfig {
   bool broadcast_result = true;
 };
 
-/// Maximum over alive nodes on the Chord overlay.
+/// Maximum over alive nodes on the Chord overlay.  `scenario` supplies
+/// the full fault schedule (loss + start-time crashes + mid-run churn);
+/// its topology must be complete -- the overlay *is* the substrate.
 [[nodiscard]] AggregateOutcome sparse_drr_gossip_max(const ChordOverlay& chord,
                                                      const Graph& links,
                                                      std::span<const double> values,
                                                      std::uint64_t seed,
-                                                     sim::FaultModel faults = {},
+                                                     const sim::Scenario& scenario = {},
                                                      const SparseGossipConfig& config = {});
 
 /// Average over alive nodes on the Chord overlay (Algorithm 8 shape).
@@ -51,7 +72,23 @@ struct SparseGossipConfig {
                                                      const Graph& links,
                                                      std::span<const double> values,
                                                      std::uint64_t seed,
-                                                     sim::FaultModel faults = {},
+                                                     const sim::Scenario& scenario = {},
+                                                     const SparseGossipConfig& config = {});
+
+/// Maximum over alive nodes on an explicit substrate: Local-DRR on
+/// scenario.topology's CSR adjacency, Phase III routed on the substrate.
+/// Throws std::invalid_argument when the topology is complete (use the
+/// dense drr_gossip_max there).
+[[nodiscard]] AggregateOutcome sparse_drr_gossip_max(std::span<const double> values,
+                                                     std::uint64_t seed,
+                                                     const sim::Scenario& scenario,
+                                                     const SparseGossipConfig& config = {});
+
+/// Average over alive nodes on an explicit substrate (accurate Ave via
+/// tree aggregation + routed root push-sum).
+[[nodiscard]] AggregateOutcome sparse_drr_gossip_ave(std::span<const double> values,
+                                                     std::uint64_t seed,
+                                                     const sim::Scenario& scenario,
                                                      const SparseGossipConfig& config = {});
 
 }  // namespace drrg

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "api/registry.hpp"
 #include "aggregate/derived.hpp"
@@ -149,10 +150,44 @@ void fill_from_outcome(RunReport& report, const AggregateOutcome& o) {
 }
 
 // ---------------------------------------------------------------------------
-// drr: the full DRR-gossip pipelines (Algorithms 7-8 + derived aggregates).
+// drr: the full DRR-gossip pipelines (Algorithms 7-8 + derived aggregates),
+// plus the §4 sparse pipeline on explicit substrates (--pipeline sparse).
+
+/// The sparse pipeline on the spec's explicit substrate: Local-DRR on the
+/// CSR adjacency, tree aggregation, routed root gossip.  Gives sparse
+/// graphs an accurate Ave (tree sums + near-uniform routed push-sum)
+/// where the dense pipeline's member-relay push-sum only diffuses.
+RunReport run_drr_sparse(const RunSpec& spec, RunReport report) {
+  if (spec.topology.is_complete()) {
+    report.error =
+        "--pipeline sparse needs an explicit substrate (--topology grid|torus|"
+        "random-regular|chord-ring); the dense pipeline covers the complete graph";
+    return report;
+  }
+  if (spec.aggregate != Aggregate::kMax && spec.aggregate != Aggregate::kAve) {
+    report.error = "the sparse pipeline implements max and ave";
+    return report;
+  }
+  SparseGossipConfig cfg;
+  if (!std::holds_alternative<std::monostate>(spec.config)) {
+    cfg = config_as<SparseGossipConfig>(spec, report);
+    if (!report.error.empty()) return report;
+  }
+  const auto values = materialize_values(spec, /*positive_only=*/false);
+  const sim::Scenario scenario = make_scenario(spec);
+  const AggregateOutcome o =
+      spec.aggregate == Aggregate::kMax
+          ? sparse_drr_gossip_max(values, spec.seed, scenario, cfg)
+          : sparse_drr_gossip_ave(values, spec.seed, scenario, cfg);
+  fill_from_outcome(report, o);
+  const Truth t = compute_truth(values, o.participating);
+  report.truth = spec.aggregate == Aggregate::kMax ? t.max : t.ave;
+  return report;
+}
 
 RunReport run_drr(const RunSpec& spec) {
   RunReport report = make_report(spec, "drr");
+  if (spec.pipeline == Pipeline::kSparse) return run_drr_sparse(spec, std::move(report));
   const auto values = materialize_values(spec, /*positive_only=*/false);
   const sim::Scenario scenario = make_scenario(spec);
 
@@ -355,19 +390,20 @@ RunReport run_extrema(const RunSpec& spec) {
 RunReport run_chord_drr(const RunSpec& spec) {
   RunReport report = make_report(spec, "chord-drr");
   if (reject_topology_spec(spec, report)) return report;
-  if (spec.faults.has_churn()) {
-    report.error = "chord-drr models start-time crashes only (no churn yet)";
-    return report;
-  }
   const auto cfg = config_as<SparseGossipConfig>(spec, report);
   if (!report.error.empty()) return report;
   const auto values = materialize_values(spec, /*positive_only=*/false);
   const ChordOverlay chord{spec.n, spec.seed};
   const Graph links = overlay_graph(chord);
+  // Engine-ported Phase III: every G~ send expands hop by hop on the
+  // shared sim::Network, so the full fault schedule -- including mid-run
+  // churn, which the old RoutedTransport replay map had to reject --
+  // applies to intermediate routing hops and tree walks alike.
+  const sim::Scenario scenario{sim::Topology::complete(), spec.faults};
   const AggregateOutcome o =
       spec.aggregate == Aggregate::kMax
-          ? sparse_drr_gossip_max(chord, links, values, spec.seed, spec.faults, cfg)
-          : sparse_drr_gossip_ave(chord, links, values, spec.seed, spec.faults, cfg);
+          ? sparse_drr_gossip_max(chord, links, values, spec.seed, scenario, cfg)
+          : sparse_drr_gossip_ave(chord, links, values, spec.seed, scenario, cfg);
   fill_from_outcome(report, o);
   const Truth t = compute_truth(values, o.participating);
   report.truth = spec.aggregate == Aggregate::kMax ? t.max : t.ave;
@@ -437,7 +473,8 @@ void register_builtin_algorithms(Registry& registry) {
                 .aggregates = {A::kCount, A::kSum},
                 .invoke = run_extrema});
   registry.add({.name = "chord-drr",
-                .description = "sparse DRR-gossip on a Chord overlay (Theorem 14)",
+                .description =
+                    "sparse DRR-gossip on a Chord overlay (Theorem 14; engine port)",
                 .aggregates = {A::kMax, A::kAve},
                 .invoke = run_chord_drr});
   registry.add({.name = "chord-uniform",

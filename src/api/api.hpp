@@ -68,6 +68,16 @@ inline constexpr Aggregate kAllAggregates[] = {
 [[nodiscard]] std::string_view to_string(Aggregate agg) noexcept;
 [[nodiscard]] std::optional<Aggregate> aggregate_from_name(std::string_view name) noexcept;
 
+/// Which pipeline the `drr` algorithm family runs.
+enum class Pipeline : std::uint8_t {
+  kDense,   ///< Algorithms 7-8: random phone call pipelines (default)
+  kSparse,  ///< §4: Local-DRR + tree aggregation + routed root gossip on
+            ///< the spec's explicit substrate (accurate sparse Ave)
+};
+
+[[nodiscard]] std::string_view to_string(Pipeline pipeline) noexcept;
+[[nodiscard]] std::optional<Pipeline> pipeline_from_name(std::string_view name) noexcept;
+
 /// Per-algorithm configuration.  std::monostate selects the algorithm's
 /// defaults (the paper's parameters); otherwise the variant must hold the
 /// config type of the algorithm being invoked, else the run is rejected.
@@ -87,6 +97,10 @@ struct RunSpec {
   /// Communication substrate (complete graph = the paper's model).
   /// Randomized topologies are materialised per run from the spec's seed.
   sim::TopologySpec topology{};
+  /// `drr` only: dense (default) or the §4 sparse pipeline, which
+  /// requires an explicit topology (Local-DRR runs on its CSR adjacency
+  /// and Phase III routes on it hop by hop).
+  Pipeline pipeline = Pipeline::kDense;
   /// Per-node inputs.  Empty = synthesize workload::make_values(n, seed,
   /// workload_range) (algorithms requiring positive inputs substitute
   /// workload::positive_range() when the range admits values <= 0).

@@ -29,6 +29,16 @@ std::optional<Aggregate> aggregate_from_name(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+std::string_view to_string(Pipeline pipeline) noexcept {
+  return pipeline == Pipeline::kSparse ? "sparse" : "dense";
+}
+
+std::optional<Pipeline> pipeline_from_name(std::string_view name) noexcept {
+  if (name == "dense") return Pipeline::kDense;
+  if (name == "sparse") return Pipeline::kSparse;
+  return std::nullopt;
+}
+
 double RunReport::abs_error() const noexcept { return std::fabs(value - truth); }
 
 double RunReport::rel_error() const noexcept {

@@ -35,6 +35,14 @@ std::optional<TopologySpec> topology_from_name(std::string_view name) noexcept {
   return spec;
 }
 
+Topology Topology::of_grid(std::uint32_t rows, std::uint32_t cols, bool torus) {
+  Topology t = of_graph(make_grid(rows, cols, torus));
+  t.grid_rows_ = rows;
+  t.grid_cols_ = cols;
+  t.grid_torus_ = torus;
+  return t;
+}
+
 Topology make_topology(const TopologySpec& spec, std::uint32_t n, std::uint64_t seed) {
   switch (spec.kind) {
     case TopologyKind::kComplete:
@@ -54,7 +62,7 @@ Topology make_topology(const TopologySpec& spec, std::uint32_t n, std::uint64_t 
       const auto limit = static_cast<std::uint32_t>(std::sqrt(static_cast<double>(n)));
       for (std::uint32_t r = 1; r <= limit; ++r)
         if (n % r == 0) rows = r;
-      return Topology::of_graph(make_grid(rows, n / rows, spec.torus));
+      return Topology::of_grid(rows, n / rows, spec.torus);
     }
   }
   return Topology::complete();

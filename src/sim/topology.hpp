@@ -56,6 +56,12 @@ class Topology {
     return t;
   }
 
+  /// A rows x cols lattice (row-major node ids) with its layout recorded,
+  /// so consumers that route by coordinates (the sparse pipeline's
+  /// Assumption-2 sampler) need not re-derive the builder's shape.
+  [[nodiscard]] static Topology of_grid(std::uint32_t rows, std::uint32_t cols,
+                                        bool torus);
+
   [[nodiscard]] bool is_complete() const noexcept { return graph_ == nullptr; }
 
   /// The explicit graph; nullptr for the implicit complete topology.
@@ -76,6 +82,13 @@ class Topology {
   /// topology, Graph::pseudo_diameter() for an explicit one.  Cached at
   /// construction -- reading it per run costs nothing.
   [[nodiscard]] std::uint32_t diameter() const noexcept { return diameter_; }
+
+  /// Lattice layout when the topology was built with of_grid (node id =
+  /// row * grid_cols() + col); grid_rows() == 0 otherwise.
+  [[nodiscard]] bool is_grid() const noexcept { return grid_rows_ != 0; }
+  [[nodiscard]] std::uint32_t grid_rows() const noexcept { return grid_rows_; }
+  [[nodiscard]] std::uint32_t grid_cols() const noexcept { return grid_cols_; }
+  [[nodiscard]] bool grid_torus() const noexcept { return grid_torus_; }
 
   /// The random phone call primitive: a call target for `caller`, uniform
   /// over all of V on the complete topology (self-samples possible,
@@ -120,6 +133,9 @@ class Topology {
   const std::uint64_t* offsets_ = nullptr;
   const NodeId* adjacency_ = nullptr;
   std::uint32_t diameter_ = 1;
+  std::uint32_t grid_rows_ = 0;  // of_grid only: lattice layout for routing
+  std::uint32_t grid_cols_ = 0;
+  bool grid_torus_ = false;
 };
 
 // ---------------------------------------------------------------------------

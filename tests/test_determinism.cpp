@@ -15,6 +15,11 @@
 //     deliberately changed explicit-substrate traffic); they guard the
 //     behavior from here on.
 //
+// A third family (sparse_engine_goldens) was pinned when chord-drr moved
+// off its bespoke RoutedTransport onto the shared engine and the sparse
+// pipeline opened to explicit substrates: hop-by-hop expansion changed
+// that family's traffic by design, and these checksums freeze it.
+//
 // Every sweep is additionally checked at --threads 1/4/8 (and the median
 // bisection at intra_threads 1/4): any divergence is a scheduling leak.
 
@@ -122,6 +127,42 @@ std::vector<GoldenCase> explicit_topology_goldens() {
   return cases;
 }
 
+/// Sparse-pipeline pins, recorded at the engine port of chord-drr (the
+/// RoutedTransport deletion deliberately changed this family's traffic;
+/// these pin the hop-by-hop behavior from here on, thread-swept like all
+/// the others).
+std::vector<GoldenCase> sparse_engine_goldens() {
+  std::vector<GoldenCase> cases;
+  {
+    GoldenCase c{"chord_drr_max_complete", "chord-drr", 0x3b9ad6d2d27bfd9aULL,
+                 spec_of(256, api::Aggregate::kMax, 7)};
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"chord_drr_ave_full_schedule", "chord-drr", 0x92ecd35dd494f817ULL,
+                 spec_of(256, api::Aggregate::kAve, 23)};
+    c.spec.faults = sim::FaultSchedule{0.05, 0.1, {{8, 0.05}}};
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"drr_sparse_grid_ave", "drr", 0x8954db044cb19e27ULL,
+                 spec_of(240, api::Aggregate::kAve, 31)};
+    c.spec.topology.kind = sim::TopologyKind::kGrid2d;
+    c.spec.pipeline = api::Pipeline::kSparse;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"drr_sparse_regular_max_churn", "drr", 0x6817253a138bafbfULL,
+                 spec_of(256, api::Aggregate::kMax, 5)};
+    c.spec.topology.kind = sim::TopologyKind::kRandomRegular;
+    c.spec.topology.degree = 8;
+    c.spec.pipeline = api::Pipeline::kSparse;
+    c.spec.faults.churn = {{20, 0.1}};
+    cases.push_back(c);
+  }
+  return cases;
+}
+
 void check_case(const GoldenCase& c) {
   const auto t1 = api::run_trials(c.algo, c.spec, 3, 1);
   const std::uint64_t h1 = api::sweep_checksum(t1);
@@ -138,6 +179,10 @@ TEST(GoldenDeterminism, PreRewriteSweepsAreBitIdentical) {
 
 TEST(GoldenDeterminism, ExplicitTopologySweepsAreBitIdentical) {
   for (const GoldenCase& c : explicit_topology_goldens()) check_case(c);
+}
+
+TEST(GoldenDeterminism, SparseEngineSweepsAreBitIdentical) {
+  for (const GoldenCase& c : sparse_engine_goldens()) check_case(c);
 }
 
 TEST(GoldenDeterminism, GridSweepIsThreadCountInvariant) {

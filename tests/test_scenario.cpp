@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "api/registry.hpp"
+#include "api/report_hash.hpp"
 #include "api/scenario_text.hpp"
 #include "sim/engine.hpp"
 #include "sim/topology.hpp"
@@ -206,6 +207,131 @@ TEST(ScenarioRuns, ChordFamiliesRejectTopologySpec) {
     const api::RunReport r = api::run(algo, spec);
     EXPECT_FALSE(r.ok()) << algo;
     EXPECT_NE(r.error.find("topology"), std::string::npos) << algo;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// chord-drr on the shared engine: the full fault schedule applies (the old
+// RoutedTransport replay map rejected churn outright), and the sparse
+// pipeline opens explicit substrates through --pipeline sparse.
+
+TEST(ScenarioRuns, ChordDrrRunsMidRunChurn) {
+  // Mirrors the chord-uniform churn cases: the run must *succeed* (no
+  // "no churn yet" error report), report only final survivors as
+  // participating, and the surviving roots must agree.  Under churn the
+  // agreed maximum may legitimately exceed the survivor truth (a value
+  // that circulated before its holder crashed), so agreement -- not
+  // equality -- is the max criterion; Ave is additionally pinned to the
+  // survivor truth within a few percent.
+  for (const api::Aggregate agg : {api::Aggregate::kMax, api::Aggregate::kAve}) {
+    api::RunSpec spec = scenario_spec(1024, agg);
+    spec.seed = 42;
+    spec.faults.churn = {{30, 0.1}, {120, 0.1}};
+    const api::RunReport r = api::run("chord-drr", spec);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.consensus) << api::to_string(agg);
+    const auto survivors =
+        sim::survivor_mask(spec.n, RngFactory{spec.seed}, spec.faults);
+    ASSERT_EQ(r.participating.size(), survivors.size());
+    std::uint32_t alive = 0;
+    for (NodeId v = 0; v < spec.n; ++v) {
+      EXPECT_LE(r.participating[v], survivors[v]) << v;  // no dead "participant"
+      alive += r.participating[v] ? 1 : 0;
+    }
+    EXPECT_LT(alive, spec.n);  // the schedule really killed someone
+    if (agg == api::Aggregate::kAve) {
+      EXPECT_LT(r.rel_error(), 0.05);
+    }
+  }
+}
+
+TEST(ScenarioRuns, ChordDrrSurvivesTheFullCombinedSchedule) {
+  api::RunSpec spec = scenario_spec(1024, api::Aggregate::kAve);
+  spec.seed = 42;
+  spec.faults = sim::FaultSchedule{0.02, 0.1, {{30, 0.1}, {120, 0.1}}};
+  const api::RunReport r = api::run("chord-drr", spec);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.consensus);
+  EXPECT_LT(r.rel_error(), 0.05);
+}
+
+// Pins the engine port against the recorded RoutedTransport semantics.
+// Before deletion the old path measured, at n = 512 seed 7 loss 0 (CLI
+// --algo chord-drr): Max = truth exactly with consensus, and Ave within
+// 3e-3 of truth -- the outcome contract the engine path must preserve.
+// The two paths cannot be message-identical (the replay map drew loss
+// coins per logical send, the engine draws per hop), so the outcome, not
+// the traffic, is the pin.  The 1e-300-loss half forces the lossy engine
+// code path (coins drawn, none fire) and must reproduce the loss-free
+// run byte for byte, proving the loss machinery itself perturbs nothing.
+TEST(ScenarioRuns, ChordDrrEnginePathKeepsRoutedTransportSemantics) {
+  for (const api::Aggregate agg : {api::Aggregate::kMax, api::Aggregate::kAve}) {
+    api::RunSpec spec = scenario_spec(512, agg);
+    spec.seed = 7;
+    const api::RunReport r = api::run("chord-drr", spec);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.consensus);
+    if (agg == api::Aggregate::kMax) {
+      EXPECT_DOUBLE_EQ(r.value, r.truth);
+    } else {
+      EXPECT_LT(r.rel_error(), 3e-3);
+    }
+
+    api::RunSpec lossy = spec;
+    lossy.faults.loss_prob = 1e-300;  // engine loss path, zero effective loss
+    EXPECT_EQ(api::report_checksum(api::run("chord-drr", lossy)),
+              api::report_checksum(r))
+        << api::to_string(agg);
+  }
+}
+
+TEST(ScenarioRuns, SparsePipelineRequiresAnExplicitSubstrate) {
+  api::RunSpec spec = scenario_spec(256, api::Aggregate::kAve);
+  spec.pipeline = api::Pipeline::kSparse;
+  const api::RunReport complete = api::run("drr", spec);
+  EXPECT_FALSE(complete.ok());
+  EXPECT_NE(complete.error.find("explicit substrate"), std::string::npos);
+
+  spec.topology.kind = sim::TopologyKind::kGrid2d;
+  spec.aggregate = api::Aggregate::kMedian;
+  const api::RunReport median = api::run("drr", spec);
+  EXPECT_FALSE(median.ok());
+  EXPECT_NE(median.error.find("max and ave"), std::string::npos);
+}
+
+TEST(ScenarioRuns, SparsePipelineComputesExactMaxOnSubstrates) {
+  for (const sim::TopologyKind kind :
+       {sim::TopologyKind::kGrid2d, sim::TopologyKind::kRandomRegular,
+        sim::TopologyKind::kChordRing}) {
+    api::RunSpec spec = scenario_spec(512, api::Aggregate::kMax);
+    spec.topology.kind = kind;
+    spec.pipeline = api::Pipeline::kSparse;
+    const api::RunReport r = api::run("drr", spec);
+    ASSERT_TRUE(r.ok()) << sim::to_string(kind) << ": " << r.error;
+    EXPECT_TRUE(r.consensus) << sim::to_string(kind);
+    EXPECT_DOUBLE_EQ(r.value, r.truth) << sim::to_string(kind);
+  }
+}
+
+// The Ave-accuracy win the port was for: tree aggregation + *routed*
+// near-uniform push-sum mixes like the complete graph, where the dense
+// pipeline's neighbor-constrained member relay only diffuses (mixing time
+// Theta(diam^2) against an O(diam log n) budget -- the PR 4 residual).
+// Sparse must beat dense on value error at no larger a round budget.
+TEST(ScenarioRuns, SparseAveBeatsDiffusivePushSumOnLattices) {
+  for (const bool torus : {false, true}) {
+    api::RunSpec spec = scenario_spec(1024, api::Aggregate::kAve);
+    spec.seed = 42;
+    spec.topology.kind = sim::TopologyKind::kGrid2d;
+    spec.topology.torus = torus;
+    const api::RunReport dense = api::run("drr", spec);
+    spec.pipeline = api::Pipeline::kSparse;
+    const api::RunReport sparse = api::run("drr", spec);
+    ASSERT_TRUE(dense.ok() && sparse.ok()) << dense.error << sparse.error;
+    EXPECT_TRUE(sparse.consensus);
+    EXPECT_LE(sparse.rounds, dense.rounds) << (torus ? "torus" : "grid");
+    EXPECT_LT(sparse.rel_error(), dense.rel_error()) << (torus ? "torus" : "grid");
+    EXPECT_LT(sparse.rel_error(), 0.02) << (torus ? "torus" : "grid");
   }
 }
 

@@ -152,5 +152,43 @@ TEST(SparsePipeline, RejectsMismatchedGraph) {
   EXPECT_THROW((void)sparse_drr_gossip_max(chord, wrong, values, 1), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// The substrate entry points: Local-DRR on the scenario topology's CSR
+// adjacency, Phase III routed on the substrate.
+
+TEST(SparsePipeline, SubstrateEntryComputesOnGridAndRegular) {
+  for (const sim::TopologyKind kind :
+       {sim::TopologyKind::kGrid2d, sim::TopologyKind::kRandomRegular}) {
+    sim::TopologySpec spec{kind};
+    spec.degree = 8;
+    const sim::Scenario scenario{sim::make_topology(spec, 512, 3), {}};
+    const auto values = make_values(512, 900);
+    const auto mx = sparse_drr_gossip_max(values, 21, scenario);
+    EXPECT_DOUBLE_EQ(mx.value, *std::max_element(values.begin(), values.end()))
+        << sim::to_string(kind);
+    EXPECT_TRUE(mx.consensus) << sim::to_string(kind);
+    const auto av = sparse_drr_gossip_ave(values, 21, scenario);
+    const double ave = std::accumulate(values.begin(), values.end(), 0.0) / 512;
+    EXPECT_TRUE(av.consensus) << sim::to_string(kind);
+    EXPECT_NEAR(av.value, ave, 0.03 * ave) << sim::to_string(kind);
+  }
+}
+
+TEST(SparsePipeline, SubstrateEntryRejectsCompleteTopology) {
+  std::vector<double> values(64, 1.0);
+  EXPECT_THROW((void)sparse_drr_gossip_max(values, 1, sim::Scenario{}),
+               std::invalid_argument);
+}
+
+TEST(SparsePipeline, ChordEntryRejectsExplicitScenarioTopology) {
+  ChordOverlay chord{64, 1};
+  const Graph links = overlay_graph(chord);
+  std::vector<double> values(64, 1.0);
+  const sim::Scenario scenario{
+      sim::make_topology({sim::TopologyKind::kGrid2d}, 64, 1), {}};
+  EXPECT_THROW((void)sparse_drr_gossip_max(chord, links, values, 1, scenario),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace drrg

@@ -9,7 +9,9 @@
 #      --threads = hardware cores; grid pinned at --diam-mult 0 so the
 #      logical work is identical across PRs regardless of the default
 #      Phase III budget), timed as min-of-3 wall clock, with a
-#      threads-1-vs-threads-4 output hash proving bit-identical reports;
+#      threads-1-vs-threads-4 output hash proving bit-identical reports,
+#      plus the sparse-pipeline sweep point (chord-drr/ave on the engine
+#      port) under the same timing + hash discipline;
 #   2. bench_table1 --table1_json on the pinned config matrix
 #      (n in {256, 1024, 4096}, complete + grid) -- the ops counters
 #      (rounds/msgs) the CI golden check pins;
@@ -46,48 +48,57 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 : > "$TMP/rows.json"
 
-# --- 1. pinned CLI sweep ----------------------------------------------------
-sweep() { # topology extra_flags...
-  local topo="$1"; shift
-  "$CLI" --algo drr --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
-         --threads "$THREADS" --topology "$topo" "$@" --csv
-}
-
-for TOPO in complete grid; do
-  EXTRA=()
-  [ "$TOPO" = grid ] && EXTRA=(--diam-mult 0)
-  BEST=""
+# --- 1. pinned CLI sweeps ---------------------------------------------------
+# One timing + hash discipline for every sweep point: min-of-REPS wall
+# clock, and a threads-1-vs-threads-4 CSV sha256 proving bit-identical
+# reports.  Args: row label, algo, extra CLI flags.
+run_sweep() {
+  local LABEL="$1"; shift
+  local ALGO="$1"; shift
+  local BEST=""
   for _ in $(seq "$REPS"); do
+    local S E D
     S=$(date +%s.%N)
-    sweep "$TOPO" "${EXTRA[@]}" > "$TMP/sweep.csv"
+    "$CLI" --algo "$ALGO" --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+           --threads "$THREADS" "$@" --csv > "$TMP/sweep.csv"
     E=$(date +%s.%N)
     D=$(python3 -c "print(f'{$E - $S:.4f}')")
     if [ -z "$BEST" ] || python3 -c "exit(0 if $D < $BEST else 1)"; then BEST="$D"; fi
   done
-  # Bit-identity across thread counts: hash the report CSV at 1 and 4.
-  H1=$("$CLI" --algo drr --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
-       --threads 1 --topology "$TOPO" "${EXTRA[@]}" --csv | sha256sum | cut -d' ' -f1)
-  H4=$("$CLI" --algo drr --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
-       --threads 4 --topology "$TOPO" "${EXTRA[@]}" --csv | sha256sum | cut -d' ' -f1)
-  DET=false; [ "$H1" = "$H4" ] && DET=true
-  ROW="{\"bench\":\"engine_sweep\",\"topology\":\"$TOPO\",\"n\":$SWEEP_N,\"trials\":$SWEEP_TRIALS,\"threads\":$THREADS,\"wall_s\":$BEST,\"deterministic\":$DET,\"sha256\":\"$H1\""
-  if [ -n "${PRE_CLI:-}" ] && [ -x "${PRE_CLI}" ]; then
+  local H1 H4 DET=false
+  H1=$("$CLI" --algo "$ALGO" --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+       --threads 1 "$@" --csv | sha256sum | cut -d' ' -f1)
+  H4=$("$CLI" --algo "$ALGO" --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+       --threads 4 "$@" --csv | sha256sum | cut -d' ' -f1)
+  [ "$H1" = "$H4" ] && DET=true
+  local ROW="{\"bench\":\"engine_sweep\",\"topology\":\"$LABEL\",\"algo\":\"$ALGO\",\"n\":$SWEEP_N,\"trials\":$SWEEP_TRIALS,\"threads\":$THREADS,\"wall_s\":$BEST,\"deterministic\":$DET,\"sha256\":\"$H1\""
+  if [ "$ALGO" = drr ] && [ -n "${PRE_CLI:-}" ] && [ -x "${PRE_CLI}" ]; then
     # The pre-PR binary has no --diam-mult flag; it also has no diameter
-    # scaling, so plain flags run the identical logical workload.
-    PBEST=""
+    # scaling, so plain flags run the identical logical workload.  (drr
+    # only: the pre binary's chord-drr still ran on RoutedTransport.)
+    local PBEST=""
+    local TOPO_FLAGS=()
+    [ "$LABEL" != complete ] && TOPO_FLAGS=(--topology "$LABEL")
     for _ in $(seq "$REPS"); do
+      local S E D
       S=$(date +%s.%N)
       "$PRE_CLI" --algo drr --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
-                 --threads "$THREADS" --topology "$TOPO" --csv > /dev/null
+                 --threads "$THREADS" "${TOPO_FLAGS[@]}" --csv > /dev/null
       E=$(date +%s.%N)
       D=$(python3 -c "print(f'{$E - $S:.4f}')")
       if [ -z "$PBEST" ] || python3 -c "exit(0 if $D < $PBEST else 1)"; then PBEST="$D"; fi
     done
+    local SPEEDUP
     SPEEDUP=$(python3 -c "print(f'{$PBEST / $BEST:.2f}')")
     ROW="$ROW,\"wall_s_pre\":$PBEST,\"speedup\":$SPEEDUP"
   fi
   echo "$ROW}" >> "$TMP/rows.json"
-done
+}
+
+run_sweep complete drr
+run_sweep grid drr --topology grid --diam-mult 0
+# The sparse-pipeline sweep point: chord-drr/ave on the engine port.
+run_sweep chord-overlay chord-drr
 
 # --- 2. bench_table1 pinned matrix (ops counters for the CI goldens) --------
 if [ -x "$TABLE1" ]; then

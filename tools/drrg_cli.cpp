@@ -37,6 +37,7 @@ struct Options {
   unsigned threads = 1;
   unsigned intra_threads = 1;
   double diam_mult = 1.0;
+  drrg::api::Pipeline pipeline = drrg::api::Pipeline::kDense;
   drrg::sim::TopologySpec topology{};
   std::vector<drrg::sim::CrashEvent> churn;
   std::string churn_text;
@@ -59,7 +60,8 @@ struct Options {
                "                [--loss D] [--crash F] [--churn R:F[,R:F...]]\n"
                "                [--topology P] [--degree D] [--threshold X]\n"
                "                [--trials T] [--threads W] [--intra-threads I]\n"
-               "                [--diam-mult M] [--csv] [--json] [--list]\n"
+               "                [--diam-mult M] [--pipeline dense|sparse]\n"
+               "                [--csv] [--json] [--list]\n"
                "  A: %s\n"
                "  G: %s\n"
                "  P: %s\n"
@@ -69,7 +71,9 @@ struct Options {
                "      0 = all cores, bit-identical for any value\n"
                "  --diam-mult scales the DRR Phase III budget by M*diameter/log2(n)\n"
                "      on explicit topologies (1 = default; 0 disables the whole\n"
-               "      topology adaptation incl. the tree-member relay)\n",
+               "      topology adaptation incl. the tree-member relay)\n"
+               "  --pipeline sparse runs the paper's sparse pipeline (Local-DRR +\n"
+               "      routed root gossip) for --algo drr on an explicit --topology\n",
                algos.c_str(), aggs.c_str(), drrg::api::topology_names().c_str());
   std::exit(code);
 }
@@ -112,6 +116,15 @@ Options parse(int argc, char** argv) {
     else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::atoi(next("--threads")));
     else if (arg == "--intra-threads") opt.intra_threads = static_cast<unsigned>(std::atoi(next("--intra-threads")));
     else if (arg == "--diam-mult") opt.diam_mult = std::atof(next("--diam-mult"));
+    else if (arg == "--pipeline") {
+      const char* name = next("--pipeline");
+      const auto pipeline = drrg::api::pipeline_from_name(name);
+      if (!pipeline.has_value()) {
+        std::fprintf(stderr, "unknown pipeline: %s (want dense or sparse)\n", name);
+        usage(2);
+      }
+      opt.pipeline = *pipeline;
+    }
     else if (arg == "--degree") opt.topology.degree = static_cast<std::uint32_t>(std::atoi(next("--degree")));
     else if (arg == "--topology") {
       const char* name = next("--topology");
@@ -157,12 +170,14 @@ Options parse(int argc, char** argv) {
 
 void print_json(const Options& opt, const drrg::api::RunReport& r) {
   std::printf("{\"algo\":\"%s\",\"agg\":\"%s\",\"n\":%u,\"seed\":%llu,"
+              "\"pipeline\":\"%s\","
               "\"topology\":\"%s\",\"loss\":%.4f,\"crash\":%.4f,\"churn\":\"%s\","
               "\"value\":%.17g,\"truth\":%.17g,"
               "\"abs_error\":%.17g,\"rel_error\":%.17g,\"consensus\":%s,"
               "\"messages\":%llu,\"delivered\":%llu,\"bits\":%llu,\"rounds\":%u}\n",
               r.algorithm.c_str(), std::string{drrg::api::to_string(r.aggregate)}.c_str(),
               r.n, static_cast<unsigned long long>(r.seed),
+              std::string{drrg::api::to_string(opt.pipeline)}.c_str(),
               std::string{drrg::sim::to_string(opt.topology.kind)}.c_str(),
               opt.loss, opt.crash, opt.churn_text.c_str(),
               r.value, r.truth, r.abs_error(), r.rel_error(),
@@ -200,17 +215,24 @@ int main(int argc, char** argv) {
   spec.seed = opt.seed;
   spec.faults = sim::FaultSchedule{opt.loss, opt.crash, opt.churn};
   spec.topology = opt.topology;
+  spec.pipeline = opt.pipeline;
+  if (opt.pipeline != api::Pipeline::kDense && opt.algo != "drr")
+    std::fprintf(stderr, "--pipeline only applies to --algo drr (ignored)\n");
   spec.rank_threshold = opt.rank_threshold;
   spec.intra_threads = opt.intra_threads;
   if (opt.diam_mult != 1.0) {
-    // Only the DRR family reads the knob; leave the config variant alone
-    // otherwise so other algorithms keep their defaults.
-    if (opt.algo == "drr") {
+    // Only the dense DRR pipeline reads the knob; leave the config variant
+    // alone otherwise so other algorithms keep their defaults.  The sparse
+    // pipeline has no diameter budget (its routed sampler already mixes
+    // uniformly), and it takes a SparseGossipConfig -- silently storing a
+    // DrrGossipConfig would fail every run with a config-type mismatch.
+    if (opt.algo == "drr" && opt.pipeline == api::Pipeline::kDense) {
       DrrGossipConfig cfg;
       cfg.phase3_diameter_multiplier = opt.diam_mult;
       spec.config = cfg;
     } else {
-      std::fprintf(stderr, "--diam-mult only applies to --algo drr (ignored)\n");
+      std::fprintf(stderr,
+                   "--diam-mult only applies to --algo drr --pipeline dense (ignored)\n");
     }
   }
 
@@ -218,8 +240,10 @@ int main(int argc, char** argv) {
     std::printf(
         "algo,agg,n,seed,topology,loss,crash,churn,value,truth,consensus,messages,rounds\n");
   } else if (!opt.json) {
-    std::printf("%s / %s on n = %u, %s (loss %.3f, crash %.3f%s%s, %d trial%s, %u thread%s)\n",
-                opt.algo.c_str(), opt.agg.c_str(), opt.n,
+    std::printf("%s%s / %s on n = %u, %s (loss %.3f, crash %.3f%s%s, %d trial%s, %u thread%s)\n",
+                opt.algo.c_str(),
+                opt.pipeline == api::Pipeline::kSparse ? " [sparse]" : "",
+                opt.agg.c_str(), opt.n,
                 std::string{sim::to_string(opt.topology.kind)}.c_str(), opt.loss,
                 opt.crash, opt.churn_text.empty() ? "" : ", churn ",
                 opt.churn_text.c_str(), opt.trials, opt.trials == 1 ? "" : "s",
