@@ -25,6 +25,7 @@
 #include "api/registry.hpp"
 #include "aggregate/derived.hpp"
 #include "aggregate/drr_gossip.hpp"
+#include "net/multiproc.hpp"
 #include "sim/engine.hpp"
 
 namespace drrg::api {
@@ -185,8 +186,105 @@ RunReport run_drr_sparse(const RunSpec& spec, RunReport report) {
   return report;
 }
 
+/// The multi-process runtime behind the same facade: forks one drrg_node
+/// process per node, collects their pipe reports, and folds them into a
+/// RunReport so the CLI / tests can compare a real-socket run against a
+/// simulated one field by field.  The daemon computes every aggregate
+/// exactly (root-table union of per-tree {max,min,sum,count}), so `value`
+/// equals the simulator's bit for bit on max/min over the same fault
+/// schedule, and matches the exact survivor truth on sum/count/ave up to
+/// fold order.
+RunReport run_drr_udp(const RunSpec& spec, RunReport report) {
+  if (!net::multiproc_available()) {
+    report.error = "udp transport unavailable on this platform";
+    return report;
+  }
+  if (!spec.topology.is_complete()) {
+    report.error = "--transport udp runs on the complete graph (the paper's model)";
+    return report;
+  }
+  if (spec.pipeline != Pipeline::kDense) {
+    report.error = "--transport udp implements the dense pipeline only";
+    return report;
+  }
+  switch (spec.aggregate) {
+    case Aggregate::kMax:
+    case Aggregate::kMin:
+    case Aggregate::kAve:
+    case Aggregate::kSum:
+    case Aggregate::kCount:
+      break;
+    default:
+      report.error = "--transport udp implements max/min/ave/sum/count";
+      return report;
+  }
+  const auto values = materialize_values(spec, /*positive_only=*/false);
+
+  net::ClusterOptions copt;
+  copt.n = spec.n;
+  copt.seed = spec.seed;
+  copt.faults = spec.faults;
+  copt.values = values;
+  copt.port_base = spec.udp_port_base;
+  if (!spec.udp_seed_list.empty()) {
+    const auto seeds = net::parse_seed_list(spec.udp_seed_list);
+    if (!seeds.has_value()) {
+      report.error = "malformed seed list (want host:port,host:port,...)";
+      return report;
+    }
+    copt.seed_list = *seeds;
+  }
+  const net::ClusterReport cluster = net::run_cluster(copt);
+
+  // The whole schedule applies: real processes run to quiescence, so
+  // unlike a round-bounded sim run there is no "churn we never reached".
+  report.participating = has_crashes(spec)
+                             ? sim::survivor_mask(spec.n, RngFactory{spec.seed}, spec.faults)
+                             : std::vector<bool>{};
+
+  const auto node_value = [&](const net::NodeReport& r) {
+    switch (spec.aggregate) {
+      case Aggregate::kMax: return r.max;
+      case Aggregate::kMin: return r.min;
+      case Aggregate::kSum: return r.sum;
+      case Aggregate::kCount: return static_cast<double>(r.count);
+      default:
+        return r.count != 0 ? r.sum / static_cast<double>(r.count) : 0.0;  // ave
+    }
+  };
+
+  bool consensus = true;
+  bool first = true;
+  std::uint32_t max_steps = 0;
+  for (const net::NodeReport& r : cluster.nodes) {
+    report.cost.sent += r.sent;
+    report.cost.delivered += r.delivered;
+    report.cost.bits += r.bits;
+    if (r.scheduled_crash) continue;
+    max_steps = std::max(max_steps, r.steps);
+    if (!r.ok) {
+      consensus = false;
+      continue;
+    }
+    if (first) {
+      report.value = node_value(r);
+      first = false;
+    } else if (node_value(r) != report.value) {
+      consensus = false;
+    }
+  }
+  report.consensus = consensus && cluster.ok;
+  report.rounds = max_steps;
+  report.cost.rounds = max_steps;
+  report.truth = truth_for(spec.aggregate,
+                           compute_truth(values, report.participating, spec.rank_threshold));
+  if (!cluster.ok && report.error.empty()) report.error = cluster.error;
+  return report;
+}
+
 RunReport run_drr(const RunSpec& spec) {
   RunReport report = make_report(spec, "drr");
+  if (spec.transport == Transport::kUdp) return run_drr_udp(spec, std::move(report));
   if (spec.pipeline == Pipeline::kSparse) return run_drr_sparse(spec, std::move(report));
   const auto values = materialize_values(spec, /*positive_only=*/false);
   const sim::Scenario scenario = make_scenario(spec);
@@ -455,31 +553,38 @@ void register_builtin_algorithms(Registry& registry) {
                 .description = "DRR-gossip pipelines (Algorithms 7-8 + derived)",
                 .aggregates = {A::kMax, A::kMin, A::kAve, A::kSum, A::kCount, A::kRank,
                                A::kMedian, A::kLeader},
+                .transports = {Transport::kSim, Transport::kUdp},
                 .invoke = run_drr});
   registry.add({.name = "uniform",
                 .description = "uniform gossip / push-sum (Kempe et al. [9])",
                 .aggregates = {A::kMax, A::kAve},
+                .transports = {Transport::kSim},
                 .invoke = run_uniform});
   registry.add({.name = "efficient",
                 .description = "group-merge gossip (Kashyap et al. [8])",
                 .aggregates = {A::kMax, A::kAve},
+                .transports = {Transport::kSim},
                 .invoke = run_efficient});
   registry.add({.name = "pairwise",
                 .description = "pairwise averaging (Boyd et al. [1])",
                 .aggregates = {A::kAve},
+                .transports = {Transport::kSim},
                 .invoke = run_pairwise});
   registry.add({.name = "extrema",
                 .description = "loss-robust Count/Sum via extrema propagation [16]",
                 .aggregates = {A::kCount, A::kSum},
+                .transports = {Transport::kSim},
                 .invoke = run_extrema});
   registry.add({.name = "chord-drr",
                 .description =
                     "sparse DRR-gossip on a Chord overlay (Theorem 14; engine port)",
                 .aggregates = {A::kMax, A::kAve},
+                .transports = {Transport::kSim},
                 .invoke = run_chord_drr});
   registry.add({.name = "chord-uniform",
                 .description = "routed uniform gossip on Chord (engine port; §4 baseline)",
                 .aggregates = {A::kMax, A::kAve},
+                .transports = {Transport::kSim},
                 .invoke = run_chord_uniform});
 }
 

@@ -78,6 +78,18 @@ enum class Pipeline : std::uint8_t {
 [[nodiscard]] std::string_view to_string(Pipeline pipeline) noexcept;
 [[nodiscard]] std::optional<Pipeline> pipeline_from_name(std::string_view name) noexcept;
 
+/// How a run executes: in the lockstep simulator (one process, global
+/// round clock -- the default, and the substrate of every published
+/// number), or as n real OS processes exchanging UDP datagrams on
+/// localhost (the drrg_node runtime behind the same facade).
+enum class Transport : std::uint8_t {
+  kSim,  ///< sim::Network lockstep simulator (deterministic, any n)
+  kUdp,  ///< forked drrg_node processes over 127.0.0.1 UDP sockets
+};
+
+[[nodiscard]] std::string_view to_string(Transport transport) noexcept;
+[[nodiscard]] std::optional<Transport> transport_from_name(std::string_view name) noexcept;
+
 /// Per-algorithm configuration.  std::monostate selects the algorithm's
 /// defaults (the paper's parameters); otherwise the variant must hold the
 /// config type of the algorithm being invoked, else the run is rejected.
@@ -101,6 +113,16 @@ struct RunSpec {
   /// requires an explicit topology (Local-DRR runs on its CSR adjacency
   /// and Phase III routes on it hop by hop).
   Pipeline pipeline = Pipeline::kDense;
+  /// Execution substrate: the lockstep simulator (default), or -- for
+  /// algorithms that declare it -- real forked processes over UDP.
+  Transport transport = Transport::kSim;
+  /// kUdp only: first UDP port (node v binds udp_port_base + v);
+  /// 0 = probe for a free range.
+  std::uint16_t udp_port_base = 0;
+  /// kUdp only: explicit "host:port,host:port,..." list, position i =
+  /// node i (overrides udp_port_base; must be loopback addresses for the
+  /// fork-based runner).  Empty = the udp_port_base + v scheme.
+  std::string udp_seed_list;
   /// Per-node inputs.  Empty = synthesize workload::make_values(n, seed,
   /// workload_range) (algorithms requiring positive inputs substitute
   /// workload::positive_range() when the range admits values <= 0).

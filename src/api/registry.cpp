@@ -39,6 +39,16 @@ std::optional<Pipeline> pipeline_from_name(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+std::string_view to_string(Transport transport) noexcept {
+  return transport == Transport::kUdp ? "udp" : "sim";
+}
+
+std::optional<Transport> transport_from_name(std::string_view name) noexcept {
+  if (name == "sim") return Transport::kSim;
+  if (name == "udp") return Transport::kUdp;
+  return std::nullopt;
+}
+
 double RunReport::abs_error() const noexcept { return std::fabs(value - truth); }
 
 double RunReport::rel_error() const noexcept {
@@ -47,6 +57,10 @@ double RunReport::rel_error() const noexcept {
 
 bool AlgorithmInfo::supports(Aggregate agg) const noexcept {
   return std::find(aggregates.begin(), aggregates.end(), agg) != aggregates.end();
+}
+
+bool AlgorithmInfo::supports(Transport transport) const noexcept {
+  return std::find(transports.begin(), transports.end(), transport) != transports.end();
 }
 
 Registry& Registry::instance() {
@@ -62,6 +76,7 @@ void Registry::add(AlgorithmInfo info) {
     throw std::invalid_argument("algorithm '" + info.name + "' has no invoke adapter");
   if (find(info.name) != nullptr)
     throw std::invalid_argument("algorithm '" + info.name + "' registered twice");
+  if (info.transports.empty()) info.transports = {Transport::kSim};
   algos_.push_back(std::move(info));
 }
 
@@ -105,6 +120,12 @@ RunReport run(std::string_view algorithm, const RunSpec& spec) {
   if (!algo->supports(spec.aggregate)) {
     report.supported = false;
     report.error = "aggregate '" + std::string{to_string(spec.aggregate)} +
+                   "' not supported by '" + algo->name + "'";
+    return report;
+  }
+  if (!algo->supports(spec.transport)) {
+    report.supported = false;
+    report.error = "transport '" + std::string{to_string(spec.transport)} +
                    "' not supported by '" + algo->name + "'";
     return report;
   }

@@ -25,9 +25,13 @@ struct AlgorithmInfo {
   std::string name;         ///< CLI-facing identifier, e.g. "chord-drr"
   std::string description;  ///< one line for --list / README tables
   std::vector<Aggregate> aggregates;  ///< supported aggregate set
+  /// Execution substrates the adapter implements; empty = {kSim}
+  /// (normalised by Registry::add, so consumers can iterate directly).
+  std::vector<Transport> transports;
   std::function<RunReport(const RunSpec&)> invoke;
 
   [[nodiscard]] bool supports(Aggregate agg) const noexcept;
+  [[nodiscard]] bool supports(Transport transport) const noexcept;
 };
 
 class Registry {

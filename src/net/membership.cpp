@@ -1,0 +1,105 @@
+#include "net/membership.hpp"
+
+#include <algorithm>
+
+namespace drrg::net {
+
+namespace {
+
+/// dead > suspect > alive for the equal-heartbeat tie-break.
+int badness(PeerState s) noexcept { return static_cast<int>(s); }
+
+}  // namespace
+
+Membership::Membership(std::uint32_t n, std::uint32_t self, MembershipConfig cfg)
+    : self_(self), cfg_(cfg), peers_(n) {}
+
+void Membership::heard_from(std::uint32_t peer, std::int64_t now_ms) {
+  if (peer >= peers_.size() || peer == self_) return;
+  Peer& p = peers_[peer];
+  p.last_heard = now_ms;
+  p.last_update = now_ms;
+  // Direct evidence beats any gossiped death: the peer is demonstrably
+  // up, so let it re-enter with a heartbeat ahead of the rumor.
+  if (p.state != PeerState::kAlive) {
+    p.state = PeerState::kAlive;
+    p.heartbeat += 1;
+  }
+}
+
+void Membership::merge(const MemberEntry& entry, std::int64_t now_ms) {
+  if (entry.node >= peers_.size() || entry.node == self_) return;
+  Peer& p = peers_[entry.node];
+  const bool newer = entry.heartbeat > p.heartbeat;
+  const bool worse_tie =
+      entry.heartbeat == p.heartbeat && badness(entry.state) > badness(p.state);
+  if (!newer && !worse_tie) return;
+  p.heartbeat = entry.heartbeat;
+  p.state = entry.state;
+  p.last_update = now_ms;
+  // A gossiped "alive" refreshes the silence clock too: someone heard
+  // from the peer more recently than we did.
+  if (entry.state == PeerState::kAlive) p.last_heard = std::max(p.last_heard, now_ms);
+}
+
+void Membership::age(std::int64_t now_ms) {
+  for (std::uint32_t v = 0; v < peers_.size(); ++v) {
+    if (v == self_) continue;
+    Peer& p = peers_[v];
+    const std::int64_t silent = now_ms - p.last_heard;
+    if (p.state == PeerState::kAlive && silent >= cfg_.suspect_after_ms) {
+      p.state = PeerState::kSuspect;
+      p.last_update = now_ms;
+    }
+    if (p.state == PeerState::kSuspect && silent >= cfg_.dead_after_ms) {
+      p.state = PeerState::kDead;
+      p.last_update = now_ms;
+    }
+  }
+}
+
+void Membership::fill_digest(Frame& frame) const {
+  frame.id = MsgId::kMemberGossip;
+  frame.n_members = 0;
+  auto push = [&frame](std::uint32_t node, const Peer& p) {
+    if (frame.n_members >= kMaxMemberEntries) return;
+    frame.members[frame.n_members++] = MemberEntry{node, p.state, p.heartbeat};
+  };
+  push(self_, peers_[self_]);
+  // Most recently updated first: fresh state (new deaths, revivals)
+  // spreads ahead of stable old news.
+  std::vector<std::uint32_t> order;
+  order.reserve(peers_.size() - 1);
+  for (std::uint32_t v = 0; v < peers_.size(); ++v)
+    if (v != self_) order.push_back(v);
+  std::sort(order.begin(), order.end(), [this](std::uint32_t a, std::uint32_t b) {
+    if (peers_[a].last_update != peers_[b].last_update)
+      return peers_[a].last_update > peers_[b].last_update;
+    return a < b;
+  });
+  for (std::uint32_t v : order) push(v, peers_[v]);
+}
+
+std::uint32_t Membership::sample_live_peer(Rng& rng) const {
+  const auto n = static_cast<std::uint32_t>(peers_.size());
+  // Rejection sampling with a fallback scan: cheap in the common case
+  // (few deaths), still terminating when almost everyone is gone.
+  for (int tries = 0; tries < 16; ++tries) {
+    const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+    if (v != self_ && !is_dead(v)) return v;
+  }
+  std::vector<std::uint32_t> live;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (v != self_ && !is_dead(v)) live.push_back(v);
+  if (live.empty()) return n;
+  return live[rng.next_below(live.size())];
+}
+
+std::uint32_t Membership::alive_count() const noexcept {
+  std::uint32_t alive = 0;
+  for (std::uint32_t v = 0; v < peers_.size(); ++v)
+    if (v == self_ || !is_dead(v)) ++alive;
+  return alive;
+}
+
+}  // namespace drrg::net

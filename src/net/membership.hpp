@@ -1,0 +1,95 @@
+#pragma once
+// Membership maintenance for the multi-process runtime: who, as far as
+// this node can tell, is up.
+//
+// The design follows the two related systems the ROADMAP names:
+// lissandra's ker/src/common/gossip.c keeps a per-node stage machine and
+// runs periodic gossip rounds against a seed list, and deerlets/libgossip
+// spreads (node, heartbeat) tuples over UDP with higher-heartbeat-wins
+// merges.  Here each peer carries
+//
+//   state      alive | suspect | dead   (PeerState on the wire)
+//   heartbeat  the peer's self-reported monotone counter
+//   last_heard local receive timestamp of the peer's latest frame
+//
+// and the merge rule is: a higher heartbeat always wins; at equal
+// heartbeat the worse state wins (dead > suspect > alive), so a death
+// observed anywhere sticks until the node itself proves otherwise by
+// beating the counter.  Silence degrades a peer locally: suspect after
+// suspect_after_ms without a frame, dead after dead_after_ms.  All time
+// is injected by the caller (steady-clock milliseconds), keeping the
+// class deterministic under test.
+//
+// The protocol layer consults is_dead() to fail fast -- a DRR probe to
+// a confirmed-dead peer spends its attempt after one send instead of a
+// full retry ladder -- which is exactly the degrade-don't-hang behavior
+// the bootstrap path needs when seed contacts are down.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "support/rng.hpp"
+
+namespace drrg::net {
+
+struct MembershipConfig {
+  std::int64_t suspect_after_ms = 700;
+  std::int64_t dead_after_ms = 1800;
+  std::uint32_t gossip_fanout = 2;  ///< digests pushed per gossip tick
+};
+
+class Membership {
+ public:
+  Membership(std::uint32_t n, std::uint32_t self, MembershipConfig cfg = {});
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(peers_.size());
+  }
+
+  /// Any frame from `peer` proves it alive right now.
+  void heard_from(std::uint32_t peer, std::int64_t now_ms);
+
+  /// Merges one received digest entry (higher heartbeat wins; ties take
+  /// the worse state).
+  void merge(const MemberEntry& entry, std::int64_t now_ms);
+
+  /// Applies the silence thresholds; call once per event-loop tick.
+  void age(std::int64_t now_ms);
+
+  /// Bumps the self heartbeat (one per gossip tick).
+  void beat() { peers_[self_].heartbeat += 1; }
+
+  /// Fills `frame` (id kMemberGossip) with the self entry plus the most
+  /// recently updated others, newest first, up to the wire bound.
+  void fill_digest(Frame& frame) const;
+
+  /// Uniformly samples a peer this node does not believe dead (self
+  /// excluded); returns size() when every other peer looks dead.
+  [[nodiscard]] std::uint32_t sample_live_peer(Rng& rng) const;
+
+  [[nodiscard]] PeerState state(std::uint32_t peer) const noexcept {
+    return peers_[peer].state;
+  }
+  [[nodiscard]] bool is_dead(std::uint32_t peer) const noexcept {
+    return peers_[peer].state == PeerState::kDead;
+  }
+  /// Peers not currently believed dead, self included: also the node's
+  /// best estimate of how many values a complete aggregate must cover.
+  [[nodiscard]] std::uint32_t alive_count() const noexcept;
+  [[nodiscard]] std::uint32_t gossip_fanout() const noexcept { return cfg_.gossip_fanout; }
+
+ private:
+  struct Peer {
+    PeerState state = PeerState::kAlive;  // optimistic until silence says otherwise
+    std::uint32_t heartbeat = 0;
+    std::int64_t last_heard = 0;
+    std::int64_t last_update = 0;  // merge/heard recency, drives digest choice
+  };
+
+  std::uint32_t self_;
+  MembershipConfig cfg_;
+  std::vector<Peer> peers_;
+};
+
+}  // namespace drrg::net

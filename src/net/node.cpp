@@ -1,0 +1,821 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+
+#include "net/membership.hpp"
+#include "sim/scenario.hpp"
+#include "support/mathutil.hpp"
+#include "support/workload.hpp"
+
+namespace drrg::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+/// The monotone aggregate bundle one subtree (or root table fold)
+/// carries.  Exact double equality is the change detector: merges move
+/// the same bit patterns around, so equal means nothing new arrived.
+struct Stats {
+  double max = -std::numeric_limits<double>::infinity();
+  double min = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  bool operator==(const Stats&) const = default;
+
+  void merge(const Stats& o) noexcept {
+    max = std::max(max, o.max);
+    min = std::min(min, o.min);
+    sum += o.sum;
+    count += o.count;
+  }
+};
+
+struct ChildSlot {
+  std::uint32_t child = kNone;
+  std::uint32_t ver = 0;
+  Stats stats{};
+  bool seen = false;
+};
+
+/// One in-flight request awaiting its ack.
+struct Pending {
+  MsgId kind;
+  std::uint32_t dst;
+  std::uint32_t seq;
+  Frame frame;
+  std::int64_t deadline;
+  std::int64_t timeout;
+  std::uint32_t attempts;
+  std::uint32_t cap;
+};
+
+enum class Phase : std::uint8_t {
+  kBootstrap,
+  kProbing,    // Phase I: probing / connecting
+  kTree,       // settled non-root: convergecast + wait for kFinal
+  kRootWait,   // root: waiting for the subtree to quiesce
+  kGossip,     // root: Phase III anti-entropy
+  kSpread,     // pushing kFinal to children
+  kLinger,     // answer stragglers, then exit
+};
+
+class NodeRuntime {
+ public:
+  explicit NodeRuntime(const NodeOptions& opt) : opt_(opt), rngs_(opt.seed) {}
+
+  NodeReport run() {
+    NodeReport report;
+    report.node = opt_.node;
+    if (opt_.n < 2 || opt_.node >= opt_.n) {
+      report.error = "need n >= 2 and node < n";
+      return report;
+    }
+
+    // The fault timeline is a pure function of (seed, faults): every
+    // process and the simulator agree on it without coordination.  Each
+    // node consults only its *own* fate; peer liveness is learned the
+    // distributed way (timeouts + membership gossip).
+    const std::vector<std::uint32_t> death =
+        sim::fault_timeline(opt_.n, rngs_, opt_.faults);
+    death_round_ = death[opt_.node];
+    if (death_round_ == 0) {
+      report.scheduled_crash = true;
+      return report;  // down from the start: never binds
+    }
+
+    values_ = opt_.values;
+    if (values_.empty()) values_ = workload::make_values(opt_.n, opt_.seed);
+    if (values_.size() != opt_.n) {
+      report.error = "values length != n";
+      return report;
+    }
+
+    const std::uint16_t port =
+        opt_.bind_port != 0
+            ? opt_.bind_port
+            : static_cast<std::uint16_t>(opt_.port_base + opt_.node);
+    if (!udp_.bind(port) || !udp_.set_peers(opt_.n, opt_.port_base, opt_.seed_list)) {
+      report.error = udp_.error();
+      return report;
+    }
+    if (opt_.faults.loss_prob > 0.0) {
+      udp_.set_loss(opt_.faults.loss_prob,
+                    rngs_.engine_stream(derive_seed(0x105eULL, opt_.node)));
+    }
+
+    // Same stream discipline as the simulator's run_drr: purpose 0x11dd,
+    // first draw is the rank, subsequent draws sample probe targets.
+    drr_rng_ = rngs_.node_stream(opt_.node, 0x11ddULL);
+    rank_ = drr_rng_.next_unit();
+    aux_rng_ = rngs_.node_stream(opt_.node, 0x90551bULL);
+
+    probe_budget_ = opt_.probe_budget != 0 ? opt_.probe_budget : drr_probe_budget(opt_.n);
+    min_exchanges_ = opt_.min_exchanges != 0
+                         ? opt_.min_exchanges
+                         : std::max<std::uint32_t>(8, 2 * log2_ceil(opt_.n));
+    membership_ = std::make_unique<Membership>(opt_.n, opt_.node);
+    own_stats_ = Stats{values_[opt_.node], values_[opt_.node], values_[opt_.node], 1};
+
+    t0_ = Clock::now();
+    loop();
+
+    report.ok = have_final_ && error_.empty();
+    report.scheduled_crash = halted_by_schedule_;
+    report.root = root_;
+    report.parent = parent_;
+    report.max = final_.max;
+    report.min = final_.min;
+    report.sum = final_.sum;
+    report.count = final_.count;
+    report.sent = udp_.stats().sent;
+    report.delivered = udp_.stats().delivered;
+    report.bits = udp_.stats().bits;
+    report.retries = retries_;
+    report.steps = steps_;
+    report.roots_seen = static_cast<std::uint32_t>(table_.size());
+    report.wall_ms = now_ms();
+    report.error = error_;
+    if (!report.ok && report.error.empty() && !halted_by_schedule_)
+      report.error = "deadline before final value";
+    return report;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t now_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0_)
+        .count();
+  }
+
+  static std::uint32_t log2_ceil(std::uint32_t n) noexcept {
+    std::uint32_t bits = 0;
+    while ((1u << bits) < n) ++bits;
+    return bits;
+  }
+
+  // --- event loop -----------------------------------------------------
+
+  void loop() {
+    std::int64_t next_gossip = 0;
+    std::int64_t next_hello = 0;
+    while (true) {
+      const std::int64_t now = now_ms();
+      if (now >= opt_.deadline_ms) return;
+      if (death_round_ != sim::kNeverCrashes && steps_ >= death_round_) {
+        halted_by_schedule_ = true;  // mid-run churn: go silent, as scheduled
+        return;
+      }
+      if (phase_ == Phase::kLinger && now >= linger_until_) return;
+
+      Frame f;
+      if (udp_.poll(f, 1)) handle(f, now);
+
+      expire_pending(now);
+
+      // Membership heartbeat + digest push, every gossip tick, in every
+      // phase (lissandra runs its gossip timer independent of request
+      // traffic for the same reason: failure detection must not stall
+      // behind the workload).
+      if (now >= next_gossip) {
+        next_gossip = now + opt_.gossip_tick_ms;
+        membership_->beat();
+        membership_->age(now);
+        for (std::uint32_t i = 0; i < membership_->gossip_fanout(); ++i) {
+          const std::uint32_t peer = membership_->sample_live_peer(aux_rng_);
+          if (peer >= opt_.n) break;
+          Frame d;
+          membership_->fill_digest(d);
+          d.src = opt_.node;
+          d.dst = peer;
+          d.seq = next_seq();
+          udp_.send(d);
+        }
+        if (phase_ == Phase::kGossip) gossip_tick(now);
+      }
+
+      switch (phase_) {
+        case Phase::kBootstrap:
+          if ((hello_acks_ >= effective_quorum() && now >= opt_.bootstrap_min_ms) ||
+              now >= opt_.bootstrap_timeout_ms) {
+            phase_ = Phase::kProbing;
+          } else if (now >= next_hello) {
+            next_hello = now + opt_.hello_retry_ms;
+            send_hello();
+          }
+          break;
+        case Phase::kProbing:
+          advance_phase1(now);
+          break;
+        case Phase::kTree:
+          if (dirty_ && find_pending(MsgId::kTreeValue) == nullptr) {
+            push_tree(now);
+          } else if (!dirty_ && find_pending(MsgId::kTreeValue) == nullptr &&
+                     parent_ != kNone && membership_->is_dead(parent_)) {
+            // Value acked, now passively waiting for the parent's final --
+            // but the failure detector says the parent died (mid-run
+            // churn).  There is no pending send whose retries could
+            // notice, so the detector breaks the wait: promote and reach
+            // a value through Phase III instead of the deadline.
+            promote_to_root(now);
+          }
+          break;
+        case Phase::kRootWait:
+          if (now - last_subtree_change_ >= opt_.subtree_stable_ms) {
+            phase_ = Phase::kGossip;
+          }
+          break;
+        case Phase::kGossip:
+          break;  // driven by gossip_tick above
+        case Phase::kSpread:
+          if (find_pending(MsgId::kFinal) == nullptr) {
+            linger_until_ = now + opt_.linger_ms;
+            phase_ = Phase::kLinger;
+          }
+          break;
+        case Phase::kLinger:
+          break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint32_t effective_quorum() const {
+    return std::min(opt_.bootstrap_quorum, opt_.n - 1);
+  }
+
+  // --- message handling -----------------------------------------------
+
+  void handle(const Frame& f, std::int64_t now) {
+    if (f.dst != opt_.node || f.src >= opt_.n) return;  // stray datagram
+    if (f.src != opt_.node) membership_->heard_from(f.src, now);
+    switch (f.id) {
+      case MsgId::kHello: {
+        reply(f, MsgId::kHelloAck);
+        break;
+      }
+      case MsgId::kHelloAck:
+        if (f.src < opt_.n && !helloed_[f.src]) {
+          helloed_[f.src] = true;
+          ++hello_acks_;
+        }
+        drop_pending(MsgId::kHello, f.src);
+        break;
+      case MsgId::kPing: {
+        Frame pong = make_frame(MsgId::kPong, f.src);
+        pong.seq = f.seq;
+        pong.nonce = f.nonce;
+        udp_.send(pong);
+        break;
+      }
+      case MsgId::kPong:
+        break;  // heard_from above did the work
+      case MsgId::kMemberGossip:
+        for (std::uint8_t i = 0; i < f.n_members; ++i)
+          membership_->merge(f.members[i], now);
+        break;
+      case MsgId::kProbe: {
+        Frame ack = make_frame(MsgId::kProbeAck, f.src);
+        ack.seq = f.seq;
+        ack.max = rank_;
+        udp_.send(ack);
+        break;
+      }
+      case MsgId::kProbeAck:
+        on_probe_ack(f, now);
+        break;
+      case MsgId::kConnect: {
+        add_child(f.src);
+        reply(f, MsgId::kConnectAck);
+        break;
+      }
+      case MsgId::kConnectAck:
+        on_connect_ack(f, now);
+        break;
+      case MsgId::kTreeValue:
+        on_tree_value(f, now);
+        break;
+      case MsgId::kTreeAck: {
+        const Pending* p = find_pending(MsgId::kTreeValue);
+        if (p != nullptr && p->dst == f.src && f.ver >= p->frame.ver)
+          drop_pending(MsgId::kTreeValue, f.src);
+        break;
+      }
+      case MsgId::kRootExchange:
+        on_root_exchange(f, now);
+        break;
+      case MsgId::kRootAck:
+        on_root_ack(f, now);
+        break;
+      case MsgId::kFinal:
+        on_final(f, now);
+        break;
+      case MsgId::kFinalAck:
+        drop_pending(MsgId::kFinal, f.src);
+        break;
+    }
+  }
+
+  // --- bootstrap ------------------------------------------------------
+
+  void send_hello() {
+    // A fresh random contact each tick: a dropped packet (or a dead
+    // seed) costs one retry interval, never a hang.
+    const auto peer = static_cast<std::uint32_t>(aux_rng_.next_below(opt_.n));
+    if (peer == opt_.node) return;
+    Frame h = make_frame(MsgId::kHello, peer);
+    h.a = udp_.port();
+    udp_.send(h);
+  }
+
+  // --- Phase I: DRR ---------------------------------------------------
+
+  void advance_phase1(std::int64_t now) {
+    if (settled_) return;
+    if (pending_parent_ != kNone) return;  // connect in flight (pending-driven)
+    if (find_pending(MsgId::kProbe) != nullptr) return;
+    if (attempts_ < probe_budget_) {
+      issue_probe(now);
+    } else {
+      become_root(now);  // budget exhausted, nobody higher-ranked: root
+    }
+  }
+
+  void issue_probe(std::int64_t now) {
+    auto target = static_cast<std::uint32_t>(drr_rng_.next_below(opt_.n));
+    if (target == opt_.node) target = (target + 1) % opt_.n;  // complete graph
+    ++attempts_;
+    ++steps_;
+    Frame p = make_frame(MsgId::kProbe, target);
+    p.a = attempts_;
+    // A confirmed-dead target gets one send and a spent attempt -- the
+    // simulator's lost-probe semantics, at one timeout's cost.
+    const std::uint32_t cap = membership_->is_dead(target) ? 1 : opt_.probe_retries;
+    add_pending(p, now, opt_.probe_timeout_ms, cap);
+    udp_.send(p);
+  }
+
+  void on_probe_ack(const Frame& f, std::int64_t now) {
+    const Pending* p = find_pending(MsgId::kProbe);
+    if (p == nullptr || p->dst != f.src || p->seq != f.seq) return;
+    drop_pending(MsgId::kProbe, f.src);
+    if (f.max > rank_) {  // responder's rank rides the max slot
+      pending_parent_ = f.src;
+      start_connect(now);
+    }
+  }
+
+  void start_connect(std::int64_t now) {
+    ++steps_;
+    Frame c = make_frame(MsgId::kConnect, pending_parent_);
+    add_pending(c, now, opt_.connect_timeout_ms, opt_.connect_attempt_cap);
+    udp_.send(c);
+  }
+
+  void on_connect_ack(const Frame& f, std::int64_t now) {
+    if (settled_ || f.src != pending_parent_) return;
+    drop_pending(MsgId::kConnect, f.src);
+    parent_ = pending_parent_;
+    pending_parent_ = kNone;
+    settle(now);
+  }
+
+  void become_root(std::int64_t now) {
+    root_ = true;
+    parent_ = kNone;
+    pending_parent_ = kNone;
+    settle(now);
+  }
+
+  /// Orphan promotion: an already-settled child whose parent is gone
+  /// re-enters the pipeline as a root of its own subtree, so the subtree
+  /// reaches Phase III instead of vanishing (and the child terminates
+  /// with a value instead of waiting for a final that will never come).
+  void promote_to_root(std::int64_t now) {
+    if (root_ || !settled_) return;
+    root_ = true;
+    parent_ = kNone;
+    last_subtree_change_ = now;
+    // Insert our authoritative table entry directly: recompute_subtree
+    // would early-return (the subtree stats are unchanged) and never
+    // reach its root-only upsert.  The version bump marks the entry
+    // fresher than any rumor.
+    ++subtree_ver_;
+    upsert_table(RootEntry{opt_.node, subtree_ver_, subtree_.count, subtree_.max,
+                           subtree_.min, subtree_.sum});
+    quiet_ = 0;
+    phase_ = Phase::kRootWait;
+  }
+
+  void settle(std::int64_t now) {
+    settled_ = true;
+    recompute_subtree(now);
+    if (root_) {
+      last_subtree_change_ = now;
+      phase_ = Phase::kRootWait;
+    } else {
+      phase_ = Phase::kTree;
+      dirty_ = true;
+    }
+  }
+
+  // --- Phase II: convergecast as monotone push ------------------------
+
+  void add_child(std::uint32_t child) {
+    for (const ChildSlot& s : children_)
+      if (s.child == child) return;
+    children_.push_back(ChildSlot{child, 0, Stats{}, false});
+  }
+
+  void on_tree_value(const Frame& f, std::int64_t now) {
+    add_child(f.src);  // a retried connect-ack may have been lost: adopt
+    for (ChildSlot& s : children_) {
+      if (s.child != f.src) continue;
+      if (!s.seen || f.ver >= s.ver) {
+        s.seen = true;
+        s.ver = f.ver;
+        s.stats = Stats{f.max, f.min, f.sum, f.count};
+        recompute_subtree(now);
+      }
+      break;
+    }
+    Frame ack = make_frame(MsgId::kTreeAck, f.src);
+    ack.seq = f.seq;
+    ack.ver = f.ver;
+    udp_.send(ack);
+  }
+
+  void recompute_subtree(std::int64_t now) {
+    if (!settled_) return;
+    Stats next = own_stats_;
+    for (const ChildSlot& s : children_)
+      if (s.seen) next.merge(s.stats);
+    if (next == subtree_ && subtree_ver_ != 0) return;
+    subtree_ = next;
+    ++subtree_ver_;
+    last_subtree_change_ = now;
+    if (root_) {
+      upsert_table(RootEntry{opt_.node, subtree_ver_, subtree_.count, subtree_.max,
+                             subtree_.min, subtree_.sum});
+      quiet_ = 0;  // our own entry changed: re-spread before finalizing
+    } else {
+      dirty_ = true;
+    }
+  }
+
+  void push_tree(std::int64_t now) {
+    dirty_ = false;
+    ++steps_;
+    Frame t = make_frame(MsgId::kTreeValue, parent_);
+    t.max = subtree_.max;
+    t.min = subtree_.min;
+    t.sum = subtree_.sum;
+    t.count = subtree_.count;
+    t.ver = subtree_ver_;
+    add_pending(t, now, opt_.tree_timeout_ms, opt_.tree_retries);
+    udp_.send(t);
+  }
+
+  // --- Phase III: root-table anti-entropy -----------------------------
+
+  bool upsert_table(const RootEntry& e) {
+    for (RootEntry& mine : table_) {
+      if (mine.root != e.root) continue;
+      if (e.ver <= mine.ver) return false;
+      mine = e;
+      return true;
+    }
+    table_.push_back(e);
+    return true;
+  }
+
+  /// Merges a received table; the entry for *this* root is authoritative
+  /// locally and never overwritten by rumor.
+  bool merge_table(const Frame& f) {
+    bool changed = false;
+    for (std::uint8_t i = 0; i < f.n_roots; ++i) {
+      if (f.roots[i].root == opt_.node) continue;
+      changed = upsert_table(f.roots[i]) || changed;
+    }
+    return changed;
+  }
+
+  void send_table(MsgId id, std::uint32_t dst, std::uint32_t ttl) {
+    for (std::size_t base = 0; base < table_.size() || base == 0;
+         base += kMaxRootEntries) {
+      Frame x = make_frame(id, dst);
+      x.a = ttl;
+      const std::size_t chunk = std::min(kMaxRootEntries, table_.size() - base);
+      x.n_roots = static_cast<std::uint8_t>(chunk);
+      for (std::size_t i = 0; i < chunk; ++i) x.roots[i] = table_[base + i];
+      udp_.send(x);
+      if (base + kMaxRootEntries >= table_.size()) break;
+    }
+  }
+
+  void gossip_tick(std::int64_t now) {
+    ++steps_;
+    ++exchanges_;
+    const std::uint32_t peer = membership_->sample_live_peer(aux_rng_);
+    if (peer >= opt_.n) {
+      ++quiet_;  // nobody left to learn from
+    } else {
+      send_table(MsgId::kRootExchange, peer, opt_.relay_ttl);
+    }
+    // Completeness gate on top of the stability heuristics: a laggard
+    // subtree (CPU-starved process, slow link) can announce its entry
+    // *after* min_exchanges went quiet, so quiescence alone may finalize
+    // a partial fold.  The membership view knows how many peers are not
+    // (yet) believed dead; hold the finalize until the fold covers them
+    // all.  Crashed peers leave the estimate via silence aging, so the
+    // gate converges; the fallback deadline keeps pathological loss from
+    // blocking termination (degrade, don't hang).
+    std::uint64_t covered = 0;
+    for (const RootEntry& e : table_) covered += e.count;
+    const bool complete = covered >= membership_->alive_count();
+    if (exchanges_ >= min_exchanges_ && quiet_ >= opt_.quiet_exchanges &&
+        now - last_table_change_ >= 2 * opt_.gossip_tick_ms &&
+        (complete || now >= opt_.finalize_fallback_ms)) {
+      finalize(now);
+    }
+  }
+
+  void on_root_exchange(const Frame& f, std::int64_t now) {
+    if (!settled_) return;  // cannot relay yet; originator will retry
+    if (!root_) {
+      if (f.a == 0 || parent_ == kNone) return;  // TTL exhausted / orphaned
+      Frame relay = f;  // src stays the originator: the ack goes direct
+      relay.a -= 1;
+      relay.dst = parent_;
+      udp_.send(relay);
+      return;
+    }
+    if (f.src == opt_.node) return;  // an exchange of ours walked home
+    if (merge_table(f)) {
+      last_table_change_ = now;
+      quiet_ = 0;
+    }
+    send_table(MsgId::kRootAck, f.src, 0);  // anti-entropy pull half
+  }
+
+  void on_root_ack(const Frame& f, std::int64_t now) {
+    if (!root_ || f.src == opt_.node) return;
+    if (merge_table(f)) {
+      last_table_change_ = now;
+      quiet_ = 0;
+    } else {
+      ++quiet_;
+    }
+  }
+
+  void finalize(std::int64_t now) {
+    // Fold in root-id order: every root holding the same table then
+    // computes the bit-identical sum regardless of arrival order.
+    std::vector<RootEntry> sorted = table_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const RootEntry& a, const RootEntry& b) { return a.root < b.root; });
+    final_ = Stats{};
+    for (const RootEntry& e : sorted)
+      final_.merge(Stats{e.max, e.min, e.sum, e.count});
+    have_final_ = true;
+    spread_final(now);
+  }
+
+  // --- result spread --------------------------------------------------
+
+  void spread_final(std::int64_t now) {
+    phase_ = Phase::kSpread;
+    for (const ChildSlot& s : children_) {
+      Frame fin = make_frame(MsgId::kFinal, s.child);
+      fin.max = final_.max;
+      fin.min = final_.min;
+      fin.sum = final_.sum;
+      fin.count = final_.count;
+      add_pending(fin, now, opt_.final_timeout_ms, opt_.final_retries);
+      udp_.send(fin);
+    }
+  }
+
+  void on_final(const Frame& f, std::int64_t now) {
+    reply(f, MsgId::kFinalAck);
+    if (have_final_) return;
+    final_ = Stats{f.max, f.min, f.sum, f.count};
+    have_final_ = true;
+    drop_pending(MsgId::kTreeValue, parent_);  // the tree's job is done
+    spread_final(now);
+  }
+
+  // --- pending / retry machinery --------------------------------------
+
+  std::uint32_t next_seq() { return ++seq_; }
+
+  Frame make_frame(MsgId id, std::uint32_t dst) {
+    Frame f;
+    f.id = id;
+    f.src = opt_.node;
+    f.dst = dst;
+    f.seq = next_seq();
+    return f;
+  }
+
+  void add_pending(const Frame& f, std::int64_t now, std::int64_t timeout,
+                   std::uint32_t cap) {
+    pending_.push_back(Pending{f.id, f.dst, f.seq, f, now + timeout, timeout, 1, cap});
+  }
+
+  [[nodiscard]] const Pending* find_pending(MsgId kind) const {
+    for (const Pending& p : pending_)
+      if (p.kind == kind) return &p;
+    return nullptr;
+  }
+
+  void drop_pending(MsgId kind, std::uint32_t dst) {
+    std::erase_if(pending_, [&](const Pending& p) {
+      return p.kind == kind && p.dst == dst;
+    });
+  }
+
+  void expire_pending(std::int64_t now) {
+    // Collect expirations first: give-up handlers mutate pending_.
+    std::vector<Pending> exhausted;
+    for (Pending& p : pending_) {
+      if (now < p.deadline) continue;
+      if (p.attempts < p.cap) {
+        ++p.attempts;
+        ++retries_;
+        p.deadline = now + p.timeout;
+        udp_.send(p.frame);
+      } else {
+        exhausted.push_back(p);
+      }
+    }
+    for (const Pending& p : exhausted) {
+      drop_pending(p.kind, p.dst);
+      give_up(p, now);
+    }
+  }
+
+  void give_up(const Pending& p, std::int64_t now) {
+    switch (p.kind) {
+      case MsgId::kHello:
+        break;  // bootstrap keeps trying fresh peers on its own timer
+      case MsgId::kProbe:
+        break;  // attempt spent (the sampled node told us nothing)
+      case MsgId::kConnect:
+        // Retry budget exhausted: root by exhaustion, the paper's loss
+        // fallback.
+        pending_parent_ = kNone;
+        become_root(now);
+        break;
+      case MsgId::kTreeValue:
+        // Parent unreachable (crashed mid-run): promote to root so this
+        // subtree still reaches Phase III instead of vanishing.
+        promote_to_root(now);
+        break;
+      case MsgId::kFinal:
+        break;  // child likely dead; the rest of the tree still exits
+      default:
+        break;
+    }
+  }
+
+  // --- state ----------------------------------------------------------
+
+  NodeOptions opt_;
+  RngFactory rngs_;
+  UdpTransport udp_;
+  std::unique_ptr<Membership> membership_;
+  Clock::time_point t0_{};
+
+  std::vector<double> values_;
+  std::uint32_t death_round_ = sim::kNeverCrashes;
+  bool halted_by_schedule_ = false;
+
+  Rng drr_rng_{};
+  Rng aux_rng_{};
+  double rank_ = 0.0;
+  std::uint32_t probe_budget_ = 0;
+  std::uint32_t min_exchanges_ = 0;
+
+  Phase phase_ = Phase::kBootstrap;
+  std::uint32_t seq_ = 0;
+  std::vector<Pending> pending_;
+  std::uint64_t retries_ = 0;
+  std::uint32_t steps_ = 0;
+
+  std::vector<bool> helloed_ = std::vector<bool>(opt_.n, false);
+  std::uint32_t hello_acks_ = 0;
+
+  std::uint32_t attempts_ = 0;
+  std::uint32_t pending_parent_ = kNone;
+  std::uint32_t parent_ = kNone;
+  bool settled_ = false;
+  bool root_ = false;
+
+  Stats own_stats_{};
+  Stats subtree_{};
+  std::uint32_t subtree_ver_ = 0;
+  bool dirty_ = false;
+  std::vector<ChildSlot> children_;
+  std::int64_t last_subtree_change_ = 0;
+
+  std::vector<RootEntry> table_;
+  std::int64_t last_table_change_ = 0;
+  std::uint32_t exchanges_ = 0;
+  std::uint32_t quiet_ = 0;
+
+  Stats final_{};
+  bool have_final_ = false;
+  std::int64_t linger_until_ = 0;
+  std::string error_;
+
+  void reply(const Frame& to, MsgId id) {
+    Frame r = make_frame(id, to.src);
+    r.seq = to.seq;  // acks echo the request's sequence number
+    udp_.send(r);
+  }
+};
+
+}  // namespace
+
+NodeReport run_node(const NodeOptions& options) {
+  NodeRuntime runtime{options};
+  return runtime.run();
+}
+
+std::string encode_report(const NodeReport& r) {
+  char buf[640];
+  std::string err = r.error;
+  for (char& c : err)
+    if (c == '|' || c == '\n') c = '/';
+  std::snprintf(buf, sizeof(buf),
+                "%u|%d|%d|%d|%u|%.17g|%.17g|%.17g|%" PRIu64 "|%" PRIu64 "|%" PRIu64
+                "|%" PRIu64 "|%" PRIu64 "|%u|%u|%" PRId64 "|%s",
+                r.node, r.scheduled_crash ? 1 : 0, r.ok ? 1 : 0, r.root ? 1 : 0,
+                r.parent, r.max, r.min, r.sum, r.count, r.sent, r.delivered, r.bits,
+                r.retries, r.steps, r.roots_seen, r.wall_ms, err.c_str());
+  return std::string{buf};
+}
+
+bool decode_report(const std::string& line, NodeReport& out) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (fields.size() < 16) {
+    const std::size_t bar = line.find('|', pos);
+    if (bar == std::string::npos) return false;
+    fields.push_back(line.substr(pos, bar - pos));
+    pos = bar + 1;
+  }
+  fields.push_back(line.substr(pos));  // error text (may be empty)
+  try {
+    NodeReport r;
+    r.node = static_cast<std::uint32_t>(std::stoul(fields[0]));
+    r.scheduled_crash = fields[1] == "1";
+    r.ok = fields[2] == "1";
+    r.root = fields[3] == "1";
+    r.parent = static_cast<std::uint32_t>(std::stoul(fields[4]));
+    r.max = std::strtod(fields[5].c_str(), nullptr);
+    r.min = std::strtod(fields[6].c_str(), nullptr);
+    r.sum = std::strtod(fields[7].c_str(), nullptr);
+    r.count = std::stoull(fields[8]);
+    r.sent = std::stoull(fields[9]);
+    r.delivered = std::stoull(fields[10]);
+    r.bits = std::stoull(fields[11]);
+    r.retries = std::stoull(fields[12]);
+    r.steps = static_cast<std::uint32_t>(std::stoul(fields[13]));
+    r.roots_seen = static_cast<std::uint32_t>(std::stoul(fields[14]));
+    r.wall_ms = std::stoll(fields[15]);
+    r.error = fields[16];
+    out = r;
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+std::string report_json(const NodeReport& r) {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"node\":%u,\"crashed\":%s,\"ok\":%s,\"root\":%s,\"parent\":%d,"
+      "\"max\":%.17g,\"min\":%.17g,\"sum\":%.17g,\"count\":%" PRIu64
+      ",\"sent\":%" PRIu64 ",\"delivered\":%" PRIu64 ",\"bits\":%" PRIu64
+      ",\"retries\":%" PRIu64 ",\"steps\":%u,\"roots_seen\":%u,\"wall_ms\":%" PRId64
+      ",\"error\":\"%s\"}",
+      r.node, r.scheduled_crash ? "true" : "false", r.ok ? "true" : "false",
+      r.root ? "true" : "false",
+      r.parent == 0xffffffffu ? -1 : static_cast<int>(r.parent), r.max, r.min, r.sum,
+      r.count, r.sent, r.delivered, r.bits, r.retries, r.steps, r.roots_seen, r.wall_ms,
+      r.error.c_str());
+  return std::string{buf};
+}
+
+}  // namespace drrg::net

@@ -1,0 +1,138 @@
+#pragma once
+// The drrg_node runtime: one OS process, one protocol node.
+//
+// run_node() executes the full DRR-gossip pipeline over a real
+// UdpTransport, as a single-threaded event loop of per-message state
+// machines (the lissandra shape: periodic ticks + stage machines, no
+// lockstep rounds):
+//
+//   bootstrap   hello/ack against the seed list until a small quorum
+//               answers or a deadline passes -- a dropped bootstrap
+//               packet degrades (retry, then proceed) instead of
+//               hanging;
+//   Phase I     DRR (Algorithm 1) over kProbe/kConnect envelopes: the
+//               node draws its rank from the *same* RngFactory stream
+//               the simulator uses, probes log2(n)-1 peers with
+//               per-peer retry/timeout, and connects to the first
+//               higher-ranked responder (retry-capped, root on
+//               exhaustion -- the paper's loss semantics);
+//   Phase II    convergecast as monotone push: every settled node
+//               (re)sends its current subtree stats {max,min,sum,count}
+//               up-tree whenever they change, parents merge per-child
+//               slots keyed by child id (idempotent under duplicates),
+//               so late joiners and retries never double-count;
+//   Phase III   root gossip as push-pull anti-entropy over per-root
+//               table entries: roots push their table at a uniformly
+//               random peer (non-roots relay the envelope up-tree, the
+//               paper's tree-member relay), the landing root merges and
+//               answers with its own table, and a root finalizes after
+//               a minimum exchange budget plus a quiet streak;
+//   spread      the folded result travels root -> children (kFinal,
+//               acked + retried), then the node lingers briefly to
+//               serve stragglers and exits with a machine-readable
+//               report.
+//
+// Fault schedule: the node computes sim::fault_timeline(n, seed,
+// faults) -- a pure function of the root seed, so every process and the
+// simulator agree on it without coordination.  A node whose death round
+// is 0 reports itself crashed and never binds; a mid-run death round r
+// halts the node after r protocol steps (an approximation of the
+// simulator's global round clock -- real processes have no lockstep
+// rounds).  Link loss can be injected on the send path with the same
+// Bernoulli model the simulator applies.
+//
+// Every wall-clock knob lives in NodeOptions with conservative localhost
+// defaults, and the whole run is bounded by deadline_ms: a wedged peer
+// set produces a failed report, never a hung process.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "net/udp_transport.hpp"
+
+namespace drrg::net {
+
+struct NodeOptions {
+  std::uint32_t node = 0;  ///< this process's node id in [0, n)
+  std::uint32_t n = 0;
+  std::uint64_t seed = 42;
+  sim::FaultSchedule faults{};
+
+  /// Per-node inputs; empty = workload::make_values(n, seed).
+  std::vector<double> values;
+
+  std::uint16_t port_base = 29600;  ///< node v listens on port_base + v
+  std::uint16_t bind_port = 0;      ///< 0 = port_base + node
+  std::vector<PeerAddr> seed_list;  ///< position i = node i (overrides port_base)
+
+  // -- bootstrap -------------------------------------------------------
+  std::uint32_t bootstrap_quorum = 3;      ///< hello-acks before proceeding
+  std::int64_t bootstrap_min_ms = 250;     ///< floor (lets slow peers bind)
+  std::int64_t bootstrap_timeout_ms = 4000;  ///< proceed regardless after this
+  std::int64_t hello_retry_ms = 150;
+
+  // -- Phase I ---------------------------------------------------------
+  std::uint32_t probe_budget = 0;  ///< 0 = the paper's log2(n) - 1
+  std::int64_t probe_timeout_ms = 150;
+  std::uint32_t probe_retries = 3;     ///< resends per attempt (then spent)
+  std::uint32_t connect_attempt_cap = 8;  ///< as DrrConfig
+  std::int64_t connect_timeout_ms = 150;
+
+  // -- Phase II / III --------------------------------------------------
+  std::int64_t tree_timeout_ms = 150;
+  std::uint32_t tree_retries = 25;       ///< then orphan-promote to root
+  std::int64_t subtree_stable_ms = 400;  ///< root quiescence before gossip
+  std::int64_t gossip_tick_ms = 100;
+  std::uint32_t min_exchanges = 0;  ///< 0 = max(8, 2 log2 n)
+  std::uint32_t quiet_exchanges = 3;
+  /// Roots hold the finalize until the fold covers every peer membership
+  /// still presumes live; past this mark they finalize on quiescence
+  /// alone (liveness under pathological loss -- degrade, don't hang).
+  std::int64_t finalize_fallback_ms = 8000;
+  std::uint32_t relay_ttl = 24;
+  std::int64_t final_timeout_ms = 150;
+  std::uint32_t final_retries = 25;
+  std::int64_t linger_ms = 2000;
+
+  /// Hard wall-clock bound on the whole run.
+  std::int64_t deadline_ms = 30000;
+};
+
+/// What one node process reports when it exits (serialised over a pipe
+/// by the multi-process driver, or as JSON by the drrg_node daemon).
+struct NodeReport {
+  std::uint32_t node = 0;
+  bool scheduled_crash = false;  ///< fault timeline killed it at round 0
+  bool ok = false;               ///< produced a final value before the deadline
+  bool root = false;
+  std::uint32_t parent = 0xffffffffu;  ///< 0xffffffff = none
+  // The folded consensus stats (valid when ok).
+  double max = 0.0;
+  double min = 0.0;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  // Accounting.
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t retries = 0;
+  std::uint32_t steps = 0;  ///< protocol steps executed (round estimate)
+  std::uint32_t roots_seen = 0;
+  std::int64_t wall_ms = 0;
+  std::string error;
+};
+
+/// Runs the node to completion (or its deadline).  Blocking.
+[[nodiscard]] NodeReport run_node(const NodeOptions& options);
+
+/// One-line pipe encodings for the multi-process driver (stable field
+/// order, '|' separated, doubles at full round-trip precision).
+[[nodiscard]] std::string encode_report(const NodeReport& report);
+[[nodiscard]] bool decode_report(const std::string& line, NodeReport& out);
+
+/// JSON rendering for the drrg_node daemon's stdout.
+[[nodiscard]] std::string report_json(const NodeReport& report);
+
+}  // namespace drrg::net

@@ -1,0 +1,188 @@
+#include "net/udp_transport.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DRRG_HAVE_UDP 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DRRG_HAVE_UDP 0
+#endif
+
+namespace drrg::net {
+
+std::optional<std::vector<PeerAddr>> parse_seed_list(const std::string& text) {
+  std::vector<PeerAddr> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) return std::nullopt;
+    PeerAddr addr;
+    const std::size_t colon = item.rfind(':');
+    std::string port_text;
+    if (colon == std::string::npos) {
+      port_text = item;  // bare port, localhost
+    } else {
+      if (colon == 0 || colon + 1 >= item.size()) return std::nullopt;
+      addr.host = item.substr(0, colon);
+      port_text = item.substr(colon + 1);
+    }
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) return std::nullopt;
+    addr.port = static_cast<std::uint16_t>(port);
+    out.push_back(std::move(addr));
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+bool udp_available() noexcept { return DRRG_HAVE_UDP != 0; }
+
+#if DRRG_HAVE_UDP
+
+namespace {
+
+/// Packs an IPv4 address + port into the flat per-node table slot.
+std::uint64_t pack_addr(std::uint32_t ip_be, std::uint16_t port) noexcept {
+  return (static_cast<std::uint64_t>(ip_be) << 16) | port;
+}
+
+sockaddr_in unpack_addr(std::uint64_t packed) noexcept {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = static_cast<std::uint32_t>(packed >> 16);
+  sa.sin_port = htons(static_cast<std::uint16_t>(packed & 0xffff));
+  return sa;
+}
+
+}  // namespace
+
+UdpTransport::~UdpTransport() { close(); }
+
+void UdpTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool UdpTransport::bind(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string{"socket: "} + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    error_ = std::string{"bind port "} + std::to_string(port) + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    error_ = std::string{"getsockname: "} + std::strerror(errno);
+    close();
+    return false;
+  }
+  port_ = ntohs(sa.sin_port);
+  return true;
+}
+
+bool UdpTransport::set_peers(std::uint32_t n, std::uint16_t port_base,
+                             const std::vector<PeerAddr>& seed_list) {
+  peer_addr_.assign(n, 0);
+  const std::uint32_t loopback_be = htonl(INADDR_LOOPBACK);
+  if (seed_list.empty()) {
+    if (port_base == 0 || static_cast<std::uint32_t>(port_base) + n > 65535) {
+      error_ = "port base out of range for n nodes";
+      return false;
+    }
+    for (std::uint32_t v = 0; v < n; ++v)
+      peer_addr_[v] = pack_addr(loopback_be, static_cast<std::uint16_t>(port_base + v));
+    return true;
+  }
+  if (seed_list.size() != n) {
+    error_ = "seed list must name exactly n nodes (position i = node i)";
+    return false;
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    in_addr ip{};
+    if (::inet_pton(AF_INET, seed_list[v].host.c_str(), &ip) != 1) {
+      error_ = "seed list: bad IPv4 address '" + seed_list[v].host + "'";
+      return false;
+    }
+    peer_addr_[v] = pack_addr(ip.s_addr, seed_list[v].port);
+  }
+  return true;
+}
+
+bool UdpTransport::send(const Frame& frame) {
+  if (fd_ < 0 || frame.dst >= peer_addr_.size()) return false;
+  buf_.clear();
+  encode_frame(frame, buf_);
+  stats_.sent += 1;
+  stats_.bits += static_cast<std::uint64_t>(buf_.size()) * 8;
+  if (loss_prob_ > 0.0 && loss_rng_.next_bernoulli(loss_prob_)) {
+    stats_.dropped += 1;  // injected loss: consumed bandwidth, never lands
+    return true;
+  }
+  const sockaddr_in sa = unpack_addr(peer_addr_[frame.dst]);
+  const ssize_t wrote =
+      ::sendto(fd_, buf_.data(), buf_.size(), 0, reinterpret_cast<const sockaddr*>(&sa),
+               sizeof(sa));
+  // ECONNREFUSED and friends (dead peer, scheduler races) are the loss
+  // model of real life: the protocol's retries own recovery.
+  return wrote == static_cast<ssize_t>(buf_.size());
+}
+
+bool UdpTransport::poll(Frame& out, int timeout_ms) {
+  if (fd_ < 0) return false;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return false;
+  buf_.resize(2048);  // comfortably above the largest frame
+  const ssize_t got = ::recvfrom(fd_, buf_.data(), buf_.size(), 0, nullptr, nullptr);
+  if (got <= 0) return false;
+  const DecodeError err =
+      decode_frame(std::span<const std::uint8_t>{buf_.data(), static_cast<std::size_t>(got)},
+                   out);
+  if (err != DecodeError::kOk) {
+    stats_.rejected += 1;
+    return false;
+  }
+  stats_.delivered += 1;
+  return true;
+}
+
+#else  // !DRRG_HAVE_UDP: stubs so non-POSIX builds still link.
+
+UdpTransport::~UdpTransport() = default;
+void UdpTransport::close() {}
+bool UdpTransport::bind(std::uint16_t) {
+  error_ = "UDP transport unavailable on this platform";
+  return false;
+}
+bool UdpTransport::set_peers(std::uint32_t, std::uint16_t, const std::vector<PeerAddr>&) {
+  error_ = "UDP transport unavailable on this platform";
+  return false;
+}
+bool UdpTransport::send(const Frame&) { return false; }
+bool UdpTransport::poll(Frame&, int) { return false; }
+
+#endif  // DRRG_HAVE_UDP
+
+}  // namespace drrg::net

@@ -1,0 +1,336 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace drrg::net {
+
+namespace {
+
+// --- little-endian primitives ----------------------------------------------
+// Byte-at-a-time shifts: endian-agnostic, no alignment requirements, and
+// fully defined on arbitrary input (the decoder's contract).
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-unchecked readers: every call site has already verified the
+/// total length against the id's exact payload size, so offsets are in
+/// range by construction.
+std::uint8_t get_u8(std::span<const std::uint8_t> b, std::size_t& off) {
+  return b[off++];
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t& off) {
+  const auto v = static_cast<std::uint16_t>(b[off] | (b[off + 1] << 8));
+  off += 2;
+  return v;
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t& off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[off + i]) << (8 * i);
+  off += 4;
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> b, std::size_t& off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[off + i]) << (8 * i);
+  off += 8;
+  return v;
+}
+
+double get_f64(std::span<const std::uint8_t> b, std::size_t& off) {
+  return std::bit_cast<double>(get_u64(b, off));
+}
+
+// --- per-id payload sizes ---------------------------------------------------
+
+constexpr std::size_t kMemberEntryBytes = 9;   // node u32 + state u8 + heartbeat u32
+constexpr std::size_t kRootEntryBytes = 40;    // root + ver + count + 3 doubles
+constexpr std::size_t kStatsBytes = 8 * 3 + 8 + 4;  // max/min/sum + count + ver
+
+/// Payload size for `id` given the (already validated) entry count.
+/// Returns SIZE_MAX for an unknown id.
+std::size_t payload_size(MsgId id, std::size_t entries) noexcept {
+  switch (id) {
+    case MsgId::kHello: return 4;          // udp port (u32: room for growth)
+    case MsgId::kHelloAck: return 0;
+    case MsgId::kPing:
+    case MsgId::kPong: return 8;           // nonce
+    case MsgId::kMemberGossip: return 1 + entries * kMemberEntryBytes;
+    case MsgId::kProbe: return 4;          // attempt index
+    case MsgId::kProbeAck: return 8;       // rank
+    case MsgId::kConnect:
+    case MsgId::kConnectAck: return 0;
+    case MsgId::kTreeValue: return kStatsBytes;
+    case MsgId::kTreeAck: return 4;        // acked subtree version
+    case MsgId::kRootExchange: return 4 + 1 + entries * kRootEntryBytes;  // ttl + n
+    case MsgId::kRootAck: return 1 + entries * kRootEntryBytes;
+    case MsgId::kFinal: return kStatsBytes;
+    case MsgId::kFinalAck: return 0;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// The wire position of the entry-count byte for the two table messages
+/// (relative to the payload start); kNoCount for fixed-size payloads.
+constexpr std::size_t kNoCount = static_cast<std::size_t>(-1);
+
+std::size_t count_offset(MsgId id) noexcept {
+  switch (id) {
+    case MsgId::kMemberGossip: return 0;
+    case MsgId::kRootExchange: return 4;  // after the TTL word
+    case MsgId::kRootAck: return 0;
+    default: return kNoCount;
+  }
+}
+
+std::size_t count_bound(MsgId id) noexcept {
+  switch (id) {
+    case MsgId::kMemberGossip: return kMaxMemberEntries;
+    case MsgId::kRootExchange:
+    case MsgId::kRootAck: return kMaxRootEntries;
+    default: return 0;
+  }
+}
+
+bool known_id(std::uint16_t raw) noexcept {
+  return raw >= static_cast<std::uint16_t>(MsgId::kHello) &&
+         raw <= static_cast<std::uint16_t>(MsgId::kFinalAck);
+}
+
+std::size_t clamped_entries(const Frame& f) noexcept {
+  switch (f.id) {
+    case MsgId::kMemberGossip:
+      return std::min<std::size_t>(f.n_members, kMaxMemberEntries);
+    case MsgId::kRootExchange:
+    case MsgId::kRootAck:
+      return std::min<std::size_t>(f.n_roots, kMaxRootEntries);
+    default:
+      return 0;
+  }
+}
+
+void put_stats(std::vector<std::uint8_t>& out, const Frame& f) {
+  put_f64(out, f.max);
+  put_f64(out, f.min);
+  put_f64(out, f.sum);
+  put_u64(out, f.count);
+  put_u32(out, f.ver);
+}
+
+void get_stats(std::span<const std::uint8_t> b, std::size_t& off, Frame& f) {
+  f.max = get_f64(b, off);
+  f.min = get_f64(b, off);
+  f.sum = get_f64(b, off);
+  f.count = get_u64(b, off);
+  f.ver = get_u32(b, off);
+}
+
+}  // namespace
+
+std::string_view to_string(MsgId id) noexcept {
+  switch (id) {
+    case MsgId::kHello: return "hello";
+    case MsgId::kHelloAck: return "hello-ack";
+    case MsgId::kPing: return "ping";
+    case MsgId::kPong: return "pong";
+    case MsgId::kMemberGossip: return "member-gossip";
+    case MsgId::kProbe: return "probe";
+    case MsgId::kProbeAck: return "probe-ack";
+    case MsgId::kConnect: return "connect";
+    case MsgId::kConnectAck: return "connect-ack";
+    case MsgId::kTreeValue: return "tree-value";
+    case MsgId::kTreeAck: return "tree-ack";
+    case MsgId::kRootExchange: return "root-exchange";
+    case MsgId::kRootAck: return "root-ack";
+    case MsgId::kFinal: return "final";
+    case MsgId::kFinalAck: return "final-ack";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DecodeError err) noexcept {
+  switch (err) {
+    case DecodeError::kOk: return "ok";
+    case DecodeError::kTooShort: return "too-short";
+    case DecodeError::kBadMagic: return "bad-magic";
+    case DecodeError::kBadVersion: return "bad-version";
+    case DecodeError::kUnknownId: return "unknown-id";
+    case DecodeError::kTruncated: return "truncated";
+    case DecodeError::kOversized: return "oversized";
+    case DecodeError::kCountOverflow: return "count-overflow";
+  }
+  return "unknown";
+}
+
+std::size_t encoded_size(const Frame& frame) noexcept {
+  return kHeaderBytes + payload_size(frame.id, clamped_entries(frame));
+}
+
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + encoded_size(frame));
+  put_u32(out, kWireMagic);
+  put_u16(out, kWireVersion);
+  put_u16(out, static_cast<std::uint16_t>(frame.id));
+  put_u32(out, frame.src);
+  put_u32(out, frame.dst);
+  put_u32(out, frame.seq);
+  const std::size_t entries = clamped_entries(frame);
+  switch (frame.id) {
+    case MsgId::kHello:
+      put_u32(out, frame.a);
+      break;
+    case MsgId::kHelloAck:
+    case MsgId::kConnect:
+    case MsgId::kConnectAck:
+    case MsgId::kFinalAck:
+      break;
+    case MsgId::kPing:
+    case MsgId::kPong:
+      put_u64(out, frame.nonce);
+      break;
+    case MsgId::kMemberGossip:
+      put_u8(out, static_cast<std::uint8_t>(entries));
+      for (std::size_t i = 0; i < entries; ++i) {
+        put_u32(out, frame.members[i].node);
+        put_u8(out, static_cast<std::uint8_t>(frame.members[i].state));
+        put_u32(out, frame.members[i].heartbeat);
+      }
+      break;
+    case MsgId::kProbe:
+      put_u32(out, frame.a);
+      break;
+    case MsgId::kProbeAck:
+      put_f64(out, frame.max);  // the responder's rank rides the max slot
+      break;
+    case MsgId::kTreeValue:
+    case MsgId::kFinal:
+      put_stats(out, frame);
+      break;
+    case MsgId::kTreeAck:
+      put_u32(out, frame.ver);
+      break;
+    case MsgId::kRootExchange:
+      put_u32(out, frame.a);  // relay TTL
+      [[fallthrough]];
+    case MsgId::kRootAck:
+      put_u8(out, static_cast<std::uint8_t>(entries));
+      for (std::size_t i = 0; i < entries; ++i) {
+        const RootEntry& e = frame.roots[i];
+        put_u32(out, e.root);
+        put_u32(out, e.ver);
+        put_u64(out, e.count);
+        put_f64(out, e.max);
+        put_f64(out, e.min);
+        put_f64(out, e.sum);
+      }
+      break;
+  }
+}
+
+DecodeError decode_frame(std::span<const std::uint8_t> bytes, Frame& out) {
+  if (bytes.size() < kHeaderBytes) return DecodeError::kTooShort;
+  std::size_t off = 0;
+  if (get_u32(bytes, off) != kWireMagic) return DecodeError::kBadMagic;
+  if (get_u16(bytes, off) != kWireVersion) return DecodeError::kBadVersion;
+  const std::uint16_t raw_id = get_u16(bytes, off);
+  if (!known_id(raw_id)) return DecodeError::kUnknownId;
+
+  Frame f;
+  f.id = static_cast<MsgId>(raw_id);
+  f.src = get_u32(bytes, off);
+  f.dst = get_u32(bytes, off);
+  f.seq = get_u32(bytes, off);
+
+  // Resolve the exact expected length, reading the entry count first for
+  // the table messages (guarding the read itself against truncation).
+  std::size_t entries = 0;
+  const std::size_t coff = count_offset(f.id);
+  if (coff != kNoCount) {
+    if (bytes.size() < kHeaderBytes + coff + 1) return DecodeError::kTruncated;
+    entries = bytes[kHeaderBytes + coff];
+    if (entries > count_bound(f.id)) return DecodeError::kCountOverflow;
+  }
+  const std::size_t expect = kHeaderBytes + payload_size(f.id, entries);
+  if (bytes.size() < expect) return DecodeError::kTruncated;
+  if (bytes.size() > expect) return DecodeError::kOversized;
+
+  switch (f.id) {
+    case MsgId::kHello:
+      f.a = get_u32(bytes, off);
+      break;
+    case MsgId::kHelloAck:
+    case MsgId::kConnect:
+    case MsgId::kConnectAck:
+    case MsgId::kFinalAck:
+      break;
+    case MsgId::kPing:
+    case MsgId::kPong:
+      f.nonce = get_u64(bytes, off);
+      break;
+    case MsgId::kMemberGossip: {
+      f.n_members = get_u8(bytes, off);
+      for (std::size_t i = 0; i < entries; ++i) {
+        MemberEntry& e = f.members[i];
+        e.node = get_u32(bytes, off);
+        const std::uint8_t s = get_u8(bytes, off);
+        // Unknown future states degrade to suspect rather than UB.
+        e.state = s <= 2 ? static_cast<PeerState>(s) : PeerState::kSuspect;
+        e.heartbeat = get_u32(bytes, off);
+      }
+      break;
+    }
+    case MsgId::kProbe:
+      f.a = get_u32(bytes, off);
+      break;
+    case MsgId::kProbeAck:
+      f.max = get_f64(bytes, off);
+      break;
+    case MsgId::kTreeValue:
+    case MsgId::kFinal:
+      get_stats(bytes, off, f);
+      break;
+    case MsgId::kTreeAck:
+      f.ver = get_u32(bytes, off);
+      break;
+    case MsgId::kRootExchange:
+      f.a = get_u32(bytes, off);
+      [[fallthrough]];
+    case MsgId::kRootAck: {
+      f.n_roots = get_u8(bytes, off);
+      for (std::size_t i = 0; i < entries; ++i) {
+        RootEntry& e = f.roots[i];
+        e.root = get_u32(bytes, off);
+        e.ver = get_u32(bytes, off);
+        e.count = get_u64(bytes, off);
+        e.max = get_f64(bytes, off);
+        e.min = get_f64(bytes, off);
+        e.sum = get_f64(bytes, off);
+      }
+      break;
+    }
+  }
+  out = f;
+  return DecodeError::kOk;
+}
+
+}  // namespace drrg::net

@@ -1,0 +1,159 @@
+#pragma once
+// The versioned POD wire format for envelopes crossing a real transport.
+//
+// Frames are explicit little-endian byte layouts (no struct punning: the
+// encoder writes bytes, the decoder reads bytes, so the format is
+// identical across compilers and architectures).  Every frame starts
+// with a fixed 20-byte header
+//
+//   magic   u32  'D''R''R''G' (0x47525244 read back as LE u32)
+//   version u16  kWireVersion
+//   id      u16  MsgId
+//   src     u32  sending node id
+//   dst     u32  intended recipient node id
+//   seq     u32  per-sender sequence number (acks echo it)
+//
+// followed by a payload whose layout -- and exact length -- is fixed by
+// the message id (the two table-carrying messages declare an entry count
+// whose bound is part of the format).  decode_frame() is strict: a frame
+// that is truncated, oversized, version-skewed, count-overflowing or
+// garbage is rejected with a typed DecodeError and zero undefined
+// behavior, which the wire-codec property tests (and the ASan+UBSan CI
+// job they run under) pin.
+//
+// Message vocabulary (libgossip frames SYNC/ACK1/ACK2 the same way:
+// one id byte dispatching onto a fixed serialization per id):
+//
+//   bootstrap + membership      kHello/kHelloAck, kPing/kPong,
+//                               kMemberGossip
+//   Phase I (DRR forest)        kProbe/kProbeAck, kConnect/kConnectAck
+//   Phase II (convergecast)     kTreeValue/kTreeAck
+//   Phase III (root gossip)     kRootExchange/kRootAck
+//   result spread               kFinal/kFinalAck
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace drrg::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x47525244u;  // "DRRG" as LE bytes
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+
+/// Hard bounds of the two variable-count payloads: part of the format,
+/// chosen so every frame fits one un-fragmented localhost datagram.
+inline constexpr std::size_t kMaxMemberEntries = 16;
+inline constexpr std::size_t kMaxRootEntries = 24;
+
+enum class MsgId : std::uint16_t {
+  kHello = 1,         ///< bootstrap announce: here I am, on this port
+  kHelloAck = 2,      ///< bootstrap ack
+  kPing = 3,          ///< liveness probe (nonce echoed by kPong)
+  kPong = 4,
+  kMemberGossip = 5,  ///< membership digest push (merged, not acked)
+  kProbe = 6,         ///< DRR rank probe
+  kProbeAck = 7,      ///< carries the responder's rank
+  kConnect = 8,       ///< DRR child -> parent connection request
+  kConnectAck = 9,
+  kTreeValue = 10,    ///< convergecast: child's current subtree stats
+  kTreeAck = 11,
+  kRootExchange = 12,  ///< Phase III: root table push (relayed up-tree)
+  kRootAck = 13,       ///< responding root's table (anti-entropy pull)
+  kFinal = 14,         ///< folded result, spread root -> tree
+  kFinalAck = 15,
+};
+
+/// All ids, for enumeration in tests.
+inline constexpr MsgId kAllMsgIds[] = {
+    MsgId::kHello,     MsgId::kHelloAck,   MsgId::kPing,         MsgId::kPong,
+    MsgId::kMemberGossip, MsgId::kProbe,   MsgId::kProbeAck,     MsgId::kConnect,
+    MsgId::kConnectAck, MsgId::kTreeValue, MsgId::kTreeAck,      MsgId::kRootExchange,
+    MsgId::kRootAck,   MsgId::kFinal,      MsgId::kFinalAck,
+};
+
+[[nodiscard]] std::string_view to_string(MsgId id) noexcept;
+
+/// Membership digest entry (9 wire bytes: node u32, state u8, heartbeat
+/// u32).  States follow the lissandra stage machine collapsed to the
+/// three that cross the wire.
+enum class PeerState : std::uint8_t { kAlive = 0, kSuspect = 1, kDead = 2 };
+
+struct MemberEntry {
+  std::uint32_t node = 0;
+  PeerState state = PeerState::kAlive;
+  std::uint32_t heartbeat = 0;
+
+  bool operator==(const MemberEntry&) const = default;
+};
+
+/// One root's contribution to the Phase III table (40 wire bytes).
+/// `ver` is bumped by the owning root whenever its subtree stats change
+/// (a late convergecast arrival), so table merges are last-writer-wins
+/// per root with a total order.
+struct RootEntry {
+  std::uint32_t root = 0;
+  std::uint32_t ver = 0;
+  std::uint64_t count = 0;  ///< participating nodes in the subtree
+  double max = 0.0;
+  double min = 0.0;
+  double sum = 0.0;
+
+  bool operator==(const RootEntry&) const = default;
+};
+
+/// Decoded envelope: header plus the flat union of per-id payload
+/// fields (only the subset the id defines is encoded / decoded; the
+/// rest stay zero).  Kept flat rather than a variant so the frame is a
+/// POD the state machines can stack-allocate and memcmp in tests.
+struct Frame {
+  MsgId id = MsgId::kHello;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t seq = 0;
+
+  std::uint32_t a = 0;      ///< kHello: udp port; kProbe: attempt idx;
+                            ///< kRootExchange: relay TTL
+  std::uint64_t nonce = 0;  ///< kPing/kPong
+  double max = 0.0;         ///< kTreeValue/kFinal subtree stats
+  double min = 0.0;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  std::uint32_t ver = 0;    ///< kTreeValue: sender's subtree version
+
+  std::uint8_t n_members = 0;  ///< kMemberGossip entry count
+  std::array<MemberEntry, kMaxMemberEntries> members{};
+  std::uint8_t n_roots = 0;  ///< kRootExchange/kRootAck entry count
+  std::array<RootEntry, kMaxRootEntries> roots{};
+
+  bool operator==(const Frame&) const = default;
+};
+
+enum class DecodeError : std::uint8_t {
+  kOk = 0,
+  kTooShort,      ///< shorter than the fixed header
+  kBadMagic,
+  kBadVersion,
+  kUnknownId,
+  kTruncated,     ///< payload shorter than the id requires
+  kOversized,     ///< trailing bytes after the id's payload
+  kCountOverflow, ///< declared entry count exceeds the format bound
+};
+
+[[nodiscard]] std::string_view to_string(DecodeError err) noexcept;
+
+/// Exact wire size of `frame` (header + its id's payload).
+[[nodiscard]] std::size_t encoded_size(const Frame& frame) noexcept;
+
+/// Appends the frame's wire bytes to `out`.  Entry counts beyond the
+/// format bounds are clamped (the caller chunks tables instead).
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out);
+
+/// Strict decode: returns kOk and fills `out` only when `bytes` is
+/// exactly one well-formed frame.  Never reads out of bounds and never
+/// invokes UB on arbitrary input.
+[[nodiscard]] DecodeError decode_frame(std::span<const std::uint8_t> bytes, Frame& out);
+
+}  // namespace drrg::net

@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
-"""Engine ops-counter golden check.
+"""Engine behavior golden check.
 
-Compares the bench_table1 rows of a freshly generated BENCH_engine.json
-against the committed goldens (tests/golden/bench_table1_ops.json).  The
-simulator is deterministic, so the per-(algo, n, topology) ops counters --
-rounds and messages -- must match *exactly*; any drift means an engine or
-protocol change altered simulated behavior, which a perf PR must not do.
+Compares a freshly generated BENCH_engine.json against the committed
+goldens (tests/golden/bench_table1_ops.json) on two axes:
+
+  * table1 rows: the simulator is deterministic, so the per-(algo, n,
+    topology) ops counters -- rounds and messages -- must match
+    *exactly*; any drift means an engine or protocol change altered
+    simulated behavior, which a perf PR must not do.
+  * engine_sweep rows: the full-report CSV sha256 per (topology, algo,
+    n, trials) must match, and the threads-1-vs-threads-4 determinism
+    bit must stay true.  This is the byte-identity pin for the whole
+    dense + sparse pipeline output, guarding e.g. transport refactors.
+
 Wall-clock fields are ignored (they are the point of the file, not a
 contract).
 
@@ -17,35 +24,38 @@ import json
 import sys
 
 
-def table1_rows(path):
-    rows = {}
+def golden_rows(path):
+    table1, sweeps = {}, {}
     with open(path) as f:
         for line in f:
             line = line.strip()
             if not line:
                 continue
             row = json.loads(line)
-            if row.get("bench") != "table1":
-                continue
-            key = (row["algo"], row["n"], row.get("topology", "complete"),
-                   row.get("churn", ""))
-            rows[key] = (row["rounds"], row["msgs"])
-    return rows
+            if row.get("bench") == "table1":
+                key = (row["algo"], row["n"], row.get("topology", "complete"),
+                       row.get("churn", ""))
+                table1[key] = (row["rounds"], row["msgs"])
+            elif row.get("bench") == "engine_sweep":
+                key = (row.get("topology", "complete"), row["algo"],
+                       row["n"], row["trials"])
+                sweeps[key] = (row["sha256"], row.get("deterministic", False))
+    return table1, sweeps
 
 
 def main():
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
-    fresh = table1_rows(sys.argv[1])
-    golden = table1_rows(sys.argv[2])
-    if not golden:
+    fresh_t1, fresh_sw = golden_rows(sys.argv[1])
+    golden_t1, golden_sw = golden_rows(sys.argv[2])
+    if not golden_t1:
         print(f"check_bench_goldens: no table1 rows in golden {sys.argv[2]}",
               file=sys.stderr)
         return 1
     failures = 0
-    for key, want in sorted(golden.items()):
-        got = fresh.get(key)
+    for key, want in sorted(golden_t1.items()):
+        got = fresh_t1.get(key)
         if got is None:
             print(f"MISSING  {key}: golden rounds={want[0]} msgs={want[1]}, "
                   "no fresh row")
@@ -54,11 +64,35 @@ def main():
             print(f"DRIFT    {key}: rounds {want[0]} -> {got[0]}, "
                   f"msgs {want[1]} -> {got[1]}")
             failures += 1
-    checked = len(golden)
+    # Sweep hashes: only keys present in both are comparable (the full
+    # baseline and the SMOKE matrix run different n/trials), but every
+    # golden sweep key the fresh run *does* cover must hash identically.
+    sweeps_checked = 0
+    for key, (want_sha, _) in sorted(golden_sw.items()):
+        got = fresh_sw.get(key)
+        if got is None:
+            continue
+        sweeps_checked += 1
+        got_sha, got_det = got
+        if got_sha != want_sha:
+            print(f"SWEEP-DRIFT {key}: sha256 {want_sha[:12]}... -> "
+                  f"{got_sha[:12]}...")
+            failures += 1
+        if not got_det:
+            print(f"NONDETERMINISTIC {key}: threads-1 vs threads-4 reports "
+                  "differ")
+            failures += 1
+    if golden_sw and not sweeps_checked:
+        print("check_bench_goldens: no fresh engine_sweep row matches any "
+              "golden sweep key", file=sys.stderr)
+        failures += 1
+    checked = len(golden_t1)
     if failures:
-        print(f"check_bench_goldens: {failures}/{checked} rows drifted")
+        print(f"check_bench_goldens: {failures} failures "
+              f"({checked} ops rows, {sweeps_checked} sweep hashes checked)")
         return 1
-    print(f"check_bench_goldens: all {checked} ops rows match")
+    print(f"check_bench_goldens: all {checked} ops rows and "
+          f"{sweeps_checked} sweep hashes match")
     return 0
 
 

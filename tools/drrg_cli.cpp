@@ -38,6 +38,9 @@ struct Options {
   unsigned intra_threads = 1;
   double diam_mult = 1.0;
   drrg::api::Pipeline pipeline = drrg::api::Pipeline::kDense;
+  drrg::api::Transport transport = drrg::api::Transport::kSim;
+  std::uint16_t bind_port = 0;
+  std::string seed_list;
   drrg::sim::TopologySpec topology{};
   std::vector<drrg::sim::CrashEvent> churn;
   std::string churn_text;
@@ -61,6 +64,7 @@ struct Options {
                "                [--topology P] [--degree D] [--threshold X]\n"
                "                [--trials T] [--threads W] [--intra-threads I]\n"
                "                [--diam-mult M] [--pipeline dense|sparse]\n"
+               "                [--transport sim|udp] [--bind-port P] [--seed-list L]\n"
                "                [--csv] [--json] [--list]\n"
                "  A: %s\n"
                "  G: %s\n"
@@ -73,24 +77,35 @@ struct Options {
                "      on explicit topologies (1 = default; 0 disables the whole\n"
                "      topology adaptation incl. the tree-member relay)\n"
                "  --pipeline sparse runs the paper's sparse pipeline (Local-DRR +\n"
-               "      routed root gossip) for --algo drr on an explicit --topology\n",
+               "      routed root gossip) for --algo drr on an explicit --topology\n"
+               "  --transport udp forks one drrg_node process per node and runs the\n"
+               "      pipeline over real 127.0.0.1 UDP sockets (drr only);\n"
+               "      --bind-port sets the first port (node v binds P + v, 0 probes\n"
+               "      for a free range), --seed-list pins explicit host:port,...\n"
+               "      addresses (position i = node i, loopback only)\n",
                algos.c_str(), aggs.c_str(), drrg::api::topology_names().c_str());
   std::exit(code);
 }
 
 /// Prints the algorithm x aggregate matrix straight from the registry.
 void list_matrix() {
-  std::printf("%-14s %-42s %s\n", "algorithm", "aggregates", "description");
-  std::printf("%-14s %-42s %s\n", "-------------",
-              "-----------------------------------------", "-----------");
+  std::printf("%-14s %-42s %-8s %s\n", "algorithm", "aggregates", "transports",
+              "description");
+  std::printf("%-14s %-42s %-8s %s\n", "-------------",
+              "-----------------------------------------", "--------", "-----------");
   for (const auto* a : drrg::api::Registry::instance().algorithms()) {
     std::string aggs;
     for (drrg::api::Aggregate g : a->aggregates) {
       if (!aggs.empty()) aggs += ' ';
       aggs += std::string{drrg::api::to_string(g)};
     }
-    std::printf("%-14s %-42s %s\n", a->name.c_str(), aggs.c_str(),
-                a->description.c_str());
+    std::string transports;
+    for (drrg::api::Transport t : a->transports) {
+      if (!transports.empty()) transports += ' ';
+      transports += std::string{drrg::api::to_string(t)};
+    }
+    std::printf("%-14s %-42s %-8s %s\n", a->name.c_str(), aggs.c_str(),
+                transports.c_str(), a->description.c_str());
   }
 }
 
@@ -125,6 +140,17 @@ Options parse(int argc, char** argv) {
       }
       opt.pipeline = *pipeline;
     }
+    else if (arg == "--transport") {
+      const char* name = next("--transport");
+      const auto transport = drrg::api::transport_from_name(name);
+      if (!transport.has_value()) {
+        std::fprintf(stderr, "unknown transport: %s (want sim or udp)\n", name);
+        usage(2);
+      }
+      opt.transport = *transport;
+    }
+    else if (arg == "--bind-port") opt.bind_port = static_cast<std::uint16_t>(std::atoi(next("--bind-port")));
+    else if (arg == "--seed-list") opt.seed_list = next("--seed-list");
     else if (arg == "--degree") opt.topology.degree = static_cast<std::uint32_t>(std::atoi(next("--degree")));
     else if (arg == "--topology") {
       const char* name = next("--topology");
@@ -170,7 +196,7 @@ Options parse(int argc, char** argv) {
 
 void print_json(const Options& opt, const drrg::api::RunReport& r) {
   std::printf("{\"algo\":\"%s\",\"agg\":\"%s\",\"n\":%u,\"seed\":%llu,"
-              "\"pipeline\":\"%s\","
+              "\"pipeline\":\"%s\",\"transport\":\"%s\","
               "\"topology\":\"%s\",\"loss\":%.4f,\"crash\":%.4f,\"churn\":\"%s\","
               "\"value\":%.17g,\"truth\":%.17g,"
               "\"abs_error\":%.17g,\"rel_error\":%.17g,\"consensus\":%s,"
@@ -178,6 +204,7 @@ void print_json(const Options& opt, const drrg::api::RunReport& r) {
               r.algorithm.c_str(), std::string{drrg::api::to_string(r.aggregate)}.c_str(),
               r.n, static_cast<unsigned long long>(r.seed),
               std::string{drrg::api::to_string(opt.pipeline)}.c_str(),
+              std::string{drrg::api::to_string(opt.transport)}.c_str(),
               std::string{drrg::sim::to_string(opt.topology.kind)}.c_str(),
               opt.loss, opt.crash, opt.churn_text.c_str(),
               r.value, r.truth, r.abs_error(), r.rel_error(),
@@ -216,8 +243,14 @@ int main(int argc, char** argv) {
   spec.faults = sim::FaultSchedule{opt.loss, opt.crash, opt.churn};
   spec.topology = opt.topology;
   spec.pipeline = opt.pipeline;
+  spec.transport = opt.transport;
+  spec.udp_port_base = opt.bind_port;
+  spec.udp_seed_list = opt.seed_list;
   if (opt.pipeline != api::Pipeline::kDense && opt.algo != "drr")
     std::fprintf(stderr, "--pipeline only applies to --algo drr (ignored)\n");
+  if (opt.transport == api::Transport::kSim &&
+      (opt.bind_port != 0 || !opt.seed_list.empty()))
+    std::fprintf(stderr, "--bind-port/--seed-list only apply to --transport udp (ignored)\n");
   spec.rank_threshold = opt.rank_threshold;
   spec.intra_threads = opt.intra_threads;
   if (opt.diam_mult != 1.0) {
@@ -240,9 +273,10 @@ int main(int argc, char** argv) {
     std::printf(
         "algo,agg,n,seed,topology,loss,crash,churn,value,truth,consensus,messages,rounds\n");
   } else if (!opt.json) {
-    std::printf("%s%s / %s on n = %u, %s (loss %.3f, crash %.3f%s%s, %d trial%s, %u thread%s)\n",
+    std::printf("%s%s%s / %s on n = %u, %s (loss %.3f, crash %.3f%s%s, %d trial%s, %u thread%s)\n",
                 opt.algo.c_str(),
                 opt.pipeline == api::Pipeline::kSparse ? " [sparse]" : "",
+                opt.transport == api::Transport::kUdp ? " [udp]" : "",
                 opt.agg.c_str(), opt.n,
                 std::string{sim::to_string(opt.topology.kind)}.c_str(), opt.loss,
                 opt.crash, opt.churn_text.empty() ? "" : ", churn ",

@@ -1,0 +1,133 @@
+// drrg_node -- one protocol node as one OS process.
+//
+// Runs the full DRR-gossip pipeline (Phase I DRR forest construction,
+// Phase II convergecast, Phase III root gossip) over real UDP sockets on
+// localhost, against n - 1 sibling processes started the same way:
+//
+//   for v in $(seq 0 63); do
+//     drrg_node --id $v --n 64 --seed 42 --crash 0.15 --port-base 29600 &
+//   done; wait
+//
+// Every process derives the workload, its DRR rank stream and the fault
+// schedule from (--seed, --n, fault flags) alone -- the same pure
+// functions the simulator evaluates -- so the cluster needs no
+// coordinator and its survivor consensus is comparable to a simulated
+// run field by field (bit-exact on --agg max/min over the same fault
+// schedule).
+//
+// The process prints one JSON report line to stdout and exits 0 when it
+// produced a final value (or was crashed by the schedule -- that is the
+// experiment working, not failing), 1 otherwise.  --deadline-ms bounds
+// the whole run: a wedged cluster degrades into failed reports, never
+// hung processes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "api/scenario_text.hpp"
+#include "net/node.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: drrg_node --id V --n N [--seed S] [--loss D] [--crash F]\n"
+               "                 [--churn R:F[,R:F...]] [--agg max|min|ave|sum|count]\n"
+               "                 [--port-base P] [--bind-port P] [--seed-list L]\n"
+               "                 [--deadline-ms MS] [--quiet]\n"
+               "  --id          this process's node id in [0, n)\n"
+               "  --port-base   node v listens on 127.0.0.1:(P + v) (default 29600)\n"
+               "  --bind-port   explicit own port (overrides --port-base for this node)\n"
+               "  --seed-list   host:port,host:port,... with position i = node i\n"
+               "                (overrides --port-base for the whole address table)\n"
+               "  --agg         selects which aggregate the report's 'value' field\n"
+               "                renders; the pipeline always computes all of them\n"
+               "  --quiet       suppress the report line (exit status only)\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace drrg;
+  net::NodeOptions opt;
+  bool have_id = false;
+  bool quiet = false;
+  std::string agg = "max";
+  double loss = 0.0;
+  double crash = 0.0;
+  std::vector<sim::CrashEvent> churn;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--id") { opt.node = static_cast<std::uint32_t>(std::atoll(next("--id"))); have_id = true; }
+    else if (arg == "--n") opt.n = static_cast<std::uint32_t>(std::atoll(next("--n")));
+    else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    else if (arg == "--loss") loss = std::atof(next("--loss"));
+    else if (arg == "--crash") crash = std::atof(next("--crash"));
+    else if (arg == "--churn") {
+      const auto parsed = api::parse_churn(next("--churn"));
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "malformed churn schedule (want R:F[,R:F...])\n");
+        usage(2);
+      }
+      churn = *parsed;
+    }
+    else if (arg == "--agg") agg = next("--agg");
+    else if (arg == "--port-base") opt.port_base = static_cast<std::uint16_t>(std::atoi(next("--port-base")));
+    else if (arg == "--bind-port") opt.bind_port = static_cast<std::uint16_t>(std::atoi(next("--bind-port")));
+    else if (arg == "--seed-list") {
+      const auto seeds = net::parse_seed_list(next("--seed-list"));
+      if (!seeds.has_value()) {
+        std::fprintf(stderr, "malformed seed list (want host:port,host:port,...)\n");
+        usage(2);
+      }
+      opt.seed_list = *seeds;
+    }
+    else if (arg == "--deadline-ms") opt.deadline_ms = std::atoll(next("--deadline-ms"));
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help" || arg == "-h") usage(0);
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (!have_id || opt.n < 2 || opt.node >= opt.n) {
+    std::fprintf(stderr, "--id and --n are required, with id < n and n >= 2\n");
+    usage(2);
+  }
+  if (agg != "max" && agg != "min" && agg != "ave" && agg != "sum" && agg != "count") {
+    std::fprintf(stderr, "unknown aggregate: %s (want max|min|ave|sum|count)\n",
+                 agg.c_str());
+    usage(2);
+  }
+  opt.faults = sim::FaultSchedule{loss, crash, churn};
+
+  const net::NodeReport report = net::run_node(opt);
+  if (!quiet) {
+    double value = 0.0;
+    if (agg == "max") value = report.max;
+    else if (agg == "min") value = report.min;
+    else if (agg == "sum") value = report.sum;
+    else if (agg == "count") value = static_cast<double>(report.count);
+    else if (report.count != 0) value = report.sum / static_cast<double>(report.count);
+    // The full report, plus the selected aggregate rendered for shell
+    // one-liners that only want one number.
+    std::string json = net::report_json(report);
+    char extra[64];
+    std::snprintf(extra, sizeof(extra), ",\"agg\":\"%s\",\"value\":%.17g}", agg.c_str(),
+                  value);
+    json.replace(json.size() - 1, 1, extra);
+    std::printf("%s\n", json.c_str());
+  }
+  return (report.ok || report.scheduled_crash) ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Multi-process smoke: N drrg_node processes on localhost (real UDP
+# sockets, one process per protocol node) must reach the same survivor
+# consensus as the lockstep simulator on the same (seed, fault schedule)
+# -- bit-exact on the max aggregate, which both worlds compute exactly.
+#
+#   tools/udp_smoke.sh [build-dir]
+#
+# Knobs (env): N=64 SEED=42 CRASH=0.15 LOSS=0 PORT (default: derived
+# from the pid), DEADLINE_MS=30000.  Every node self-bounds at
+# DEADLINE_MS and each process is additionally wrapped in `timeout`, so
+# a wedged cluster fails the script instead of hanging CI.
+set -euo pipefail
+
+BUILD="${1:-build}"
+N="${N:-64}"
+SEED="${SEED:-42}"
+CRASH="${CRASH:-0.15}"
+LOSS="${LOSS:-0}"
+PORT="${PORT:-$((21000 + ($$ % 2000) * 16 % 30000))}"
+DEADLINE_MS="${DEADLINE_MS:-30000}"
+HARD_S="$((DEADLINE_MS / 1000 + 30))"
+
+for bin in drrg_node drrg_cli; do
+  if [[ ! -x "$BUILD/$bin" ]]; then
+    echo "udp_smoke: $BUILD/$bin not built" >&2
+    exit 2
+  fi
+done
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+echo "udp_smoke: simulator reference (n=$N seed=$SEED crash=$CRASH loss=$LOSS)"
+"$BUILD/drrg_cli" --algo drr --agg max --n "$N" --seed "$SEED" \
+  --crash "$CRASH" --loss "$LOSS" --json > "$out/sim.json"
+
+echo "udp_smoke: launching $N drrg_node processes on 127.0.0.1:$PORT+"
+for ((v = 0; v < N; ++v)); do
+  timeout -k 5 "$HARD_S" "$BUILD/drrg_node" \
+    --id "$v" --n "$N" --seed "$SEED" --crash "$CRASH" --loss "$LOSS" \
+    --agg max --port-base "$PORT" --deadline-ms "$DEADLINE_MS" \
+    > "$out/node_$v.json" 2> "$out/node_$v.err" &
+done
+wait || true
+
+python3 - "$out" "$N" <<'EOF'
+import json, sys, glob, os
+
+out, n = sys.argv[1], int(sys.argv[2])
+sim = json.load(open(os.path.join(out, "sim.json")))
+expected = sim["value"]
+assert sim["consensus"], "simulator reference run did not reach consensus"
+
+survivors, crashed, bad = 0, 0, []
+for v in range(n):
+    path = os.path.join(out, f"node_{v}.json")
+    try:
+        rep = json.loads(open(path).read().strip())
+    except Exception as e:
+        bad.append((v, f"unreadable report: {e}"))
+        continue
+    if rep.get("crashed"):
+        crashed += 1
+        continue
+    survivors += 1
+    if not rep.get("ok"):
+        bad.append((v, f"not ok: {rep.get('error', '?')}"))
+    elif rep["value"] != expected:
+        bad.append((v, f"value {rep['value']!r} != simulator {expected!r}"))
+
+print(f"udp_smoke: {survivors} survivors, {crashed} scheduled crashes")
+if bad:
+    for v, why in bad[:10]:
+        print(f"udp_smoke: node {v}: {why}", file=sys.stderr)
+    sys.exit(1)
+assert survivors > 0, "no survivors reported"
+print(f"udp_smoke: PASS -- all {survivors} survivors agree with the simulator "
+      f"(max = {expected!r})")
+EOF
