@@ -13,44 +13,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <atomic>
-#include <cstdlib>
 #include <limits>
-#include <new>
 #include <string>
 
 #include "api/registry.hpp"
 #include "bench_common.hpp"
-
-namespace {
-
-std::atomic<std::uint64_t> g_allocs{0};
-
-}  // namespace
-
-// Counting replacement of the global allocator (this binary only).  GCC
-// flags malloc-backed operator new paired with free() as a mismatch even
-// though that pairing is exactly what the replacement defines; silence it
-// for these definitions only.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+#include "support/alloc_counter.hpp"
 
 namespace drrg {
 namespace {
@@ -86,9 +54,9 @@ void engine_case(benchmark::State& state, const std::string& algorithm,
   double msgs = 0.0;
   std::uint64_t allocs = std::numeric_limits<std::uint64_t>::max();
   for (auto _ : state) {
-    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const std::uint64_t a0 = support::alloc_count();
     const api::RunReport r = api::run(algorithm, spec);
-    allocs = std::min(allocs, g_allocs.load(std::memory_order_relaxed) - a0);
+    allocs = std::min(allocs, support::alloc_count() - a0);
     if (!r.ok()) {
       state.SkipWithError(r.error.c_str());
       break;  // SkipWithError requires leaving the KeepRunning loop

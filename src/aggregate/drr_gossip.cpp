@@ -8,12 +8,29 @@
 #include "rootgossip/ordered_key.hpp"
 #include "support/mathutil.hpp"
 #include "support/rng.hpp"
+#include "support/scratch.hpp"
 
 namespace drrg {
 
 namespace {
 
 constexpr double kAgreeTolerance = 1e-9;  // relative, consensus checks
+
+// Pooled payload-staging slots (support/scratch.hpp); tags 10+ keep these
+// disjoint from the sparse pipeline's slots.  Contents are fully rewritten
+// by assign() before every use.
+enum ScratchTag : int {
+  kScratchAddrPayload = 10,
+  kScratchValuePayload,
+  kScratchWork,
+  kScratchKeys,
+  kScratchRootValue,
+  kScratchSizeKeys,
+  kScratchNum0,
+  kScratchDen0,
+  kScratchSpreadInit,
+  kScratchDerivedValues,
+};
 
 /// Phase III round-budget scale for the scenario's substrate: 1.0 on the
 /// complete topology and on overlays whose diameter is within the O(log n)
@@ -51,7 +68,9 @@ Phase12 run_phase12(std::uint32_t n, std::span<const double> values,
   // III traffic to its root.  (Protocol-level forwarding reads the forest
   // structure, which this acknowledged broadcast provably distributed --
   // see DESIGN.md.)
-  std::vector<double> addr_payload(n, 0.0);
+  std::vector<double>& addr_payload =
+      support::scratch_buffer<double, kScratchAddrPayload>();
+  addr_payload.assign(n, 0.0);
   for (NodeId r : p.drr.forest.roots()) addr_payload[r] = static_cast<double>(r);
   BroadcastConfig addr_cfg = config.broadcast;
   addr_cfg.stream_tag = derive_seed(addr_cfg.stream_tag, 1);
@@ -102,7 +121,9 @@ void finish(const Forest& forest, std::span<const double> root_value,
   if (config.broadcast_result) {
     BroadcastConfig value_cfg = config.broadcast;
     value_cfg.stream_tag = derive_seed(value_cfg.stream_tag, 2);
-    std::vector<double> payload(root_value.begin(), root_value.end());
+    std::vector<double>& payload =
+        support::scratch_buffer<double, kScratchValuePayload>();
+    payload.assign(root_value.begin(), root_value.end());
     const BroadcastResult bc = run_broadcast(
         forest, payload, rngs,
         scenario.at_round(scenario.start_round + out.rounds_total), value_cfg);
@@ -119,7 +140,8 @@ AggregateOutcome max_pipeline(std::uint32_t n, std::span<const double> values,
                               const DrrGossipConfig& config, bool negate) {
   if (values.size() < n) throw std::invalid_argument("drr_gossip: values too short");
   RngFactory rngs{seed};
-  std::vector<double> work(values.begin(), values.begin() + n);
+  std::vector<double>& work = support::scratch_buffer<double, kScratchWork>();
+  work.assign(values.begin(), values.begin() + n);
   if (negate)
     for (double& v : work) v = -v;
 
@@ -134,7 +156,9 @@ AggregateOutcome max_pipeline(std::uint32_t n, std::span<const double> values,
   out.rounds_total = p.drr.rounds + p.cc.rounds + p.addr.rounds;
 
   // Phase III: gossip the per-tree maxima among the roots.
-  std::vector<std::uint64_t> keys(n, kKeyBottom);
+  std::vector<std::uint64_t>& keys =
+      support::scratch_buffer<std::uint64_t, kScratchKeys>();
+  keys.assign(n, kKeyBottom);
   for (NodeId r : forest.roots()) keys[r] = encode_ordered(p.cc.aggregate[r]);
   GossipMaxConfig gm_cfg = config.gossip_max;
   gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 3);
@@ -145,7 +169,9 @@ AggregateOutcome max_pipeline(std::uint32_t n, std::span<const double> values,
   out.metrics.gossip = gm.counters;
   out.rounds_total += gm.rounds;
 
-  std::vector<double> root_value(n, 0.0);
+  std::vector<double>& root_value =
+      support::scratch_buffer<double, kScratchRootValue>();
+  root_value.assign(n, 0.0);
   for (NodeId r : forest.roots()) {
     root_value[r] = decode_ordered(gm.key[r]);
     if (negate) root_value[r] = -root_value[r];
@@ -176,7 +202,9 @@ AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
 
   // Phase III(a): Gossip-max on (tree size, id) keys elects the root of
   // the largest tree; each root then *locally* knows whether it is z.
-  std::vector<std::uint64_t> size_keys(n, kKeyBottom);
+  std::vector<std::uint64_t>& size_keys =
+      support::scratch_buffer<std::uint64_t, kScratchSizeKeys>();
+  size_keys.assign(n, kKeyBottom);
   for (NodeId r : forest.roots()) {
     // Tree sizes here come from Convergecast-sum (covsum(*, 2)), exactly
     // as Algorithm 8 prescribes -- not from global forest knowledge.
@@ -196,7 +224,10 @@ AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
 
   // Phase III(b): push-sum on (local sum, tree size) -- or, for Sum/Count,
   // (local sum, indicator of believing to be z).
-  std::vector<double> num0(n, 0.0), den0(n, 0.0);
+  std::vector<double>& num0 = support::scratch_buffer<double, kScratchNum0>();
+  std::vector<double>& den0 = support::scratch_buffer<double, kScratchDen0>();
+  num0.assign(n, 0.0);
+  den0.assign(n, 0.0);
   for (NodeId r : forest.roots()) {
     num0[r] = p.cc.aggregate[r];
     if (sum_mode) {
@@ -218,7 +249,9 @@ AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
 
   // Phase III(c): data-spread from every root that believes it is z (whp
   // exactly one).  The spread key carries that root's estimate.
-  std::vector<std::uint64_t> spread_init(n, kKeyBottom);
+  std::vector<std::uint64_t>& spread_init =
+      support::scratch_buffer<std::uint64_t, kScratchSpreadInit>();
+  spread_init.assign(n, kKeyBottom);
   for (NodeId r : forest.roots()) {
     if (election.key[r] == size_keys[r] && ps.den[r] > 0.0)
       spread_init[r] = encode_ordered(ps.num[r] / ps.den[r]);
@@ -233,7 +266,9 @@ AggregateOutcome ave_pipeline(std::uint32_t n, std::span<const double> values,
   out.metrics.spread = spread.counters;
   out.rounds_total += spread.rounds;
 
-  std::vector<double> root_value(n, 0.0);
+  std::vector<double>& root_value =
+      support::scratch_buffer<double, kScratchRootValue>();
+  root_value.assign(n, 0.0);
   for (NodeId r : forest.roots())
     root_value[r] = spread.key[r] == kKeyBottom ? 0.0 : decode_ordered(spread.key[r]);
   finish(forest, root_value, rngs, scenario, config, out);
@@ -269,7 +304,8 @@ AggregateOutcome drr_gossip_sum(std::uint32_t n, std::span<const double> values,
 
 AggregateOutcome drr_gossip_count(std::uint32_t n, std::uint64_t seed,
                                   const sim::Scenario& scenario, const DrrGossipConfig& config) {
-  std::vector<double> ones(n, 1.0);
+  std::vector<double>& ones = support::scratch_buffer<double, kScratchDerivedValues>();
+  ones.assign(n, 1.0);
   return ave_pipeline(n, ones, seed, scenario, config, /*sum_mode=*/true);
 }
 
@@ -277,7 +313,9 @@ AggregateOutcome drr_gossip_rank(std::uint32_t n, std::span<const double> values
                                  double x, std::uint64_t seed, const sim::Scenario& scenario,
                                  const DrrGossipConfig& config) {
   if (values.size() < n) throw std::invalid_argument("drr_gossip_rank: values too short");
-  std::vector<double> indicator(n, 0.0);
+  std::vector<double>& indicator =
+      support::scratch_buffer<double, kScratchDerivedValues>();
+  indicator.assign(n, 0.0);
   for (std::uint32_t v = 0; v < n; ++v) indicator[v] = values[v] < x ? 1.0 : 0.0;
   return ave_pipeline(n, indicator, seed, scenario, config, /*sum_mode=*/true);
 }

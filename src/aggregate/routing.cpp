@@ -1,5 +1,6 @@
 #include "aggregate/routing.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "support/mathutil.hpp"
@@ -39,6 +40,7 @@ RouteState SparseRouter::begin_random(NodeId src, Rng& rng) const {
     st.mode = RouteState::Mode::kChordRoute;
     st.target = rng.next_below(chord_->ring_size());
     st.steps = static_cast<std::uint32_t>(rng.next_below(chord_->smear_width()));
+    st.owner = chord_->owner_of_key(st.target);
     return st;
   }
   if (cols_ != 0) {
@@ -58,6 +60,7 @@ RouteState SparseRouter::begin_directed(NodeId dst) const {
     // Greedy routing on dst's own ring id lands exactly on dst.
     st.mode = RouteState::Mode::kChordRoute;
     st.target = chord_->id_of(dst);
+    st.owner = dst;
     return st;
   }
   if (cols_ != 0) {
@@ -85,11 +88,14 @@ namespace {
   return s;
 }
 
-/// The alive node owning `key` on the stabilized ring: the static owner,
-/// or its first alive successor when the owner crashed.
-[[nodiscard]] NodeId owner_live(const ChordOverlay& chord, std::uint64_t key,
+/// The alive node owning the route's key on the stabilized ring: the
+/// cached static owner, or its first alive successor when the owner
+/// crashed.  Starting from RouteState::owner instead of re-running
+/// owner_of_key keeps the per-hop path free of binary searches while
+/// walking the exact successor chain the recomputation would.
+[[nodiscard]] NodeId owner_live(const ChordOverlay& chord, NodeId static_owner,
                                 const LivenessView& alive) {
-  NodeId o = chord.owner_of_key(key);
+  NodeId o = static_owner;
   for (std::uint32_t guard = 0; guard < chord.size() && !alive(o); ++guard)
     o = chord.successor(o);
   return o;
@@ -97,34 +103,111 @@ namespace {
 
 /// Greedy Chord step on the stabilized overlay: the closest preceding
 /// *alive* finger, else the alive successor chain.  Reduces to the static
-/// ChordOverlay::next_hop when everyone is alive.
+/// greedy step when everyone is alive.
 [[nodiscard]] NodeId chord_next_hop_live(const ChordOverlay& chord, NodeId v,
-                                         std::uint64_t key, const LivenessView& alive) {
-  if (owner_live(chord, key, alive) == v) return v;
+                                         const RouteState& state,
+                                         const LivenessView& alive) {
+  if (owner_live(chord, state.owner, alive) == v) return v;
   const std::uint64_t ring = chord.ring_size();
-  const std::uint64_t dv = ring_dist(chord.id_of(v), key, ring);
+  const std::uint64_t dv = ring_dist(chord.id_of(v), state.target, ring);
   for (std::uint32_t k = chord.ring_bits(); k-- > 0;) {
     const NodeId c = chord.finger(v, k);
     if (c == v || !alive(c)) continue;
-    const std::uint64_t dc = ring_dist(chord.id_of(c), key, ring);
+    const std::uint64_t dc = ring_dist(chord.id_of(c), state.target, ring);
     if (dc < dv) return c;  // fingers are scanned longest-jump first
   }
   return successor_live(chord, v, alive);
 }
 
+/// Crash-free greedy Chord step: binary search for the largest k with
+/// finger distance <= dv over the precomputed non-decreasing row.  For a
+/// finger c != v, ring_dist(id_c, key) < dv  <=>  ring_dist(id_v, id_c)
+/// <= dv (subtracting the finger offset modulo the ring), and self-fingers
+/// are stored as the full ring, so the search selects exactly the finger
+/// the longest-jump-first liveness scan would with everyone alive.
+[[nodiscard]] NodeId chord_next_hop_fast(const ChordOverlay& chord, NodeId v,
+                                         std::uint64_t key) noexcept {
+  const std::uint64_t dv = ring_dist(chord.id_of(v), key, chord.ring_size());
+  const std::uint64_t* fd = chord.finger_dist_row(v);
+  std::uint32_t lo = 0, hi = chord.ring_bits();
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (fd[mid] <= dv) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo > 0 ? chord.finger_row(v)[lo - 1] : chord.successor(v);
+}
+
+/// One coordinate-routing step toward node id `target` (row first, then
+/// column).  Torus wraps take the shorter direction, and an exact tie
+/// (possible for any even dimension: down == rows - down at the antipode)
+/// deterministically goes forward -- the <= below is load-bearing for the
+/// pinned determinism sweeps.
+[[nodiscard]] NodeId grid_step(NodeId at, std::uint32_t target, std::uint32_t rows,
+                               std::uint32_t cols, bool torus) noexcept {
+  const std::uint32_t ar = at / cols, ac = at % cols;
+  const std::uint32_t tr = target / cols, tc = target % cols;
+  if (ar != tr) {
+    const std::uint32_t down = (tr + rows - ar) % rows;
+    const bool forward = !torus ? tr > ar : down <= rows - down;
+    const std::uint32_t nr = forward ? (ar + 1) % rows : (ar + rows - 1) % rows;
+    return nr * cols + ac;
+  }
+  const std::uint32_t right = (tc + cols - ac) % cols;
+  const bool forward = !torus ? tc > ac : right <= cols - right;
+  const std::uint32_t nc = forward ? (ac + 1) % cols : (ac + cols - 1) % cols;
+  return ar * cols + nc;
+}
+
 }  // namespace
 
-NodeId SparseRouter::next_hop(NodeId at, RouteState& state, Rng& rng,
-                              const LivenessView& alive) const {
+NodeId SparseRouter::next_hop_fast(NodeId at, RouteState& state) const noexcept {
   switch (state.mode) {
     case RouteState::Mode::kDone:
       return at;
     case RouteState::Mode::kChordRoute: {
-      const NodeId nh = chord_next_hop_live(*chord_, at, state.target, alive);
+      if (state.owner != at) return chord_next_hop_fast(*chord_, at, state.target);
+      state.mode =
+          state.steps > 0 ? RouteState::Mode::kChordSmear : RouteState::Mode::kDone;
+      return state.steps > 0 ? next_hop_fast(at, state) : at;
+    }
+    case RouteState::Mode::kChordSmear:
+      if (state.steps == 0) {
+        state.mode = RouteState::Mode::kDone;
+        return at;
+      }
+      --state.steps;
+      if (state.steps == 0) state.mode = RouteState::Mode::kDone;
+      return chord_->successor(at);
+    case RouteState::Mode::kGrid: {
+      const auto target = static_cast<std::uint32_t>(state.target);
+      if (target == at) {
+        state.mode = RouteState::Mode::kDone;
+        return at;
+      }
+      return grid_step(at, target, rows_, cols_, torus_);
+    }
+    case RouteState::Mode::kWalk:
+      assert(false && "kWalk draws randomness; route it through next_hop");
+      return at;
+  }
+  return at;
+}
+
+NodeId SparseRouter::next_hop_live(NodeId at, RouteState& state,
+                                   const LivenessView& alive) const {
+  switch (state.mode) {
+    case RouteState::Mode::kDone:
+      return at;
+    case RouteState::Mode::kChordRoute: {
+      const NodeId nh = chord_next_hop_live(*chord_, at, state, alive);
       if (nh != at) return nh;
       state.mode =
           state.steps > 0 ? RouteState::Mode::kChordSmear : RouteState::Mode::kDone;
-      return state.steps > 0 ? next_hop(at, state, rng, alive) : at;
+      return state.steps > 0 ? next_hop_live(at, state, alive) : at;
     }
     case RouteState::Mode::kChordSmear:
       if (state.steps == 0) {
@@ -140,33 +223,28 @@ NodeId SparseRouter::next_hop(NodeId at, RouteState& state, Rng& rng,
         state.mode = RouteState::Mode::kDone;
         return at;
       }
-      const std::uint32_t ar = at / cols_, ac = at % cols_;
-      const std::uint32_t tr = target / cols_, tc = target % cols_;
-      // Row first, then column; torus wraps take the shorter direction,
-      // and an exact tie (possible for any even dimension: down ==
-      // rows - down at the antipode) deterministically goes forward --
-      // the <= below is load-bearing for the pinned determinism sweeps.
-      if (ar != tr) {
-        const std::uint32_t down = (tr + rows_ - ar) % rows_;
-        const bool forward = !torus_ ? tr > ar : down <= rows_ - down;
-        const std::uint32_t nr = forward ? (ar + 1) % rows_ : (ar + rows_ - 1) % rows_;
-        return nr * cols_ + ac;
-      }
-      const std::uint32_t right = (tc + cols_ - ac) % cols_;
-      const bool forward = !torus_ ? tc > ac : right <= cols_ - right;
-      const std::uint32_t nc = forward ? (ac + 1) % cols_ : (ac + cols_ - 1) % cols_;
-      return ar * cols_ + nc;
+      // Lattice hops are static: no detour story (see ROADMAP residuals).
+      return grid_step(at, target, rows_, cols_, torus_);
     }
     case RouteState::Mode::kWalk:
-      if (state.steps == 0) {
-        state.mode = RouteState::Mode::kDone;
-        return at;
-      }
-      --state.steps;
-      if (state.steps == 0) state.mode = RouteState::Mode::kDone;
-      return sampler_(at, rng);
+      assert(false && "kWalk draws randomness; route it through next_hop");
+      return at;
   }
   return at;
+}
+
+NodeId SparseRouter::next_hop(NodeId at, RouteState& state, Rng& rng,
+                              const LivenessView& alive) const {
+  if (state.mode == RouteState::Mode::kWalk) {
+    if (state.steps == 0) {
+      state.mode = RouteState::Mode::kDone;
+      return at;
+    }
+    --state.steps;
+    if (state.steps == 0) state.mode = RouteState::Mode::kDone;
+    return sampler_(at, rng);
+  }
+  return alive.fn == nullptr ? next_hop_fast(at, state) : next_hop_live(at, state, alive);
 }
 
 std::uint32_t SparseRouter::max_route_hops() const noexcept {

@@ -56,7 +56,13 @@ struct LivenessView {
   }
 };
 
-/// Per-message routing state (16 bytes, POD).
+/// Per-message routing state (24 bytes, POD).  `owner` caches the key's
+/// *static* owner, resolved once at begin_* time: owner_of_key is a pure
+/// function of the overlay, so hoisting its binary search off the per-hop
+/// path is observationally invisible (the stabilized liveness walk starts
+/// from the same static owner it always did).  The engine charges message
+/// size through the explicit `bits` argument of send(), never sizeof, so
+/// the wider state leaves every counter untouched.
 struct RouteState {
   enum class Mode : std::uint8_t {
     kDone,        ///< arrived: the current holder is the route's endpoint
@@ -67,6 +73,7 @@ struct RouteState {
   };
   std::uint64_t target = 0;
   std::uint32_t steps = 0;
+  NodeId owner = 0;  ///< static owner of `target` (kChordRoute only)
   Mode mode = Mode::kDone;
 };
 
@@ -97,6 +104,23 @@ class SparseRouter {
   /// then kDone).
   [[nodiscard]] NodeId next_hop(NodeId at, RouteState& state, Rng& rng,
                                 const LivenessView& alive = {}) const;
+
+  /// Crash-free fast hop for the keyed modes (kChordRoute / kChordSmear /
+  /// kGrid): no liveness oracle (the function-pointer detour logic is
+  /// compiled out, not just short-circuited), Chord finger selection by
+  /// binary search over the precomputed monotone finger-distance row, and
+  /// flat successor loads.  Step-for-step identical to next_hop under an
+  /// all-alive view -- the dispatch predicate is FaultSchedule::crash_free().
+  /// Precondition: state.mode != kWalk (walks draw per-hop randomness and
+  /// go through next_hop).
+  [[nodiscard]] NodeId next_hop_fast(NodeId at, RouteState& state) const noexcept;
+
+  /// Liveness-aware hop for the keyed modes: the stabilized-detour path of
+  /// next_hop without the unused Rng parameter, so forwarding a chord/grid
+  /// envelope does not touch the holder's RNG slot.  Precondition:
+  /// state.mode != kWalk.
+  [[nodiscard]] NodeId next_hop_live(NodeId at, RouteState& state,
+                                     const LivenessView& alive) const;
 
   /// Generous upper bound on the hops of any single route this router can
   /// emit (drain horizons are sized from it).

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -11,28 +10,47 @@
 #include "rootgossip/ordered_key.hpp"
 #include "sim/engine.hpp"
 #include "support/mathutil.hpp"
+#include "support/scratch.hpp"
 #include "trees/broadcast.hpp"
 #include "trees/convergecast.hpp"
 
 namespace drrg {
 
 Graph overlay_graph(const ChordOverlay& chord) {
-  std::set<std::pair<NodeId, NodeId>> edges;
+  // Flat collect + sort + unique: the same sorted duplicate-free edge list
+  // a std::set yields in O(n log n) node allocations, in O(1) allocations.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(chord.size()) * (chord.ring_bits() + 1));
   auto add = [&edges](NodeId a, NodeId b) {
     if (a == b) return;
-    edges.insert({std::min(a, b), std::max(a, b)});
+    edges.emplace_back(std::min(a, b), std::max(a, b));
   };
   for (NodeId v = 0; v < chord.size(); ++v) {
     add(v, chord.successor(v));
     for (std::uint32_t k = 0; k < chord.ring_bits(); ++k) add(v, chord.finger(v, k));
   }
-  return Graph::from_edges(chord.size(),
-                           std::vector<std::pair<NodeId, NodeId>>(edges.begin(), edges.end()));
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Graph::from_edges(chord.size(), edges);
 }
 
 namespace {
 
 constexpr double kAgreeTolerance = 1e-9;
+
+// Pooled payload-staging slots (support/scratch.hpp).  Distinct tags for
+// buffers whose lifetimes overlap within one pipeline run; contents are
+// fully rewritten by assign() before every use.
+enum ScratchTag : int {
+  kScratchAddrPayload,
+  kScratchValuePayload,
+  kScratchKeys,
+  kScratchRootValue,
+  kScratchNum0,
+  kScratchDen0,
+  kScratchSpreadKeys,
+  kScratchSpreadAux,
+};
 
 // ---------------------------------------------------------------------------
 // Phase III carriers.  A logical G~ send travels as one engine envelope
@@ -54,13 +72,28 @@ template <class Msg>
 /// Common hop step shared by both Phase III protocols.  Returns the root
 /// the message has arrived at (absorption point), or kNoNode when the
 /// message was forwarded (or stranded on a non-member).
+///
+/// `crash_free` selects the devirtualized fast hop (computed once per run
+/// from FaultSchedule::crash_free()): with every node alive for the whole
+/// run the stabilized detours are identities, so the keyed modes skip the
+/// LivenessView indirection entirely.  Keyed modes draw no per-hop
+/// randomness on either path, so the holder's RNG slot is only touched
+/// for walks -- lazily constructed streams are pure functions of
+/// (seed, node), making the elision observationally invisible.
 template <class Msg>
 [[nodiscard]] sim::NodeId route_or_climb(sim::Network<Msg>& net, const Forest& forest,
-                                         const SparseRouter& router, sim::NodeId x,
-                                         Msg&& m, std::uint32_t bits) {
+                                         const SparseRouter& router, bool crash_free,
+                                         sim::NodeId x, Msg&& m, std::uint32_t bits) {
   if (!m.climbing) {
     if (m.route.mode != RouteState::Mode::kDone) {
-      const NodeId nh = router.next_hop(x, m.route, net.node_rng(x), liveness_of(net));
+      NodeId nh;
+      if (m.route.mode == RouteState::Mode::kWalk) {
+        nh = router.next_hop(x, m.route, net.node_rng(x));
+      } else if (crash_free) {
+        nh = router.next_hop_fast(x, m.route);
+      } else {
+        nh = router.next_hop_live(x, m.route, liveness_of(net));
+      }
       if (nh != x) {
         net.send(x, nh, std::move(m), bits);
         return sim::kNoNode;
@@ -107,16 +140,18 @@ struct SparseGossipMaxProtocol {
   std::vector<std::uint64_t> key;
   std::vector<std::uint64_t> aux;  // adopted alongside a larger key
   std::uint32_t bits;
+  bool crash_free;
   Procedure procedure = Procedure::kIdle;
 
-  SparseGossipMaxProtocol(const Forest& f, const SparseRouter& r,
+  SparseGossipMaxProtocol(const Forest& f, const SparseRouter& r, bool crash_free_run,
                           std::span<const std::uint64_t> init,
                           std::span<const std::uint64_t> init_aux, std::uint32_t n)
       : forest(f),
         router(r),
         key(n, kKeyBottom),
         aux(n, 0),
-        bits((init_aux.empty() ? 64 : 2 * 64) + 2 * address_bits(n)) {
+        bits((init_aux.empty() ? 64 : 2 * 64) + 2 * address_bits(n)),
+        crash_free(crash_free_run) {
     for (NodeId root : f.roots()) {
       key[root] = init[root];
       if (!init_aux.empty()) aux[root] = init_aux[root];
@@ -147,7 +182,8 @@ struct SparseGossipMaxProtocol {
   }
 
   void hop(sim::Network<SgmMsg>& net, sim::NodeId x, SgmMsg&& m) {
-    const sim::NodeId at = route_or_climb(net, forest, router, x, std::move(m), bits);
+    const sim::NodeId at =
+        route_or_climb(net, forest, router, crash_free, x, std::move(m), bits);
     if (at == sim::kNoNode) return;
     switch (m.kind) {
       case SgmMsg::Kind::kGossip:
@@ -200,12 +236,18 @@ struct SparsePushSumProtocol {
   std::vector<double> num;
   std::vector<double> den;
   std::uint32_t bits;
+  bool crash_free;
   bool initiate = false;
 
-  SparsePushSumProtocol(const Forest& f, const SparseRouter& r,
+  SparsePushSumProtocol(const Forest& f, const SparseRouter& r, bool crash_free_run,
                         std::span<const double> num0, std::span<const double> den0,
                         std::uint32_t n)
-      : forest(f), router(r), num(n, 0.0), den(n, 0.0), bits(2 * 64 + address_bits(n)) {
+      : forest(f),
+        router(r),
+        num(n, 0.0),
+        den(n, 0.0),
+        bits(2 * 64 + address_bits(n)),
+        crash_free(crash_free_run) {
     for (NodeId root : f.roots()) {
       num[root] = num0[root];
       den[root] = den0[root];
@@ -232,7 +274,8 @@ struct SparsePushSumProtocol {
   }
 
   void hop(sim::Network<SpsMsg>& net, sim::NodeId x, SpsMsg&& m) {
-    const sim::NodeId at = route_or_climb(net, forest, router, x, std::move(m), bits);
+    const sim::NodeId at =
+        route_or_climb(net, forest, router, crash_free, x, std::move(m), bits);
     if (at == sim::kNoNode) return;
     num[at] += m.num;
     den[at] += m.den;
@@ -262,7 +305,8 @@ SparseGmResult run_sparse_gossip_max(std::uint32_t n, const SparseRouter& router
                                      const GossipMaxConfig& cfg,
                                      std::span<const std::uint64_t> init_aux = {}) {
   sim::Network<SgmMsg> net{n, rngs, scenario, derive_seed(0x59a2, cfg.stream_tag)};
-  SparseGossipMaxProtocol proto{forest, router, init, init_aux, n};
+  SparseGossipMaxProtocol proto{forest, router, scenario.faults.crash_free(), init,
+                                init_aux, n};
   const auto G = static_cast<std::uint32_t>(cfg.gossip_multiplier *
                                             static_cast<double>(ceil_log2(n)));
   const auto S = static_cast<std::uint32_t>(cfg.sampling_multiplier *
@@ -295,7 +339,8 @@ SparsePsResult run_sparse_push_sum(std::uint32_t n, const SparseRouter& router,
                                    std::span<const double> den0, const RngFactory& rngs,
                                    const sim::Scenario& scenario, const PushSumConfig& cfg) {
   sim::Network<SpsMsg> net{n, rngs, scenario, derive_seed(0x59b2, cfg.stream_tag)};
-  SparsePushSumProtocol proto{forest, router, num0, den0, n};
+  SparsePushSumProtocol proto{forest, router, scenario.faults.crash_free(), num0, den0,
+                              n};
   // Latency compensation: a share initiated now only re-mixes after its
   // ~typical_route_hops() round trip, so the O(log n) initiation window is
   // scaled by (1 + typical/log2 n) to preserve the number of completed
@@ -346,7 +391,9 @@ SparsePhase12 run_sparse_phase12(const Graph& links, std::span<const double> val
   p.cc = run_convergecast(p.drr.forest, values, op, rngs, scenario.at_round(clock),
                           config.convergecast);
   clock += p.cc.rounds;
-  std::vector<double> addr_payload(links.size(), 0.0);
+  std::vector<double>& addr_payload =
+      support::scratch_buffer<double, kScratchAddrPayload>();
+  addr_payload.assign(links.size(), 0.0);
   for (NodeId r : p.drr.forest.roots()) addr_payload[r] = static_cast<double>(r);
   BroadcastConfig addr_cfg = config.broadcast;
   addr_cfg.simultaneous_children = true;
@@ -375,7 +422,9 @@ void sparse_finish(std::uint32_t n, const Forest& forest,
     BroadcastConfig value_cfg = config.broadcast;
     value_cfg.simultaneous_children = true;
     value_cfg.stream_tag = derive_seed(value_cfg.stream_tag, 2);
-    std::vector<double> payload(root_value.begin(), root_value.end());
+    std::vector<double>& payload =
+        support::scratch_buffer<double, kScratchValuePayload>();
+    payload.assign(root_value.begin(), root_value.end());
     const BroadcastResult bc = run_broadcast(
         forest, payload, rngs,
         scenario.at_round(scenario.start_round + out.rounds_total), value_cfg);
@@ -450,7 +499,9 @@ AggregateOutcome sparse_max_pipeline(std::uint32_t n, const Graph& links,
   out.rounds_total = p.drr.rounds + p.cc.rounds + p.addr.rounds;
   if (forest.roots().empty()) return out;
 
-  std::vector<std::uint64_t> keys(n, kKeyBottom);
+  std::vector<std::uint64_t>& keys =
+      support::scratch_buffer<std::uint64_t, kScratchKeys>();
+  keys.assign(n, kKeyBottom);
   for (NodeId r : forest.roots()) keys[r] = encode_ordered(p.cc.aggregate[r]);
   GossipMaxConfig gm_cfg = config.gossip_max;
   gm_cfg.stream_tag = derive_seed(gm_cfg.stream_tag, 3);
@@ -459,7 +510,9 @@ AggregateOutcome sparse_max_pipeline(std::uint32_t n, const Graph& links,
   out.metrics.gossip = gm.counters;
   out.rounds_total += gm.rounds;
 
-  std::vector<double> root_value(n, 0.0);
+  std::vector<double>& root_value =
+      support::scratch_buffer<double, kScratchRootValue>();
+  root_value.assign(n, 0.0);
   for (NodeId r : forest.roots()) root_value[r] = decode_ordered(gm.key[r]);
   sparse_finish(n, forest, root_value, rngs, scenario, config, out);
   return out;
@@ -486,7 +539,10 @@ AggregateOutcome sparse_ave_pipeline(std::uint32_t n, const Graph& links,
   if (forest.roots().empty()) return out;
 
   // Phase III(a): push-sum on (local sum, tree size).
-  std::vector<double> num0(n, 0.0), den0(n, 0.0);
+  std::vector<double>& num0 = support::scratch_buffer<double, kScratchNum0>();
+  std::vector<double>& den0 = support::scratch_buffer<double, kScratchDen0>();
+  num0.assign(n, 0.0);
+  den0.assign(n, 0.0);
   for (NodeId r : forest.roots()) {
     num0[r] = p.cc.aggregate[r];
     den0[r] = p.cc.weight[r];
@@ -507,7 +563,12 @@ AggregateOutcome sparse_ave_pipeline(std::uint32_t n, const Graph& links,
   // estimate of the largest root that actually managed to spread -- z
   // itself whenever z survives, byte for byte the paper's outcome -- one
   // whole gossip phase cheaper, and immune to z's death.
-  std::vector<std::uint64_t> spread_keys(n, kKeyBottom), spread_aux(n, 0);
+  std::vector<std::uint64_t>& spread_keys =
+      support::scratch_buffer<std::uint64_t, kScratchSpreadKeys>();
+  std::vector<std::uint64_t>& spread_aux =
+      support::scratch_buffer<std::uint64_t, kScratchSpreadAux>();
+  spread_keys.assign(n, kKeyBottom);
+  spread_aux.assign(n, 0);
   for (NodeId r : forest.roots()) {
     if (ps.den[r] > 0.0) {
       spread_keys[r] = encode_size_id(static_cast<std::uint32_t>(p.cc.weight[r]), r);
@@ -522,7 +583,9 @@ AggregateOutcome sparse_ave_pipeline(std::uint32_t n, const Graph& links,
   out.metrics.spread = spread.counters;
   out.rounds_total += spread.rounds;
 
-  std::vector<double> root_value(n, 0.0);
+  std::vector<double>& root_value =
+      support::scratch_buffer<double, kScratchRootValue>();
+  root_value.assign(n, 0.0);
   for (NodeId r : forest.roots())
     root_value[r] = spread.key[r] == kKeyBottom ? 0.0 : decode_ordered(spread.aux[r]);
   sparse_finish(n, forest, root_value, rngs, scenario, config, out);

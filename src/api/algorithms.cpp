@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -139,6 +140,48 @@ void fill_from_outcome(RunReport& report, const AggregateOutcome& o) {
     case Aggregate::kLeader: return 0.0;  // set by the leader adapter
   }
   return 0.0;
+}
+
+/// Memoised Chord substrate for the chord-* families (the overlay analog
+/// of make_scenario's topology cache).  Both the overlay and its link
+/// graph are pure functions of (n, seed), so a Monte-Carlo sweep -- or a
+/// bench loop -- re-running one (n, seed) point reuses the finger tables
+/// and the CSR adjacency instead of rebuilding them per run.  Last-used
+/// entry only: distinct per-trial seeds still build their own overlays
+/// (the resampling semantics), but the flat builders make that O(1)
+/// allocations per build.  Handles are shared_ptr copies, safe to hold
+/// across the trial executor's threads.
+struct ChordSubstrate {
+  std::shared_ptr<const ChordOverlay> overlay;
+  std::shared_ptr<const Graph> links;  // only built when a caller wants it
+};
+
+[[nodiscard]] ChordSubstrate chord_substrate(std::uint32_t n, std::uint64_t seed,
+                                             bool want_links) {
+  struct Key {
+    std::uint32_t n;
+    std::uint64_t seed;
+    bool operator==(const Key&) const = default;
+  };
+  const Key key{n, seed};
+  static std::mutex mu;
+  static std::optional<Key> cached_key;
+  static ChordSubstrate cached;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (cached_key.has_value() && *cached_key == key &&
+        (!want_links || cached.links != nullptr))
+      return cached;
+  }
+  ChordSubstrate fresh;
+  fresh.overlay = std::make_shared<const ChordOverlay>(n, seed);
+  if (want_links) fresh.links = std::make_shared<const Graph>(overlay_graph(*fresh.overlay));
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    cached_key = key;
+    cached = fresh;
+  }
+  return fresh;
 }
 
 /// Rejection helper for the Chord families, whose substrate is the
@@ -491,8 +534,7 @@ RunReport run_chord_drr(const RunSpec& spec) {
   const auto cfg = config_as<SparseGossipConfig>(spec, report);
   if (!report.error.empty()) return report;
   const auto values = materialize_values(spec, /*positive_only=*/false);
-  const ChordOverlay chord{spec.n, spec.seed};
-  const Graph links = overlay_graph(chord);
+  const ChordSubstrate sub = chord_substrate(spec.n, spec.seed, /*want_links=*/true);
   // Engine-ported Phase III: every G~ send expands hop by hop on the
   // shared sim::Network, so the full fault schedule -- including mid-run
   // churn, which the old RoutedTransport replay map had to reject --
@@ -500,8 +542,10 @@ RunReport run_chord_drr(const RunSpec& spec) {
   const sim::Scenario scenario{sim::Topology::complete(), spec.faults};
   const AggregateOutcome o =
       spec.aggregate == Aggregate::kMax
-          ? sparse_drr_gossip_max(chord, links, values, spec.seed, scenario, cfg)
-          : sparse_drr_gossip_ave(chord, links, values, spec.seed, scenario, cfg);
+          ? sparse_drr_gossip_max(*sub.overlay, *sub.links, values, spec.seed, scenario,
+                                  cfg)
+          : sparse_drr_gossip_ave(*sub.overlay, *sub.links, values, spec.seed, scenario,
+                                  cfg);
   fill_from_outcome(report, o);
   const Truth t = compute_truth(values, o.participating);
   report.truth = spec.aggregate == Aggregate::kMax ? t.max : t.ave;
@@ -514,7 +558,8 @@ RunReport run_chord_uniform(const RunSpec& spec) {
   const auto cfg = config_as<ChordUniformConfig>(spec, report);
   if (!report.error.empty()) return report;
   const auto values = materialize_values(spec, /*positive_only=*/false);
-  const ChordOverlay chord{spec.n, spec.seed};
+  const ChordSubstrate sub = chord_substrate(spec.n, spec.seed, /*want_links=*/false);
+  const ChordOverlay& chord = *sub.overlay;
   // The engine port gave this baseline the full fault schedule: crashes
   // and churn hit intermediate routing hops like every other protocol.
   const sim::Scenario scenario{sim::Topology::complete(), spec.faults};

@@ -1,8 +1,8 @@
 #include "chord/chord.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "support/mathutil.hpp"
 
@@ -17,11 +17,30 @@ ChordOverlay::ChordOverlay(std::uint32_t n, std::uint64_t seed, std::uint32_t ri
 
   Rng rng{derive_seed(seed, 0xc403dULL)};
   const std::uint64_t ring = std::uint64_t{1} << m_;
-  std::unordered_set<std::uint64_t> used;
+  // Distinct-id dedup via a flat open-addressing probe table (load factor
+  // <= 0.5): one allocation instead of the O(n) node allocations of a
+  // tree/chained set.  The accept/reject decision per draw is pure set
+  // membership, so the id sequence is bit-identical to the historical
+  // std::unordered_set build.  ~0 is a safe empty marker: ids live in
+  // [0, 2^m) with m <= 62.
+  constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  std::size_t cap = 16;
+  while (cap < 2 * static_cast<std::size_t>(n)) cap *= 2;
+  std::vector<std::uint64_t> used(cap, kEmpty);
+  auto insert_new = [&used, cap](std::uint64_t id) {
+    std::uint64_t mix = id;
+    std::size_t h = static_cast<std::size_t>(splitmix64(mix)) & (cap - 1);
+    while (used[h] != kEmpty) {
+      if (used[h] == id) return false;
+      h = (h + 1) & (cap - 1);
+    }
+    used[h] = id;
+    return true;
+  };
   ids_.reserve(n);
   while (ids_.size() < n) {
     const std::uint64_t id = rng.next_below(ring);
-    if (used.insert(id).second) ids_.push_back(id);
+    if (insert_new(id)) ids_.push_back(id);
   }
 
   sorted_nodes_.resize(n);
@@ -35,11 +54,25 @@ ChordOverlay::ChordOverlay(std::uint32_t n, std::uint64_t seed, std::uint32_t ri
     ring_pos_[sorted_nodes_[p]] = p;
   }
 
+  succ_.resize(n);
+  for (std::uint32_t p = 0; p < n; ++p)
+    succ_[sorted_nodes_[p]] = sorted_nodes_[(p + 1) % n];
+
   fingers_.resize(static_cast<std::size_t>(n) * m_);
+  finger_dist_.resize(static_cast<std::size_t>(n) * m_);
   for (NodeId v = 0; v < n; ++v) {
     for (std::uint32_t k = 0; k < m_; ++k) {
       const std::uint64_t target = (ids_[v] + (std::uint64_t{1} << k)) & (ring - 1);
-      fingers_[static_cast<std::size_t>(v) * m_ + k] = owner_of_key(target);
+      const NodeId f = owner_of_key(target);
+      const std::size_t slot = static_cast<std::size_t>(v) * m_ + k;
+      fingers_[slot] = f;
+      // Clockwise distance to the finger; a self-finger (the 2^k arc wraps
+      // all the way back to v) is stored as the full ring so it never wins
+      // a closest-preceding comparison.  The row is non-decreasing in k:
+      // finger k sits at min{d >= 2^k} over node distances (v contributing
+      // d = ring), a non-decreasing function of the increasing 2^k.
+      finger_dist_[slot] = f == v ? ring : ((ids_[f] - ids_[v]) & (ring - 1));
+      assert(k == 0 || finger_dist_[slot - 1] <= finger_dist_[slot]);
     }
   }
 }
@@ -52,9 +85,7 @@ NodeId ChordOverlay::owner_of_key(std::uint64_t key) const noexcept {
   return sorted_nodes_[pos];
 }
 
-NodeId ChordOverlay::successor(NodeId v) const noexcept {
-  return sorted_nodes_[(ring_pos_[v] + 1) % n_];
-}
+NodeId ChordOverlay::successor(NodeId v) const noexcept { return succ_[v]; }
 
 NodeId ChordOverlay::finger(NodeId v, std::uint32_t k) const noexcept {
   return fingers_[static_cast<std::size_t>(v) * m_ + k];

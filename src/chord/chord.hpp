@@ -45,11 +45,27 @@ class ChordOverlay {
   /// The node owning `key`: the first node clockwise at or after key.
   [[nodiscard]] NodeId owner_of_key(std::uint64_t key) const noexcept;
 
-  /// Immediate successor of node v on the ring.
+  /// Immediate successor of node v on the ring (one flat-array load).
   [[nodiscard]] NodeId successor(NodeId v) const noexcept;
 
   /// Finger k of node v: owner of (id_of(v) + 2^k) mod 2^m.
   [[nodiscard]] NodeId finger(NodeId v, std::uint32_t k) const noexcept;
+
+  /// Flat row of v's finger *clockwise distances*: entry k is
+  /// ring_dist(id_of(v), id_of(finger(v, k))), with finger(v, k) == v
+  /// stored as ring_size() (a self-finger can never precede a key).  The
+  /// row is non-decreasing in k -- finger k is the first node at clockwise
+  /// distance >= 2^k, a non-decreasing function of a strictly increasing
+  /// target -- so greedy closest-preceding-finger selection is a binary
+  /// search over it (see SparseRouter::next_hop_fast).
+  [[nodiscard]] const std::uint64_t* finger_dist_row(NodeId v) const noexcept {
+    return finger_dist_.data() + static_cast<std::size_t>(v) * m_;
+  }
+
+  /// Flat row of v's finger table (m_ entries, index by k).
+  [[nodiscard]] const NodeId* finger_row(NodeId v) const noexcept {
+    return fingers_.data() + static_cast<std::size_t>(v) * m_;
+  }
 
   /// Length of the arc (number of ring points) owned by v.
   [[nodiscard]] std::uint64_t arc_length(NodeId v) const noexcept;
@@ -84,7 +100,9 @@ class ChordOverlay {
   std::vector<std::uint64_t> sorted_ids_;  // ids in ring order
   std::vector<NodeId> sorted_nodes_;       // node labels in ring order
   std::vector<std::uint32_t> ring_pos_;    // position of node v in sorted order
+  std::vector<NodeId> succ_;               // successor(v), flat
   std::vector<NodeId> fingers_;            // n_ * m_ finger table
+  std::vector<std::uint64_t> finger_dist_;  // n_ * m_ clockwise finger distances
 };
 
 }  // namespace drrg

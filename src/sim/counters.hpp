@@ -70,6 +70,16 @@ struct FaultSchedule {
   [[nodiscard]] bool fault_free() const noexcept {
     return loss_prob <= 0.0 && crash_fraction <= 0.0 && !has_churn();
   }
+
+  /// True when the schedule never kills a node (loss may still drop
+  /// messages).  This is the dispatch predicate for the routed crash-free
+  /// fast path: with every node alive for the whole run, the stabilized
+  /// liveness detours are identities, so routing can skip the liveness
+  /// oracle entirely.  Loss is irrelevant to it -- a lossy-but-crash-free
+  /// run drops envelopes in the engine's delivery step, never en route.
+  [[nodiscard]] bool crash_free() const noexcept {
+    return crash_fraction <= 0.0 && !has_churn();
+  }
 };
 
 /// Historical name (static start-time crashes + link loss); every

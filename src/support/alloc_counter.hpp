@@ -1,0 +1,19 @@
+#pragma once
+// Process-wide heap allocation counter for perf instrumentation.
+//
+// alloc_count() reads a counter that is bumped by a counting replacement
+// of the global operator new.  The replacement lives in alloc_counter.cpp,
+// which is deliberately NOT part of the drrg library: only binaries that
+// opt in by linking the drrg_alloc_counter target (bench_engine, the
+// allocation-regression test) swap their global allocator.  A replaceable
+// operator new must be a single out-of-line definition, so this cannot be
+// header-inline.
+
+#include <cstdint>
+
+namespace drrg::support {
+
+/// Number of global operator-new calls since process start (relaxed read).
+[[nodiscard]] std::uint64_t alloc_count() noexcept;
+
+}  // namespace drrg::support

@@ -1,0 +1,29 @@
+#pragma once
+// Pooled per-thread scratch buffers for per-run payload staging.
+//
+// The pipelines stage Phase II/III payloads (root addresses, initial keys,
+// push-sum mass vectors, final root values) in n-sized vectors that live
+// only for the duration of one phase call.  Allocating them fresh every
+// run is the payload-side analog of the pre-PR-4 envelope queues; pooling
+// them the same way (capacity survives, contents are fully overwritten by
+// assign() before every use) makes repeated runs -- Monte-Carlo trials,
+// bench iterations, the streaming workloads the ROADMAP aims at --
+// allocation-free in steady state.
+//
+// Each (T, Tag) pair owns a distinct thread_local buffer, so call sites
+// with overlapping lifetimes (a staging vector spanning a nested phase
+// call) pick distinct tags and can never alias.  Thread-locality keeps the
+// trial executor's workers independent: determinism never depended on
+// payload storage addresses, only on values, which assign() fully rewrites.
+
+#include <vector>
+
+namespace drrg::support {
+
+template <class T, int Tag>
+[[nodiscard]] inline std::vector<T>& scratch_buffer() {
+  thread_local std::vector<T> buf;
+  return buf;
+}
+
+}  // namespace drrg::support

@@ -1,0 +1,106 @@
+// Allocation-regression suite for the flattened routed hot path.
+//
+// This binary (alone among the tests) links drrg_alloc_counter, swapping
+// in the counting global operator new that bench_engine uses to report
+// allocs_per_run.  The contract under test: a routed run's heap traffic
+// is O(1) in n.  Every per-run container is either pooled inside the
+// engine (outbox/replies/scratch queues), served from a thread-local
+// scratch buffer (support/scratch.hpp), or memoised across runs (the
+// chord substrate, the topology in make_scenario) -- so quadrupling n
+// twice must leave the allocation count essentially flat.  A rewrite
+// that reintroduces a per-message or per-node allocation on the hot path
+// fails here with an O(n) count long before it shows up in a bench.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "support/alloc_counter.hpp"
+
+namespace drrg {
+namespace {
+
+api::RunSpec routed_spec(std::uint32_t n, sim::TopologyKind kind,
+                         api::Pipeline pipeline) {
+  api::RunSpec spec;
+  spec.n = n;
+  spec.aggregate = api::Aggregate::kAve;
+  spec.seed = 1000;
+  spec.topology.kind = kind;
+  spec.pipeline = pipeline;
+  return spec;
+}
+
+/// Min allocation count of a single run over a few attempts, after an
+/// untimed warmup run.  The warmup pays the one-time costs (memoised
+/// substrate build, thread-local scratch growth, lazy RNG slots); the min
+/// guards against an interleaved case evicting the memo cache, exactly as
+/// bench_engine does.
+std::uint64_t allocs_per_run(const char* algorithm, const api::RunSpec& spec) {
+  {
+    const api::RunReport warm = api::run(algorithm, spec);
+    EXPECT_TRUE(warm.ok()) << warm.error;
+    if (!warm.ok()) return 0;
+  }
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (int i = 0; i < 2; ++i) {
+    const std::uint64_t a0 = support::alloc_count();
+    const api::RunReport r = api::run(algorithm, spec);
+    const std::uint64_t a1 = support::alloc_count();
+    EXPECT_TRUE(r.ok()) << r.error;
+    best = std::min(best, a1 - a0);
+  }
+  return best;
+}
+
+/// Flatness bar: growing n 16x may not even double the steady-state
+/// count (plus a small absolute slack for logarithmic stragglers such as
+/// the forest's O(log n) level vectors).
+void expect_flat(const char* what, std::uint64_t at_1024, std::uint64_t at_4096,
+                 std::uint64_t at_16384) {
+  const std::uint64_t bar = 2 * at_1024 + 128;
+  EXPECT_LE(at_4096, bar) << what << ": allocs grew with n (1024: " << at_1024
+                          << ", 4096: " << at_4096 << ")";
+  EXPECT_LE(at_16384, bar) << what << ": allocs grew with n (1024: " << at_1024
+                           << ", 16384: " << at_16384 << ")";
+}
+
+TEST(AllocRegression, ChordDrrAllocsAreFlatInN) {
+  std::uint64_t counts[3] = {0, 0, 0};
+  int i = 0;
+  for (const std::uint32_t n : {1024u, 4096u, 16384u}) {
+    counts[i++] = allocs_per_run(
+        "chord-drr",
+        routed_spec(n, sim::TopologyKind::kComplete, api::Pipeline::kDense));
+  }
+  expect_flat("chord-drr", counts[0], counts[1], counts[2]);
+}
+
+TEST(AllocRegression, SparseGridDrrAllocsAreFlatInN) {
+  std::uint64_t counts[3] = {0, 0, 0};
+  int i = 0;
+  for (const std::uint32_t n : {1024u, 4096u, 16384u}) {
+    counts[i++] = allocs_per_run(
+        "drr", routed_spec(n, sim::TopologyKind::kGrid2d, api::Pipeline::kSparse));
+  }
+  expect_flat("sparse-grid drr", counts[0], counts[1], counts[2]);
+}
+
+// The counter itself must be live in this binary: a plain vector growth
+// has to register.  (If the drrg_alloc_counter link is ever dropped, the
+// flatness tests above would pass vacuously with count 0 -- this one
+// fails loudly instead.)
+TEST(AllocRegression, CountingAllocatorIsLinked) {
+  const std::uint64_t a0 = support::alloc_count();
+  std::vector<std::uint64_t>* v = new std::vector<std::uint64_t>(1024);
+  const std::uint64_t a1 = support::alloc_count();
+  delete v;
+  EXPECT_GE(a1 - a0, 1u);
+}
+
+}  // namespace
+}  // namespace drrg

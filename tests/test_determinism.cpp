@@ -145,6 +145,16 @@ std::vector<GoldenCase> sparse_engine_goldens() {
     cases.push_back(c);
   }
   {
+    // Large-n pin for the flattened routed hot path (finger-table binary
+    // search, cached owners, crash-free dispatch): recorded just before
+    // that rewrite, so it freezes the pre-flattening traffic at a size
+    // where every fast-path branch is exercised.
+    GoldenCase c{"chord_drr_ave_full_schedule_4096", "chord-drr",
+                 0xd54322ee964b463fULL, spec_of(4096, api::Aggregate::kAve, 23)};
+    c.spec.faults = sim::FaultSchedule{0.05, 0.1, {{8, 0.05}}};
+    cases.push_back(c);
+  }
+  {
     GoldenCase c{"drr_sparse_grid_ave", "drr", 0x8954db044cb19e27ULL,
                  spec_of(240, api::Aggregate::kAve, 31)};
     c.spec.topology.kind = sim::TopologyKind::kGrid2d;

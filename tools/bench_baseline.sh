@@ -51,27 +51,29 @@ trap 'rm -rf "$TMP"' EXIT
 # --- 1. pinned CLI sweeps ---------------------------------------------------
 # One timing + hash discipline for every sweep point: min-of-REPS wall
 # clock, and a threads-1-vs-threads-4 CSV sha256 proving bit-identical
-# reports.  Args: row label, algo, extra CLI flags.
+# reports.  Args: row label, algo, n, trials, extra CLI flags.
 run_sweep() {
   local LABEL="$1"; shift
   local ALGO="$1"; shift
+  local N="$1"; shift
+  local TRIALS="$1"; shift
   local BEST=""
   for _ in $(seq "$REPS"); do
     local S E D
     S=$(date +%s.%N)
-    "$CLI" --algo "$ALGO" --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+    "$CLI" --algo "$ALGO" --agg ave --n "$N" --trials "$TRIALS" \
            --threads "$THREADS" "$@" --csv > "$TMP/sweep.csv"
     E=$(date +%s.%N)
     D=$(python3 -c "print(f'{$E - $S:.4f}')")
     if [ -z "$BEST" ] || python3 -c "exit(0 if $D < $BEST else 1)"; then BEST="$D"; fi
   done
   local H1 H4 DET=false
-  H1=$("$CLI" --algo "$ALGO" --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+  H1=$("$CLI" --algo "$ALGO" --agg ave --n "$N" --trials "$TRIALS" \
        --threads 1 "$@" --csv | sha256sum | cut -d' ' -f1)
-  H4=$("$CLI" --algo "$ALGO" --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+  H4=$("$CLI" --algo "$ALGO" --agg ave --n "$N" --trials "$TRIALS" \
        --threads 4 "$@" --csv | sha256sum | cut -d' ' -f1)
   [ "$H1" = "$H4" ] && DET=true
-  local ROW="{\"bench\":\"engine_sweep\",\"topology\":\"$LABEL\",\"algo\":\"$ALGO\",\"n\":$SWEEP_N,\"trials\":$SWEEP_TRIALS,\"threads\":$THREADS,\"wall_s\":$BEST,\"deterministic\":$DET,\"sha256\":\"$H1\""
+  local ROW="{\"bench\":\"engine_sweep\",\"topology\":\"$LABEL\",\"algo\":\"$ALGO\",\"n\":$N,\"trials\":$TRIALS,\"threads\":$THREADS,\"wall_s\":$BEST,\"deterministic\":$DET,\"sha256\":\"$H1\""
   if [ "$ALGO" = drr ] && [ -n "${PRE_CLI:-}" ] && [ -x "${PRE_CLI}" ]; then
     # The pre-PR binary has no --diam-mult flag; it also has no diameter
     # scaling, so plain flags run the identical logical workload.  (drr
@@ -82,7 +84,7 @@ run_sweep() {
     for _ in $(seq "$REPS"); do
       local S E D
       S=$(date +%s.%N)
-      "$PRE_CLI" --algo drr --agg ave --n "$SWEEP_N" --trials "$SWEEP_TRIALS" \
+      "$PRE_CLI" --algo drr --agg ave --n "$N" --trials "$TRIALS" \
                  --threads "$THREADS" "${TOPO_FLAGS[@]}" --csv > /dev/null
       E=$(date +%s.%N)
       D=$(python3 -c "print(f'{$E - $S:.4f}')")
@@ -95,10 +97,15 @@ run_sweep() {
   echo "$ROW}" >> "$TMP/rows.json"
 }
 
-run_sweep complete drr
-run_sweep grid drr --topology grid --diam-mult 0
+run_sweep complete drr "$SWEEP_N" "$SWEEP_TRIALS"
+run_sweep grid drr "$SWEEP_N" "$SWEEP_TRIALS" --topology grid --diam-mult 0
 # The sparse-pipeline sweep point: chord-drr/ave on the engine port.
-run_sweep chord-overlay chord-drr
+run_sweep chord-overlay chord-drr "$SWEEP_N" "$SWEEP_TRIALS"
+# Large-n routed sweep point (flattened hot path trajectory); full
+# baseline only -- the CI smoke matrix stays small.
+if [ "${SMOKE:-0}" != "1" ]; then
+  run_sweep chord-overlay chord-drr 16384 "$SWEEP_TRIALS"
+fi
 
 # --- 2. bench_table1 pinned matrix (ops counters for the CI goldens) --------
 if [ -x "$TABLE1" ]; then
@@ -128,5 +135,27 @@ for b in doc.get("benchmarks", []):
 PY
 fi
 
-mv "$TMP/rows.json" "$OUT"
+# --- 4. join allocs_per_run into the engine_sweep rows ----------------------
+# The sweep rows time the CLI (which cannot count its own allocations);
+# bench_engine measures allocs_per_run for the same (topology, algo)
+# workloads.  Joining the micro counter onto the matching sweep row keys
+# the allocation trajectory by the same (topology, algo, n) the wall-clock
+# trajectory uses.
+python3 - "$TMP/rows.json" > "$TMP/joined.json" <<'PY'
+import json, sys
+rows = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+CASE_OF = {("complete", "drr"): "BM_EngineDrrComplete",
+           ("grid", "drr"): "BM_EngineDrrGrid",
+           ("chord-overlay", "chord-drr"): "BM_EngineChordDrr"}
+allocs = {r["case"]: r["allocs_per_run"] for r in rows
+          if r.get("bench") == "engine_micro"}
+for r in rows:
+    if r.get("bench") == "engine_sweep":
+        case = CASE_OF.get((r.get("topology"), r.get("algo")))
+        if case is not None and f"{case}/{r['n']}" in allocs:
+            r["allocs_per_run"] = allocs[f"{case}/{r['n']}"]
+    print(json.dumps(r, separators=(",", ":")))
+PY
+
+mv "$TMP/joined.json" "$OUT"
 echo "bench_baseline: wrote $(wc -l < "$OUT") rows to $OUT"

@@ -12,9 +12,15 @@ goldens (tests/golden/bench_table1_ops.json) on two axes:
     n, trials) must match, and the threads-1-vs-threads-4 determinism
     bit must stay true.  This is the byte-identity pin for the whole
     dense + sparse pipeline output, guarding e.g. transport refactors.
+  * engine_micro allocs_per_run, routed cases only (BM_EngineChordDrr,
+    BM_EngineDrrSparseGrid): the flattened routed hot path holds heap
+    traffic O(1) in n, so a fresh count more than 10% above the golden
+    is a hard failure, as is regained O(n) growth (the n=16384 count
+    exceeding twice the n=1024 count).
 
 Wall-clock fields are ignored (they are the point of the file, not a
-contract).
+contract); throughput counters likewise -- only allocation counts are
+deterministic enough to gate.
 
 Usage: tools/check_bench_goldens.py BENCH_engine.json tests/golden/bench_table1_ops.json
 Exit 0 on match, 1 on drift or missing rows.
@@ -24,8 +30,13 @@ import json
 import sys
 
 
+# Micro cases whose allocation count is a gated contract: the routed hot
+# path (chord-drr on the overlay, drr through the sparse grid pipeline).
+ROUTED_CASES = ("BM_EngineChordDrr", "BM_EngineDrrSparseGrid")
+
+
 def golden_rows(path):
-    table1, sweeps = {}, {}
+    table1, sweeps, micro_allocs = {}, {}, {}
     with open(path) as f:
         for line in f:
             line = line.strip()
@@ -40,15 +51,44 @@ def golden_rows(path):
                 key = (row.get("topology", "complete"), row["algo"],
                        row["n"], row["trials"])
                 sweeps[key] = (row["sha256"], row.get("deterministic", False))
-    return table1, sweeps
+            elif row.get("bench") == "engine_micro":
+                micro_allocs[row["case"]] = row.get("allocs_per_run")
+    return table1, sweeps, micro_allocs
+
+
+def check_allocs(fresh, golden):
+    """Routed allocs_per_run gate; returns the failure count."""
+    failures = 0
+    checked = 0
+    for case, want in sorted(golden.items()):
+        if not case.startswith(ROUTED_CASES) or want is None:
+            continue
+        got = fresh.get(case)
+        if got is None:
+            continue
+        checked += 1
+        # 10% relative headroom plus a small absolute floor so tiny counts
+        # (a few hundred) don't flake on a single incidental allocation.
+        if got > want * 1.10 + 8:
+            print(f"ALLOC-DRIFT {case}: allocs_per_run {want} -> {got} "
+                  "(>10% regression)")
+            failures += 1
+    for prefix in ROUTED_CASES:
+        small = fresh.get(f"{prefix}/1024")
+        big = fresh.get(f"{prefix}/16384")
+        if small is not None and big is not None and big > 2 * small + 128:
+            print(f"ALLOC-GROWTH {prefix}: allocs_per_run grows with n "
+                  f"(1024: {small}, 16384: {big}) -- O(1) contract broken")
+            failures += 1
+    return failures, checked
 
 
 def main():
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
-    fresh_t1, fresh_sw = golden_rows(sys.argv[1])
-    golden_t1, golden_sw = golden_rows(sys.argv[2])
+    fresh_t1, fresh_sw, fresh_al = golden_rows(sys.argv[1])
+    golden_t1, golden_sw, golden_al = golden_rows(sys.argv[2])
     if not golden_t1:
         print(f"check_bench_goldens: no table1 rows in golden {sys.argv[2]}",
               file=sys.stderr)
@@ -86,13 +126,17 @@ def main():
         print("check_bench_goldens: no fresh engine_sweep row matches any "
               "golden sweep key", file=sys.stderr)
         failures += 1
+    alloc_failures, allocs_checked = check_allocs(fresh_al, golden_al)
+    failures += alloc_failures
     checked = len(golden_t1)
     if failures:
         print(f"check_bench_goldens: {failures} failures "
-              f"({checked} ops rows, {sweeps_checked} sweep hashes checked)")
+              f"({checked} ops rows, {sweeps_checked} sweep hashes, "
+              f"{allocs_checked} alloc gates checked)")
         return 1
-    print(f"check_bench_goldens: all {checked} ops rows and "
-          f"{sweeps_checked} sweep hashes match")
+    print(f"check_bench_goldens: all {checked} ops rows, "
+          f"{sweeps_checked} sweep hashes and {allocs_checked} alloc gates "
+          "match")
     return 0
 
 
