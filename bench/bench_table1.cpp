@@ -17,6 +17,11 @@
 // Scenario knobs (stripped before google-benchmark sees the arg list):
 //   --table1_topology=NAME   complete | chord-ring | random-regular | grid
 //   --table1_churn=R:F[,..]  crash F of the then-alive nodes at round R
+//   --table1_scenario=NAME   structured-adversity preset, scaled to each n:
+//                            latency   uniform 0-2 round call delays
+//                            block     rack crash [n/8, n/4) at round 10
+//                            partition boundary n/2 cut rounds 5..15
+//                            join      10% of the id space joins at round 8
 //   --table1_threads=W       parallel trial executor width (bit-identical)
 //   --table1_json=PATH       machine-readable rows for perf tracking:
 //                            one JSON object per line, so future PRs can
@@ -43,6 +48,7 @@ struct Table1Options {
   sim::TopologySpec topology{};
   std::vector<sim::CrashEvent> churn;
   std::string churn_text;
+  std::string scenario;
   unsigned threads = 1;
   std::string json_path;
 };
@@ -50,6 +56,30 @@ struct Table1Options {
 Table1Options& options() {
   static Table1Options opt;
   return opt;
+}
+
+/// Builds the named structured-adversity preset, scaled to the run's n so
+/// one flag covers the whole size range (block/partition events name
+/// absolute ids).  "" leaves the schedule fault-free.
+bool apply_scenario(std::string_view name, std::uint32_t n, sim::FaultSchedule* faults) {
+  if (name.empty()) return true;
+  if (name == "latency") {
+    faults->latency = {sim::LatencyModel::Kind::kUniform, 0, 2, 0.0};
+    return true;
+  }
+  if (name == "block") {
+    faults->blocks = {{10, n / 8, n / 4, 0, 0}};
+    return true;
+  }
+  if (name == "partition") {
+    faults->partitions = {{5, 15, n / 2}};
+    return true;
+  }
+  if (name == "join") {
+    faults->joins = {{8, 0.10}};
+    return true;
+  }
+  return false;
 }
 
 struct JsonRow {
@@ -77,13 +107,14 @@ void write_json() {
     std::fprintf(
         f,
         "{\"bench\":\"table1\",\"algo\":\"%s\",\"agg\":\"ave\",\"n\":%u,"
-        "\"topology\":\"%s\",\"churn\":\"%s\",\"trials\":%d,"
+        "\"topology\":\"%s\",\"churn\":\"%s\",\"scenario\":\"%s\",\"trials\":%d,"
         "\"rounds\":%.17g,\"msgs\":%.17g,\"rel_error\":%.17g,"
         "\"rounds_per_log\":%.17g,\"msgs_per_nlog\":%.17g,"
         "\"msgs_per_nloglog\":%.17g}\n",
         row.algorithm.c_str(), row.n,
         std::string{sim::to_string(options().topology.kind)}.c_str(),
-        options().churn_text.c_str(), kTrials, row.rounds, row.msgs, row.rel_error,
+        options().churn_text.c_str(), options().scenario.c_str(), kTrials,
+        row.rounds, row.msgs, row.rel_error,
         row.rounds / log2_clamped(row.n), row.msgs / (row.n * log2_clamped(row.n)),
         row.msgs / (row.n * loglog2_clamped(row.n)));
   }
@@ -112,6 +143,7 @@ void run_ave_case(benchmark::State& state, const std::string& algorithm) {
     spec.seed = 1000;
     spec.topology = options().topology;
     spec.faults.churn = options().churn;
+    apply_scenario(options().scenario, n, &spec.faults);
     for (const api::RunReport& r :
          api::run_trials(algorithm, spec, kTrials, options().threads)) {
       rounds += r.rounds;
@@ -178,6 +210,16 @@ int parse_own_flags(int argc, char** argv) {
       }
       options().churn = *churn;
       options().churn_text = v;
+    } else if (const char* v = value_of("--table1_scenario=")) {
+      sim::FaultSchedule probe;
+      if (!apply_scenario(v, 256, &probe)) {
+        std::fprintf(stderr,
+                     "bench_table1: unknown scenario '%s' (want latency, block, "
+                     "partition or join)\n",
+                     v);
+        std::exit(2);
+      }
+      options().scenario = v;
     } else if (const char* v = value_of("--table1_threads=")) {
       options().threads = static_cast<unsigned>(std::atoi(v));
     } else if (const char* v = value_of("--table1_json=")) {

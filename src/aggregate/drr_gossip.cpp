@@ -35,13 +35,19 @@ enum ScratchTag : int {
 /// Phase III round-budget scale for the scenario's substrate: 1.0 on the
 /// complete topology and on overlays whose diameter is within the O(log n)
 /// schedule, diameter/log-proportional beyond that (the grid/torus fix).
+/// Event-time latency stretches every mixing generation by the expected
+/// call delay, so the budget is additionally scaled by 1 + E[delay] to
+/// keep the number of *completed* generations -- a factor of exactly 1
+/// under the zero model, leaving historical schedules untouched.
 double phase3_scale(std::uint32_t n, const sim::Scenario& scenario,
                     const DrrGossipConfig& config) {
+  const double latency_scale = 1.0 + scenario.faults.latency.mean();
   if (config.phase3_diameter_multiplier <= 0.0 || scenario.topology.is_complete())
-    return 1.0;
+    return latency_scale;
   const double diameter = scenario.topology.diameter();
   const double budget = static_cast<double>(ceil_log2(n));
-  return std::max(1.0, config.phase3_diameter_multiplier * diameter / budget);
+  return latency_scale *
+         std::max(1.0, config.phase3_diameter_multiplier * diameter / budget);
 }
 
 struct Phase12 {
@@ -86,7 +92,9 @@ Phase12 run_phase12(std::uint32_t n, std::span<const double> values,
 /// participating in the final result.
 void apply_final_survivors(std::uint32_t n, const RngFactory& rngs,
                            const sim::Scenario& scenario, AggregateOutcome& out) {
-  if (!scenario.faults.has_churn()) return;
+  if (!scenario.faults.has_churn() && !scenario.faults.has_blocks() &&
+      !scenario.faults.has_joins())
+    return;
   const auto survivors = sim::survivor_mask(n, rngs, scenario.faults,
                                             scenario.start_round + out.rounds_total);
   for (std::uint32_t v = 0; v < n; ++v)

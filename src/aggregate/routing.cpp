@@ -34,6 +34,11 @@ SparseRouter SparseRouter::on_substrate(const sim::Topology& topology) {
   return r;
 }
 
+namespace {
+/// No-previous-carrier sentinel for the kGrid detour state.
+constexpr NodeId kNoPrev = static_cast<NodeId>(-1);
+}  // namespace
+
 RouteState SparseRouter::begin_random(NodeId src, Rng& rng) const {
   RouteState st;
   if (chord_ != nullptr) {
@@ -46,6 +51,8 @@ RouteState SparseRouter::begin_random(NodeId src, Rng& rng) const {
   if (cols_ != 0) {
     st.mode = RouteState::Mode::kGrid;
     st.target = rng.next_below(n_);  // exactly uniform over V
+    st.steps = grid_ttl();           // detour budget (fast hops ignore it)
+    st.owner = kNoPrev;
     return st;
   }
   st.mode = RouteState::Mode::kWalk;
@@ -66,6 +73,8 @@ RouteState SparseRouter::begin_directed(NodeId dst) const {
   if (cols_ != 0) {
     st.mode = RouteState::Mode::kGrid;
     st.target = dst;
+    st.steps = grid_ttl();
+    st.owner = kNoPrev;
     return st;
   }
   return st;  // kDone: single point-to-point send
@@ -162,6 +171,75 @@ namespace {
   return ar * cols + nc;
 }
 
+/// Liveness-aware lattice hop: the static coordinate step when its node is
+/// alive, a greedy perimeter detour otherwise.  Detour preference order is
+/// toward-target on the other axis first, then the remaining axial
+/// neighbors, skipping the previous carrier unless it is the only live
+/// exit.  Greedy sidesteps can live-lock on concave dead regions, so a hop
+/// TTL (state.steps) bounds the walk: exhausting it -- or a dead target,
+/// or a fully dead neighborhood -- ends the route kStranded at the current
+/// holder (the push-sum carry-ack re-homes the payload from there; other
+/// carriers drop it, exactly like the pre-detour dead-hop delivery).
+[[nodiscard]] NodeId grid_hop_live(NodeId at, RouteState& state, std::uint32_t rows,
+                                   std::uint32_t cols, bool torus,
+                                   const LivenessView& alive) {
+  const auto target = static_cast<NodeId>(state.target);
+  if (target == at) {
+    state.mode = RouteState::Mode::kDone;
+    return at;
+  }
+  if (state.steps == 0 || !alive(target)) {
+    state.mode = RouteState::Mode::kStranded;
+    return at;
+  }
+  --state.steps;
+  const NodeId prev = state.owner;
+  const NodeId greedy = grid_step(at, target, rows, cols, torus);
+  if (alive(greedy) && greedy != prev) {
+    state.owner = at;
+    return greedy;
+  }
+  const std::uint32_t ar = at / cols, ac = at % cols;
+  const std::uint32_t tr = target / cols, tc = target % cols;
+  NodeId cand[4];
+  int m = 0;
+  auto push = [&](std::uint32_t r, std::uint32_t c) {
+    const NodeId v = r * cols + c;
+    for (int i = 0; i < m; ++i) {
+      if (cand[i] == v) return;
+    }
+    cand[m++] = v;
+  };
+  // The static greedy hop first (it may equal prev, kept as last resort
+  // below), then the toward-target move on the other axis, then the rest.
+  push(greedy / cols, greedy % cols);
+  if (ar != tr && ac != tc) {
+    const std::uint32_t right = (tc + cols - ac) % cols;
+    const bool forward = !torus ? tc > ac : right <= cols - right;
+    push(ar, forward ? (ac + 1) % cols : (ac + cols - 1) % cols);
+  }
+  if (torus || ar + 1 < rows) push((ar + 1) % rows, ac);
+  if (torus || ar > 0) push((ar + rows - 1) % rows, ac);
+  if (torus || ac + 1 < cols) push(ar, (ac + 1) % cols);
+  if (torus || ac > 0) push(ar, (ac + cols - 1) % cols);
+  NodeId last_resort = kNoPrev;
+  for (int i = 0; i < m; ++i) {
+    if (cand[i] == at || !alive(cand[i])) continue;
+    if (cand[i] == prev) {
+      last_resort = prev;
+      continue;
+    }
+    state.owner = at;
+    return cand[i];
+  }
+  if (last_resort != kNoPrev) {
+    state.owner = at;
+    return last_resort;
+  }
+  state.mode = RouteState::Mode::kStranded;  // boxed in by dead neighbors
+  return at;
+}
+
 }  // namespace
 
 NodeId SparseRouter::next_hop_fast(NodeId at, RouteState& state) const noexcept {
@@ -193,6 +271,8 @@ NodeId SparseRouter::next_hop_fast(NodeId at, RouteState& state) const noexcept 
     case RouteState::Mode::kWalk:
       assert(false && "kWalk draws randomness; route it through next_hop");
       return at;
+    case RouteState::Mode::kStranded:
+      return at;
   }
   return at;
 }
@@ -217,17 +297,12 @@ NodeId SparseRouter::next_hop_live(NodeId at, RouteState& state,
       --state.steps;
       if (state.steps == 0) state.mode = RouteState::Mode::kDone;
       return successor_live(*chord_, at, alive);
-    case RouteState::Mode::kGrid: {
-      const auto target = static_cast<std::uint32_t>(state.target);
-      if (target == at) {
-        state.mode = RouteState::Mode::kDone;
-        return at;
-      }
-      // Lattice hops are static: no detour story (see ROADMAP residuals).
-      return grid_step(at, target, rows_, cols_, torus_);
-    }
+    case RouteState::Mode::kGrid:
+      return grid_hop_live(at, state, rows_, cols_, torus_, alive);
     case RouteState::Mode::kWalk:
       assert(false && "kWalk draws randomness; route it through next_hop");
+      return at;
+    case RouteState::Mode::kStranded:
       return at;
   }
   return at;
@@ -249,7 +324,7 @@ NodeId SparseRouter::next_hop(NodeId at, RouteState& state, Rng& rng,
 
 std::uint32_t SparseRouter::max_route_hops() const noexcept {
   if (chord_ != nullptr) return 2 * chord_->ring_bits() + chord_->smear_width() + 2;
-  if (cols_ != 0) return rows_ + cols_;
+  if (cols_ != 0) return grid_ttl() + 2;  // detours burn at most the TTL
   return walk_len_;
 }
 

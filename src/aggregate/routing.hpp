@@ -56,13 +56,17 @@ struct LivenessView {
   }
 };
 
-/// Per-message routing state (24 bytes, POD).  `owner` caches the key's
-/// *static* owner, resolved once at begin_* time: owner_of_key is a pure
-/// function of the overlay, so hoisting its binary search off the per-hop
-/// path is observationally invisible (the stabilized liveness walk starts
-/// from the same static owner it always did).  The engine charges message
-/// size through the explicit `bits` argument of send(), never sizeof, so
-/// the wider state leaves every counter untouched.
+/// Per-message routing state (24 bytes, POD).  In the Chord modes `owner`
+/// caches the key's *static* owner, resolved once at begin_* time:
+/// owner_of_key is a pure function of the overlay, so hoisting its binary
+/// search off the per-hop path is observationally invisible (the
+/// stabilized liveness walk starts from the same static owner it always
+/// did).  In kGrid the same two spare fields drive the perimeter detour:
+/// `owner` holds the previous carrier (backtrack avoidance) and `steps` a
+/// hop TTL -- both ignored by the crash-free fast hop, so setting them at
+/// begin_* time is equally invisible.  The engine charges message size
+/// through the explicit `bits` argument of send(), never sizeof, so the
+/// wider state leaves every counter untouched.
 struct RouteState {
   enum class Mode : std::uint8_t {
     kDone,        ///< arrived: the current holder is the route's endpoint
@@ -70,10 +74,13 @@ struct RouteState {
     kChordSmear,  ///< successor walk, `steps` left
     kGrid,        ///< coordinate routing toward node id `target`
     kWalk,        ///< random walk, `steps` left
+    kStranded,    ///< gave up en route (dead target / boxed in / TTL out):
+                  ///< the holder is NOT the endpoint -- drop, or re-home
+                  ///< under the push-sum carry-ack
   };
   std::uint64_t target = 0;
   std::uint32_t steps = 0;
-  NodeId owner = 0;  ///< static owner of `target` (kChordRoute only)
+  NodeId owner = 0;  ///< static key owner (kChord*) / previous carrier (kGrid)
   Mode mode = Mode::kDone;
 };
 
@@ -98,10 +105,11 @@ class SparseRouter {
   /// Advances the route one overlay hop from its current holder `at`;
   /// draws from `rng` (the holder's stream) only in kWalk mode.  Chord
   /// hops consult `alive` and detour around crashed nodes (stabilized
-  /// overlay); lattice and walk hops are static -- a dead carrier kills
-  /// the delivery, exactly like any other lost hop.  Returns the next
-  /// carrier, or `at` itself when the route has arrived (the state is
-  /// then kDone).
+  /// overlay); lattice hops sidestep a dead static hop greedily around
+  /// the obstacle's perimeter (see next_hop_live); walk hops are static
+  /// -- a dead carrier kills the delivery, exactly like any other lost
+  /// hop.  Returns the next carrier, or `at` itself when the route has
+  /// ended (the state is then kDone on arrival, kStranded on a give-up).
   [[nodiscard]] NodeId next_hop(NodeId at, RouteState& state, Rng& rng,
                                 const LivenessView& alive = {}) const;
 
@@ -117,8 +125,13 @@ class SparseRouter {
 
   /// Liveness-aware hop for the keyed modes: the stabilized-detour path of
   /// next_hop without the unused Rng parameter, so forwarding a chord/grid
-  /// envelope does not touch the holder's RNG slot.  Precondition:
-  /// state.mode != kWalk.
+  /// envelope does not touch the holder's RNG slot.  kGrid routes detour
+  /// greedily around dead lattice nodes: when the static coordinate hop is
+  /// dead, the remaining axial neighbors are tried in toward-target-first
+  /// order (avoiding an immediate backtrack unless forced), under a hop
+  /// TTL; a dead target, a boxed-in carrier or an exhausted TTL ends the
+  /// route as kStranded at the current holder.  Precondition: state.mode
+  /// != kWalk.
   [[nodiscard]] NodeId next_hop_live(NodeId at, RouteState& state,
                                      const LivenessView& alive) const;
 
@@ -133,6 +146,13 @@ class SparseRouter {
   [[nodiscard]] std::uint32_t typical_route_hops() const noexcept;
 
  private:
+  /// kGrid hop TTL: the detour budget a route may burn walking around
+  /// dead regions before it gives up (kStranded).  Twice the worst static
+  /// path plus slack.
+  [[nodiscard]] std::uint32_t grid_ttl() const noexcept {
+    return 2 * (rows_ + cols_) + 16;
+  }
+
   const ChordOverlay* chord_ = nullptr;
   std::uint32_t n_ = 0;
   std::uint32_t rows_ = 0, cols_ = 0;  // lattice layout (kGrid)

@@ -69,9 +69,19 @@ template <class Msg>
                       }};
 }
 
+/// One hop's outcome, for callers that must distinguish "still traveling"
+/// from "died at the holder" (the push-sum carry-ack re-homes the latter).
+struct HopOutcome {
+  sim::NodeId absorbed = sim::kNoNode;  ///< root that absorbed, or kNoNode
+  bool stranded = false;  ///< route gave up / landed on a non-member: the
+                          ///< payload is at the holder with nowhere to go
+};
+
 /// Common hop step shared by both Phase III protocols.  Returns the root
-/// the message has arrived at (absorption point), or kNoNode when the
-/// message was forwarded (or stranded on a non-member).
+/// the message has arrived at (absorption point); absorbed == kNoNode
+/// means the message was forwarded one hop, or -- when `stranded` is set
+/// -- died at the current holder (a kStranded route around dead lattice
+/// regions, or a landing on a non-member such as a mid-run joiner).
 ///
 /// `crash_free` selects the devirtualized fast hop (computed once per run
 /// from FaultSchedule::crash_free()): with every node alive for the whole
@@ -81,9 +91,9 @@ template <class Msg>
 /// for walks -- lazily constructed streams are pure functions of
 /// (seed, node), making the elision observationally invisible.
 template <class Msg>
-[[nodiscard]] sim::NodeId route_or_climb(sim::Network<Msg>& net, const Forest& forest,
-                                         const SparseRouter& router, bool crash_free,
-                                         sim::NodeId x, Msg&& m, std::uint32_t bits) {
+[[nodiscard]] HopOutcome route_or_climb(sim::Network<Msg>& net, const Forest& forest,
+                                        const SparseRouter& router, bool crash_free,
+                                        sim::NodeId x, Msg&& m, std::uint32_t bits) {
   if (!m.climbing) {
     if (m.route.mode != RouteState::Mode::kDone) {
       NodeId nh;
@@ -96,20 +106,22 @@ template <class Msg>
       }
       if (nh != x) {
         net.send(x, nh, std::move(m), bits);
-        return sim::kNoNode;
+        return {};
       }
+      if (m.route.mode == RouteState::Mode::kStranded)
+        return {sim::kNoNode, true};  // dead-end detour: payload stuck at x
     }
     m.climbing = true;  // the route has arrived at x
   }
-  if (!forest.is_member(x)) return sim::kNoNode;  // stranded: delivery dies here
+  if (!forest.is_member(x)) return {sim::kNoNode, true};  // joiner / non-member
   const NodeId parent = forest.parent(x);
   if (parent != kNoParent) {
     // Tree walk: one more hop of G per level, forwarded next round.  A
     // crashed parent simply never delivers -- churn severs the path.
     net.send(x, parent, std::move(m), bits);
-    return sim::kNoNode;
+    return {};
   }
-  return x;  // x is a root: absorb
+  return {x, false};  // x is a root: absorb
 }
 
 // ---------------------------------------------------------------------------
@@ -182,8 +194,10 @@ struct SparseGossipMaxProtocol {
   }
 
   void hop(sim::Network<SgmMsg>& net, sim::NodeId x, SgmMsg&& m) {
+    // Stranded gossip dies at the holder: max-merge keys are idempotent
+    // retransmitted state, so a lost copy costs redundancy, not mass.
     const sim::NodeId at =
-        route_or_climb(net, forest, router, crash_free, x, std::move(m), bits);
+        route_or_climb(net, forest, router, crash_free, x, std::move(m), bits).absorbed;
     if (at == sim::kNoNode) return;
     switch (m.kind) {
       case SgmMsg::Kind::kGossip:
@@ -217,9 +231,15 @@ struct SparseGossipMaxProtocol {
 // Routed push-sum over the forest roots (Algorithm 6 on the substrate).
 
 struct SpsMsg {
+  enum class Kind : std::uint8_t {
+    kShare,  ///< a traveling (num, den) half
+    kAck,    ///< carry-ack: custody of `seq` accepted (armed runs only)
+  };
   double num = 0.0;
   double den = 0.0;
   RouteState route;
+  std::uint32_t seq = 0;  ///< sender-local custody id (armed runs only)
+  Kind kind = Kind::kShare;
   bool climbing = false;
 };
 
@@ -230,36 +250,92 @@ struct SparsePsResult {
   std::uint32_t rounds = 0;
 };
 
+/// Routed push-sum, optionally *armed* with the hop-level carry-ack
+/// (PushSumConfig::hop_carry_ack).  Unarmed, a share whose next carrier
+/// crashed -- or whose hop the loss coin ate -- vanishes, and push-sum's
+/// conservation law (sum num, sum den invariant) erodes by O(loss) per
+/// hop.  Armed, every hop is a custody transfer: the sender parks the
+/// share's mass in a pending slot until the receiver acks custody on the
+/// established call (reliable, same round as the delivery).  A pending
+/// that outlives its ack window -- the hop was lost or the carrier died
+/// mid-flight -- is retransmitted from the stored pre-hop route state: the
+/// holder recomputes the same hop against *current* liveness (ARQ with
+/// route progress kept; a freshly dead next carrier turns into a detour,
+/// not a restart).  Only a share stranded at the holder itself re-homes on
+/// a fresh random route -- its old route is a proven dead end.  Restarting
+/// every lost hop from scratch would make long routes statistically
+/// un-completable (success (1-loss)^hops per attempt); resuming keeps the
+/// expected cost at hops * (1 + loss/(1-loss) * reclaim_after) rounds.
+/// Mass held by a node that itself crashes dies with it (that is
+/// physical); everything else is conserved.
+///
+/// No double-count: an ack rides the reply step of the delivery round,
+/// which is at most sent_round + 1 + latency_bound; reclaim fires at
+/// on_round_end of sent_round + 2 + latency_bound, strictly after any
+/// possible ack has been drained.  Armed runs scan every node (any
+/// carrier may hold pendings); unarmed runs keep the historical
+/// roots-only upcall set and never touch the ack fields -- the unarmed
+/// path is byte-identical to the pre-carry-ack protocol.
 struct SparsePushSumProtocol {
+  struct Pending {
+    std::uint32_t seq = 0;
+    std::uint32_t sent_round = 0;
+    double num = 0.0;
+    double den = 0.0;
+    RouteState route;          ///< pre-hop route state (retransmit resumes here)
+    bool climbing = false;     ///< pre-hop tree-walk flag
+    bool stranded = false;     ///< no viable hop existed: re-home, don't resume
+  };
+  static constexpr std::uint32_t kAckBits = 32;  // custody id on the open call
+
   const Forest& forest;
   const SparseRouter& router;
   std::vector<double> num;
   std::vector<double> den;
   std::uint32_t bits;
   bool crash_free;
+  bool armed;
+  std::uint32_t reclaim_after;  ///< rounds before an unacked pending re-homes
   bool initiate = false;
+  std::vector<std::vector<Pending>> pending;  // armed: per-node custody slots
+  std::vector<std::uint32_t> next_seq;
+  std::vector<sim::NodeId> all_ids;  // armed upcall set (every node)
+  std::uint64_t pending_total = 0;
 
   SparsePushSumProtocol(const Forest& f, const SparseRouter& r, bool crash_free_run,
                         std::span<const double> num0, std::span<const double> den0,
-                        std::uint32_t n)
+                        std::uint32_t n, bool carry_ack, std::uint32_t latency_bound)
       : forest(f),
         router(r),
         num(n, 0.0),
         den(n, 0.0),
         bits(2 * 64 + address_bits(n)),
-        crash_free(crash_free_run) {
+        crash_free(crash_free_run),
+        armed(carry_ack),
+        reclaim_after(2 + latency_bound) {
     for (NodeId root : f.roots()) {
       num[root] = num0[root];
       den[root] = den0[root];
     }
+    if (armed) {
+      pending.resize(n);
+      next_seq.assign(n, 0);
+      all_ids.resize(n);
+      for (std::uint32_t v = 0; v < n; ++v) all_ids[v] = v;
+    }
   }
 
   [[nodiscard]] std::span<const sim::NodeId> active_nodes() const noexcept {
-    return forest.roots();
+    return armed ? std::span<const sim::NodeId>{all_ids} : forest.roots();
+  }
+
+  [[nodiscard]] bool is_root(sim::NodeId v) const noexcept {
+    return forest.is_member(v) && forest.parent(v) == kNoParent;
   }
 
   void on_round(sim::Network<SpsMsg>& net, sim::NodeId v) {
     if (!initiate) return;
+    if (armed && !is_root(v)) return;  // armed runs scan every node
     num[v] *= 0.5;
     den[v] *= 0.5;
     SpsMsg m;
@@ -269,16 +345,111 @@ struct SparsePushSumProtocol {
     hop(net, v, std::move(m));
   }
 
-  void on_message(sim::Network<SpsMsg>& net, sim::NodeId, sim::NodeId dst, const SpsMsg& m) {
+  void on_message(sim::Network<SpsMsg>& net, sim::NodeId src, sim::NodeId dst,
+                  const SpsMsg& m) {
+    if (armed) {
+      if (m.kind == SpsMsg::Kind::kAck) {
+        drop_pending(dst, m.seq);  // custody transferred downstream
+        return;
+      }
+      SpsMsg ack;
+      ack.kind = SpsMsg::Kind::kAck;
+      ack.seq = m.seq;
+      net.reply(dst, src, std::move(ack), kAckBits);
+    }
     hop(net, dst, SpsMsg{m});
   }
 
   void hop(sim::Network<SpsMsg>& net, sim::NodeId x, SpsMsg&& m) {
-    const sim::NodeId at =
+    if (!armed) {
+      const sim::NodeId at =
+          route_or_climb(net, forest, router, crash_free, x, std::move(m), bits)
+              .absorbed;
+      if (at == sim::kNoNode) return;
+      num[at] += m.num;
+      den[at] += m.den;
+      return;
+    }
+    const double half_num = m.num, half_den = m.den;
+    m.seq = next_seq[x]++;
+    const std::uint32_t seq = m.seq;
+    const RouteState pre_route = m.route;  // resume point for a lost hop
+    const bool pre_climbing = m.climbing;
+    const HopOutcome hr =
         route_or_climb(net, forest, router, crash_free, x, std::move(m), bits);
-    if (at == sim::kNoNode) return;
-    num[at] += m.num;
-    den[at] += m.den;
+    if (hr.absorbed != sim::kNoNode) {
+      num[hr.absorbed] += half_num;
+      den[hr.absorbed] += half_den;
+      return;
+    }
+    // Forwarded: custody parked until the next carrier acks; the reclaim
+    // sweep retransmits from pre_route.  Stranded: the same slot with no
+    // ack ever coming -- parked rather than re-launched inline, which also
+    // breaks the boxed-in livelock of re-launching into the same dead
+    // region within one round.
+    pending[x].push_back(
+        Pending{seq, net.round(), half_num, half_den, pre_route, pre_climbing,
+                hr.stranded});
+    ++pending_total;
+  }
+
+  void on_round_end(sim::Network<SpsMsg>& net, sim::NodeId v) {
+    if (!armed || pending[v].empty()) return;
+    std::vector<Pending>& pv = pending[v];
+    for (std::size_t i = 0; i < pv.size();) {
+      if (net.round() < pv[i].sent_round + reclaim_after) {
+        ++i;
+        continue;
+      }
+      const Pending p = pv[i];  // take it out, then resend (hop() appends)
+      pv[i] = pv.back();
+      pv.pop_back();
+      --pending_total;
+      SpsMsg m;
+      m.num = p.num;
+      m.den = p.den;
+      if (p.stranded) {
+        // The stored route dead-ended at v itself: only a fresh route (new
+        // target, full TTL) can make progress.
+        m.route = router.begin_random(v, net.node_rng(v));
+      } else {
+        // Lost hop (or carrier death): resume from the pre-hop state, so
+        // route progress survives and the retransmit adapts to liveness.
+        m.route = p.route;
+        m.climbing = p.climbing;
+      }
+      hop(net, v, std::move(m));
+    }
+  }
+
+  /// Folds every outstanding custody slot back into its holder's own
+  /// pair.  Called once after the drain: by then any slot still pending
+  /// was never delivered (acks are same-round), so the fold restores the
+  /// conservation law exactly -- mass a crashed node held stays lost,
+  /// which is the physical outcome.
+  void fold_back_pending() {
+    if (!armed) return;
+    for (sim::NodeId v : all_ids) {
+      for (const Pending& p : pending[v]) {
+        num[v] += p.num;
+        den[v] += p.den;
+      }
+      pending[v].clear();
+    }
+    pending_total = 0;
+  }
+
+ private:
+  void drop_pending(sim::NodeId v, std::uint32_t seq) {
+    std::vector<Pending>& pv = pending[v];
+    for (std::size_t i = 0; i < pv.size(); ++i) {
+      if (pv[i].seq == seq) {
+        pv[i] = pv.back();
+        pv.pop_back();
+        --pending_total;
+        return;
+      }
+    }
   }
 };
 
@@ -307,11 +478,16 @@ SparseGmResult run_sparse_gossip_max(std::uint32_t n, const SparseRouter& router
   sim::Network<SgmMsg> net{n, rngs, scenario, derive_seed(0x59a2, cfg.stream_tag)};
   SparseGossipMaxProtocol proto{forest, router, scenario.faults.crash_free(), init,
                                 init_aux, n};
-  const auto G = static_cast<std::uint32_t>(cfg.gossip_multiplier *
-                                            static_cast<double>(ceil_log2(n)));
-  const auto S = static_cast<std::uint32_t>(cfg.sampling_multiplier *
-                                            static_cast<double>(ceil_log2(n)));
-  const std::uint32_t cap = drain_cap(router, forest, cfg.drain_rounds);
+  // Event-time latency stretches each routed G~ generation by the expected
+  // call delay; scale the budgets (and the drain horizon, by the worst
+  // case) to keep the completed-generation count.  Factor 1 at latency 0.
+  const double lat = 1.0 + scenario.faults.latency.mean();
+  const auto G = static_cast<std::uint32_t>(
+      cfg.gossip_multiplier * static_cast<double>(ceil_log2(n)) * lat);
+  const auto S = static_cast<std::uint32_t>(
+      cfg.sampling_multiplier * static_cast<double>(ceil_log2(n)) * lat);
+  const std::uint32_t cap = (1 + scenario.faults.latency.bound()) *
+                            drain_cap(router, forest, cfg.drain_rounds);
 
   // Procedures are gated off before each drain: with roots still
   // initiating, the quiescence exit would be unreachable and the drain
@@ -339,25 +515,56 @@ SparsePsResult run_sparse_push_sum(std::uint32_t n, const SparseRouter& router,
                                    std::span<const double> den0, const RngFactory& rngs,
                                    const sim::Scenario& scenario, const PushSumConfig& cfg) {
   sim::Network<SpsMsg> net{n, rngs, scenario, derive_seed(0x59b2, cfg.stream_tag)};
-  SparsePushSumProtocol proto{forest, router, scenario.faults.crash_free(), num0, den0,
-                              n};
+  SparsePushSumProtocol proto{forest,
+                              router,
+                              scenario.faults.crash_free(),
+                              num0,
+                              den0,
+                              n,
+                              cfg.hop_carry_ack,
+                              scenario.faults.latency.bound()};
   // Latency compensation: a share initiated now only re-mixes after its
   // ~typical_route_hops() round trip, so the O(log n) initiation window is
   // scaled by (1 + typical/log2 n) to preserve the number of completed
   // mixing generations.  On Chord (typical = Theta(log n)) this is a
   // constant factor; message complexity stays O(n log n).
+  // Armed lossy runs retransmit each lost hop after reclaim_after rounds,
+  // stretching a route by an expected (1 + loss/(1-loss) * reclaim_after)
+  // factor; scale the initiation window to keep the completed mixing
+  // generations.  Exactly 1 unarmed or lossless, so pins are untouched.
+  const double loss = scenario.faults.loss_prob;
+  const double arq_scale =
+      (proto.armed && loss > 0.0 && loss < 1.0)
+          ? 1.0 + loss / (1.0 - loss) * static_cast<double>(proto.reclaim_after)
+          : 1.0;
   const double latency_scale =
-      1.0 + static_cast<double>(router.typical_route_hops()) /
-                static_cast<double>(ceil_log2(n));
+      (1.0 + static_cast<double>(router.typical_route_hops()) /
+                 static_cast<double>(ceil_log2(n))) *
+      (1.0 + scenario.faults.latency.mean());
   const std::uint32_t T = static_cast<std::uint32_t>(
                               cfg.rounds_multiplier * static_cast<double>(ceil_log2(n)) *
-                              latency_scale) +
+                              latency_scale * arq_scale) +
                           cfg.extra_rounds;
 
   proto.initiate = true;
   for (std::uint32_t r = 0; r < T; ++r) net.step(proto);
   proto.initiate = false;
-  run_then_drain(net, proto, 0, drain_cap(router, forest, T));
+  const std::uint32_t cap =
+      (1 + scenario.faults.latency.bound()) * drain_cap(router, forest, T);
+  if (!proto.armed) {
+    run_then_drain(net, proto, 0, cap);
+  } else {
+    // Armed drain: quiescence alone is not enough -- parked custody
+    // re-homes after its ack window, re-launching traffic.  Allow a few
+    // reclaim generations, then fold whatever is still boxed in back into
+    // its holder (conservation over reachability).
+    const std::uint32_t armed_cap = 4 * (cap + proto.reclaim_after);
+    for (std::uint32_t r = 0;
+         r < armed_cap && !(net.quiescent() && proto.pending_total == 0); ++r) {
+      net.step(proto);
+    }
+    proto.fold_back_pending();
+  }
 
   SparsePsResult result;
   result.num = std::move(proto.num);
@@ -442,7 +649,8 @@ void sparse_finish(std::uint32_t n, const Forest& forest,
   // historical criterion.  The same mask prunes the participating set
   // (Phase I membership captures who was alive at the *start*).
   std::vector<bool> alive;
-  if (scenario.faults.has_churn()) {
+  if (scenario.faults.has_churn() || scenario.faults.has_blocks() ||
+      scenario.faults.has_joins()) {
     alive = sim::survivor_mask(n, rngs, scenario.faults,
                                scenario.start_round + out.rounds_total);
     for (std::uint32_t v = 0; v < n; ++v)
@@ -470,10 +678,11 @@ void sparse_finish(std::uint32_t n, const Forest& forest,
     }
   }
   out.value = ref;
-  // Under churn a tree whose root died is legitimately cut off; the
-  // roots' agreement above is the consensus criterion then.  Without
-  // churn, broadcast incompleteness means retry exhaustion: report it.
-  if (bc_incomplete && !scenario.faults.has_churn()) out.consensus = false;
+  // Under mid-run deaths (churn or block outages) a tree whose root died
+  // is legitimately cut off; the roots' agreement above is the consensus
+  // criterion then.  Otherwise incompleteness means retry exhaustion.
+  if (bc_incomplete && !scenario.faults.has_churn() && !scenario.faults.has_blocks())
+    out.consensus = false;
 }
 
 // ---------------------------------------------------------------------------

@@ -101,7 +101,8 @@ template <class T>
 }
 
 [[nodiscard]] bool has_crashes(const RunSpec& spec) {
-  return spec.faults.crash_fraction > 0.0 || spec.faults.has_churn();
+  return spec.faults.crash_fraction > 0.0 || spec.faults.has_churn() ||
+         spec.faults.has_blocks() || spec.faults.has_joins();
 }
 
 /// Final-survivor mask for algorithms whose result struct carries none:
@@ -113,6 +114,12 @@ template <class T>
 [[nodiscard]] std::vector<bool> participating_mask(const RunSpec& spec,
                                                    std::uint32_t executed_rounds) {
   if (!has_crashes(spec)) return {};
+  // Mid-run joiners bootstrap empty (they carry traffic but hold no
+  // founding value), so the truth population is the surviving round-0
+  // cohort whenever the schedule has joins.
+  if (spec.faults.has_joins())
+    return sim::founder_mask(spec.n, RngFactory{spec.seed}, spec.faults,
+                             executed_rounds);
   return sim::survivor_mask(spec.n, RngFactory{spec.seed}, spec.faults,
                             executed_rounds);
 }
@@ -248,6 +255,13 @@ RunReport run_drr_udp(const RunSpec& spec, RunReport report) {
   }
   if (spec.pipeline != Pipeline::kDense) {
     report.error = "--transport udp implements the dense pipeline only";
+    return report;
+  }
+  if (spec.faults.has_blocks() || spec.faults.has_partitions() ||
+      spec.faults.has_joins() || !spec.faults.latency.zero()) {
+    report.error =
+        "--transport udp implements loss/crash/churn schedules only (no "
+        "block-crash, partition, join or latency events)";
     return report;
   }
   switch (spec.aggregate) {

@@ -173,4 +173,16 @@ struct RunReport {
   [[nodiscard]] double rel_error() const noexcept;
 };
 
+/// Validates a fault schedule at the facade seam: probabilities and
+/// fractions must lie in [0, 1] (event fractions in (0, 1)), churn/join
+/// events may not fire at round 0 (start-time crashes belong in
+/// crash_fraction; a round-0 join is a node that was simply present),
+/// partition heals must follow their cuts, and latency windows must be
+/// ordered.  Returns the first violation as a message, nullopt when the
+/// schedule is well-formed.  api::run rejects invalid schedules with this
+/// message instead of letting fault_timeline mis-cast a negative or
+/// saturated fraction.
+[[nodiscard]] std::optional<std::string> validate_faults(
+    const sim::FaultSchedule& faults);
+
 }  // namespace drrg::api

@@ -49,6 +49,45 @@ std::optional<Transport> transport_from_name(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+std::optional<std::string> validate_faults(const sim::FaultSchedule& faults) {
+  const auto bad = [](double x) { return !(x >= 0.0) || x > 1.0; };  // NaN-safe
+  if (bad(faults.loss_prob)) return "loss_prob must lie in [0, 1]";
+  if (bad(faults.crash_fraction) || faults.crash_fraction >= 1.0)
+    return "crash_fraction must lie in [0, 1)";
+  for (const sim::CrashEvent& e : faults.churn) {
+    if (e.round == 0)
+      return "churn events start at round 1 (round-0 crashes belong in "
+             "crash_fraction)";
+    if (bad(e.fraction) || e.fraction == 0.0 || e.fraction >= 1.0)
+      return "churn fractions must lie in (0, 1)";
+  }
+  for (const sim::JoinEvent& e : faults.joins) {
+    if (e.round == 0)
+      return "join events start at round 1 (a round-0 joiner is simply a "
+             "present node)";
+    if (bad(e.fraction) || e.fraction == 0.0 || e.fraction >= 1.0)
+      return "join fractions must lie in (0, 1)";
+  }
+  for (const sim::BlockCrashEvent& b : faults.blocks) {
+    if (b.lo >= b.hi) return "block-crash events need lo < hi";
+    if (b.stride != 0 && b.width == 0)
+      return "strided block-crash events need width >= 1";
+    if (b.stride != 0 && b.width > b.stride)
+      return "block-crash width must not exceed its stride";
+  }
+  for (const sim::PartitionEvent& p : faults.partitions) {
+    if (p.heal_round <= p.round) return "partition heal rounds must follow the cut";
+    if (p.boundary == 0) return "partition boundary 0 cuts nothing";
+  }
+  const sim::LatencyModel& l = faults.latency;
+  if (l.kind == sim::LatencyModel::Kind::kUniform ||
+      l.kind == sim::LatencyModel::Kind::kHeavyTail) {
+    if (l.max_delay < l.min_delay) return "latency window needs min <= max";
+  }
+  if (bad(l.tail_prob)) return "latency tail_prob must lie in [0, 1]";
+  return std::nullopt;
+}
+
 double RunReport::abs_error() const noexcept { return std::fabs(value - truth); }
 
 double RunReport::rel_error() const noexcept {
@@ -127,6 +166,10 @@ RunReport run(std::string_view algorithm, const RunSpec& spec) {
     report.supported = false;
     report.error = "transport '" + std::string{to_string(spec.transport)} +
                    "' not supported by '" + algo->name + "'";
+    return report;
+  }
+  if (std::optional<std::string> bad = validate_faults(spec.faults)) {
+    report.error = "invalid fault schedule: " + *bad;
     return report;
   }
   try {

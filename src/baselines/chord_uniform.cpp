@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -25,6 +26,7 @@ struct CuMsg {
   std::uint64_t key = 0;     // routing target on the ring
   std::uint32_t smear = 0;   // remaining successor steps after the owner
   bool smearing = false;     // reached the key's owner; now walking successors
+  bool pull_request = false; // a joiner asking its successor for state
 };
 
 /// Near-uniform routed push (the §4 Assumption-2 sampler, hop by hop):
@@ -58,6 +60,23 @@ struct ChordPushProtocol {
     absorb(x, m);
   }
 
+  /// Mid-run joiner: bootstrap from the Chord successor.  Push-sum mode
+  /// joins with the canonical (0, 0) pair (no founding mass -- the
+  /// founders' average is conserved); push-max mode holds no founding
+  /// value and pulls the successor's current maximum, the one overlay
+  /// neighbor a freshly stabilized node is guaranteed to know.
+  void on_join(sim::Network<CuMsg>& net, sim::NodeId v) {
+    if (halve) {
+      (*s)[v] = 0.0;
+      (*w)[v] = 0.0;
+      return;
+    }
+    (*value)[v] = -std::numeric_limits<double>::infinity();
+    CuMsg m;
+    m.pull_request = true;
+    net.send(v, chord.successor(v), std::move(m), 1);
+  }
+
   void on_round(sim::Network<CuMsg>& net, sim::NodeId v) {
     if (net.round() >= initiate_rounds) return;
     CuMsg m;
@@ -75,17 +94,35 @@ struct ChordPushProtocol {
     hop(net, v, std::move(m));
   }
 
-  void on_message(sim::Network<CuMsg>& net, sim::NodeId, sim::NodeId dst, const CuMsg& m) {
+  void on_message(sim::Network<CuMsg>& net, sim::NodeId src, sim::NodeId dst,
+                  const CuMsg& m) {
+    if (m.pull_request) {
+      if (value != nullptr) {
+        CuMsg r;
+        r.a = (*value)[dst];
+        net.reply(dst, src, std::move(r), bits);
+      }
+      return;
+    }
     hop(net, dst, m);
+  }
+
+  void on_reply(sim::Network<CuMsg>&, sim::NodeId, sim::NodeId dst, const CuMsg& m) {
+    absorb(dst, m);
   }
 };
 
 /// Initiation rounds followed by a drain until the network is quiescent
-/// (every in-flight routed push has landed or been lost).
+/// (every in-flight routed push has landed or been lost).  Under an
+/// event-time latency model each hop can sit up to `bound` extra rounds
+/// in the future ring, so the drain horizon stretches accordingly
+/// (factor 1 at latency 0).
 template <class P>
-std::uint32_t run_with_drain(sim::Network<CuMsg>& net, P& proto, std::uint32_t n) {
+std::uint32_t run_with_drain(sim::Network<CuMsg>& net, P& proto, std::uint32_t n,
+                             const sim::Scenario& scenario) {
   for (std::uint32_t r = 0; r < proto.initiate_rounds; ++r) net.step(proto);
-  const std::uint32_t drain_cap = 4 * ceil_log2(n) + 16;
+  const std::uint32_t drain_cap =
+      (1 + scenario.faults.latency.bound()) * (4 * ceil_log2(n) + 16);
   for (std::uint32_t r = 0; r < drain_cap && !net.quiescent(); ++r) net.step(proto);
   return net.counters().rounds;
 }
@@ -116,7 +153,7 @@ ChordUniformResult chord_uniform_push_max(const ChordOverlay& chord,
       64 + address_bits(n)};
   proto.value = &result.value;
 
-  result.rounds = run_with_drain(net, proto, n);
+  result.rounds = run_with_drain(net, proto, n, scenario);
   // Consensus = the final survivors agree on one value.  Under churn that
   // common value can legitimately exceed the survivor maximum (a value
   // already circulated before its holder crashed), so agreement -- not
@@ -168,7 +205,7 @@ ChordUniformResult chord_uniform_push_sum(const ChordOverlay& chord,
   proto.w = &w;
 
   ChordUniformResult result;
-  result.rounds = run_with_drain(net, proto, n);
+  result.rounds = run_with_drain(net, proto, n, scenario);
   result.value.assign(n, 0.0);
   for (sim::NodeId v : net.alive_nodes()) {
     result.value[v] = w[v] > 0.0 ? s[v] / w[v] : 0.0;

@@ -24,20 +24,41 @@ struct PaMsg {
 /// decline, which keeps all exchanges of a round on disjoint pairs --
 /// otherwise a node could be averaged twice concurrently and the sum
 /// invariant would break.  A lost offer simply averages nothing.
+///
+/// Under event-time latency the offer (and with it the reply) can land
+/// several rounds after the send, so the offerer stays *locked* until the
+/// exchange resolves: it initiates nothing, declines incoming offers, and
+/// keeps its value untouched -- the delayed kMean replaces a value that is
+/// provably still the one the partner averaged, preserving the sum
+/// invariant.  An offer unresolved past the model's delay bound was lost
+/// (the reply rides the reliable same-round path of the delivery round),
+/// so the lock times out.  With the zero model every exchange resolves in
+/// its own round and the lock is invisible.
 struct PairwiseProtocol {
   explicit PairwiseProtocol(std::vector<double> v, const Graph* graph,
-                            std::uint32_t bits)
+                            std::uint32_t bits, std::uint32_t latency_bound)
       : value(std::move(v)), active(value.size(), false),
-        paired(value.size(), false), g(graph), value_bits(bits) {}
+        paired(value.size(), false), locked(value.size(), 0),
+        offer_round(value.size(), 0), g(graph), value_bits(bits),
+        ack_deadline(latency_bound) {}
 
   std::vector<double> value;
   std::vector<bool> active;  // this round's role
   std::vector<bool> paired;  // passive node already matched this round
+  std::vector<std::uint8_t> locked;  // offer in flight: mid-exchange
+  std::vector<std::uint32_t> offer_round;
   const Graph* g;            // nullptr = complete graph, uniform partners
   std::uint32_t value_bits;
+  std::uint32_t ack_deadline;  // latency bound; 0 = same-round resolution
 
   void on_round(sim::Network<PaMsg>& net, sim::NodeId v) {
     paired[v] = false;
+    if (locked[v]) {
+      // Outstanding offer: hold the value (and the decline stance) until
+      // the exchange resolves or times out.
+      active[v] = true;
+      return;
+    }
     active[v] = net.node_rng(v).next_bernoulli(0.5);
     if (!active[v]) return;
     sim::NodeId partner;
@@ -49,13 +70,15 @@ struct PairwiseProtocol {
       if (nb.empty()) return;
       partner = nb[net.node_rng(v).next_below(nb.size())];
     }
+    locked[v] = 1;
+    offer_round[v] = net.round();
     net.send(v, partner, PaMsg{PaMsg::Kind::kOffer, value[v]}, value_bits);
   }
 
   void on_message(sim::Network<PaMsg>& net, sim::NodeId src, sim::NodeId dst,
                   const PaMsg& m) {
     if (m.kind != PaMsg::Kind::kOffer) return;
-    if (active[dst] || paired[dst]) {
+    if (active[dst] || paired[dst] || locked[dst]) {
       net.reply(dst, src, PaMsg{PaMsg::Kind::kBusy, 0.0}, 1);
       return;
     }
@@ -66,7 +89,14 @@ struct PairwiseProtocol {
   }
 
   void on_reply(sim::Network<PaMsg>&, sim::NodeId, sim::NodeId dst, const PaMsg& m) {
+    locked[dst] = 0;
     if (m.kind == PaMsg::Kind::kMean) value[dst] = m.value;
+  }
+
+  void on_round_end(sim::Network<PaMsg>& net, sim::NodeId v) {
+    // Past the delay bound the reply would already have arrived: the
+    // offer was lost (crashed partner, loss coin), nothing was averaged.
+    if (locked[v] && offer_round[v] + ack_deadline <= net.round()) locked[v] = 0;
   }
 };
 
@@ -78,14 +108,23 @@ PairwiseResult run_pairwise(std::uint32_t n, std::span<const double> values,
   sim::Network<PaMsg> net{n, rngs, scenario, /*purpose=*/0x9a19};
 
   PairwiseProtocol proto{std::vector<double>(values.begin(), values.begin() + n), g,
-                         64 + address_bits(n)};
+                         64 + address_bits(n), scenario.faults.latency.bound()};
   double sum = 0.0;
   for (sim::NodeId v : net.alive_nodes()) sum += proto.value[v];
   const double ave = sum / static_cast<double>(net.alive_nodes().size());
   const double scale = std::max(std::fabs(ave), 1e-300);
 
+  // Each exchange holds its offerer locked for the call's flight time, so
+  // a node attempts an exchange only every ~(1 + E[delay]) rounds; on top
+  // of that an offer in flight lands on a partner whose lock state is
+  // sampled at the *delivery* round, and partners spend an E[delay]/(1 +
+  // E[delay]) fraction of their time locked, cutting the per-attempt
+  // acceptance rate by the same factor.  Both penalties compound, so the
+  // budget stretches quadratically (exactly 1 under the zero model).
+  const double per = 1.0 + scenario.faults.latency.mean();
+  const double lat = per * per;
   const auto rounds = static_cast<std::uint32_t>(config.round_multiplier *
-                                                 static_cast<double>(ceil_log2(n))) +
+                                                 static_cast<double>(ceil_log2(n)) * lat) +
                       config.extra_rounds;
   PairwiseResult result;
   for (std::uint32_t r = 0; r < rounds; ++r) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "sim/engine.hpp"
@@ -16,6 +17,7 @@ namespace {
 
 struct MaxMsg {
   double value;
+  bool pull_request = false;  // a joiner asking for the callee's maximum
 };
 
 struct PushMaxProtocol {
@@ -26,8 +28,19 @@ struct PushMaxProtocol {
   void on_round(sim::Network<MaxMsg>& net, sim::NodeId v) {
     net.send(v, net.sample_peer(v), MaxMsg{value[v]}, value_bits);
   }
+  /// Mid-run joiner: it holds no founding value (the aggregate is over the
+  /// start-time cohort), so it bootstraps by pulling the current maximum
+  /// from a uniform live peer -- the reply lands within its birth round.
+  void on_join(sim::Network<MaxMsg>& net, sim::NodeId v) {
+    value[v] = -std::numeric_limits<double>::infinity();
+    net.send(v, net.sample_peer(v), MaxMsg{value[v], /*pull_request=*/true}, 1);
+  }
   void on_message(sim::Network<MaxMsg>& net, sim::NodeId src, sim::NodeId dst,
                   const MaxMsg& m) {
+    if (m.pull_request) {
+      net.reply(dst, src, MaxMsg{value[dst]}, value_bits);
+      return;
+    }
     if (pull) net.reply(dst, src, MaxMsg{value[dst]}, value_bits);
     value[dst] = std::max(value[dst], m.value);
   }
@@ -103,6 +116,15 @@ struct PushSumAllProtocol {
     w[v] *= 0.5;
     net.send(v, net.sample_peer(v), SumMsg{s[v], w[v]}, pair_bits);
   }
+  /// Mid-run joiner: the canonical push-sum join is (0, 0) -- it carries
+  /// traffic and accumulates mass from incoming shares, but contributes
+  /// nothing, so sum(s)/sum(w) (and thus the founders' average) is
+  /// conserved.  Without this hook a joiner would pop in with its stale
+  /// start-time pair and inject mass the protocol never mixed.
+  void on_join(sim::Network<SumMsg>&, sim::NodeId v) {
+    s[v] = 0.0;
+    w[v] = 0.0;
+  }
   void on_message(sim::Network<SumMsg>&, sim::NodeId, sim::NodeId dst, const SumMsg& m) {
     s[dst] += m.s;
     w[dst] += m.w;
@@ -175,6 +197,13 @@ struct KarpProtocol {
   std::uint64_t transmissions = 0;
   std::uint32_t informed_count = 1;
   std::uint32_t rumor_bits = 64;
+
+  /// Mid-run joiner: uninformed by construction; ask a uniform live peer
+  /// for the rumor right away (the pull it would otherwise issue next
+  /// round, moved into the birth round).
+  void on_join(sim::Network<RumorMsg>& net, sim::NodeId v) {
+    net.send(v, net.sample_peer(v), RumorMsg{RumorMsg::Kind::kPullRequest, 0}, 1);
+  }
 
   void on_round(sim::Network<RumorMsg>& net, sim::NodeId v) {
     // Every node calls one random partner each round (the model's free

@@ -28,6 +28,10 @@ struct PsMsg {
   // envelopes): the queues are the engine's hottest memory traffic.
   double num = 0.0;
   double den = 0.0;
+  // Sender-local sequence number of the initiating half, echoed by the
+  // first-hop ack: under event-time latency several halves from one root
+  // are outstanding at once, and the ack must resolve the right one.
+  std::uint32_t seq = 0;
   // True on the initiating hop from the sending root; the first receiver
   // acknowledges it so the sender can detect a lost call.
   bool first_hop = false;
@@ -44,14 +48,16 @@ struct PushSumProtocol {
 
   PushSumProtocol(const Forest& f, std::span<const double> num0,
                   std::span<const double> den0, const PushSumConfig& cfg,
-                  std::uint32_t n, bool relay_members)
+                  std::uint32_t n, bool relay_members, std::uint32_t latency_bound)
       : forest(f),
         forward(cfg.forward_via_trees),
         relay(relay_members && cfg.forward_via_trees),
         recover(cfg.recover_lost_mass),
+        ack_deadline(latency_bound),
         num(n, 0.0),
         den(n, 0.0),
         pending(n),
+        next_seq(n, 0),
         root_index(n, 0),
         push_rounds(static_cast<std::uint32_t>(cfg.rounds_multiplier *
                                                static_cast<double>(ceil_log2(n)) *
@@ -71,12 +77,17 @@ struct PushSumProtocol {
     }
   }
 
-  /// The half sent this round, held until the first receiver's ack; a
-  /// missing ack at round end means the call was lost (crashed target or
-  /// loss coin) and the mass is re-absorbed, restoring the conservation
-  /// law sum(num), sum(den) that the push-sum limit relies on.
+  /// A sent half held until the first receiver's ack.  The re-absorption
+  /// deadline is latency-aware: a half sent at round S arrives at the
+  /// latest in round S + bound (the model's maximum delay) and its ack
+  /// rides the reliable reply path of that same round, so no ack by the
+  /// end of round S + bound means the call was lost (crashed target, loss
+  /// coin, partition cut) and the mass is re-absorbed -- restoring the
+  /// conservation law sum(num), sum(den) that the push-sum limit relies
+  /// on, without double-counting halves that were merely delayed.
   struct Outstanding {
-    bool active = false;
+    std::uint32_t seq = 0;
+    std::uint32_t sent_round = 0;
     double num = 0.0;
     double den = 0.0;
     [[no_unique_address]] std::conditional_t<kTrack, std::vector<double>, NoPayload> y{};
@@ -86,9 +97,11 @@ struct PushSumProtocol {
   bool forward;
   bool relay;  // explicit topology: leave the tree via a random member
   bool recover;
+  std::uint32_t ack_deadline;  // latency bound; 0 = same-round resolution
   std::vector<double> num;
   std::vector<double> den;
-  std::vector<Outstanding> pending;
+  std::vector<std::vector<Outstanding>> pending;  // per-root outstanding halves
+  std::vector<std::uint32_t> next_seq;
   std::vector<std::uint32_t> root_index;
   std::vector<std::vector<double>> Y;  // contribution rows, root-index order
   std::uint32_t push_rounds;
@@ -105,7 +118,7 @@ struct PushSumProtocol {
     // Keep half, send half (computed before any of this round's receipts).
     num[v] *= 0.5;
     den[v] *= 0.5;
-    Msg m{num[v], den[v], /*first_hop=*/true, Msg::Kind::kMass, {}};
+    Msg m{num[v], den[v], next_seq[v]++, /*first_hop=*/true, Msg::Kind::kMass, {}};
     if constexpr (kTrack) {
       auto& row = Y[root_index[v]];
       for (double& yj : row) yj *= 0.5;
@@ -113,9 +126,9 @@ struct PushSumProtocol {
     }
     if (recover) {
       if constexpr (kTrack) {
-        pending[v] = Outstanding{true, m.num, m.den, m.y};
+        pending[v].push_back(Outstanding{m.seq, net.round(), m.num, m.den, m.y});
       } else {
-        pending[v] = Outstanding{true, m.num, m.den, {}};
+        pending[v].push_back(Outstanding{m.seq, net.round(), m.num, m.den, {}});
       }
     }
     if (relay) {
@@ -139,10 +152,17 @@ struct PushSumProtocol {
 
   void on_message(sim::Network<Msg>& net, sim::NodeId src, sim::NodeId dst, const Msg& m) {
     if (m.kind == Msg::Kind::kAck) return;  // acks ride the reply path
+    if (!forest.is_member(dst)) {
+      // A mid-run joiner outside the forest overlay cannot forward the
+      // share (it has no root).  Crucially it must not ack either: the
+      // sender's recovery deadline then re-absorbs the half, so no mass
+      // leaks into bystanders.
+      return;
+    }
     if (recover && m.first_hop) {
       // Acknowledge on the established call: the sender now knows its
       // half arrived (replies are reliable in the §2 model).
-      net.reply(dst, src, Msg{0.0, 0.0, false, Msg::Kind::kAck, {}}, 1);
+      net.reply(dst, src, Msg{0.0, 0.0, m.seq, false, Msg::Kind::kAck, {}}, 1);
     }
     if (m.kind == Msg::Kind::kRelayMass) {
       // Relay hop: this member samples *its* substrate neighbor.
@@ -172,22 +192,39 @@ struct PushSumProtocol {
   }
 
   void on_reply(sim::Network<Msg>&, sim::NodeId, sim::NodeId dst, const Msg& m) {
-    if (m.kind == Msg::Kind::kAck) pending[dst].active = false;
-  }
-
-  void on_round_end(sim::Network<Msg>&, sim::NodeId v) {
-    if (!recover || !pending[v].active) return;
-    // No ack: the initiating call was lost.  Re-absorb the sent half so
-    // no (num, den) mass leaves the system.
-    num[v] += pending[v].num;
-    den[v] += pending[v].den;
-    if constexpr (kTrack) {
-      if (!pending[v].y.empty()) {
-        auto& row = Y[root_index[v]];
-        for (std::size_t j = 0; j < row.size(); ++j) row[j] += pending[v].y[j];
+    if (m.kind != Msg::Kind::kAck) return;
+    auto& q = pending[dst];
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (q[i].seq == m.seq) {
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));  // stable: FP order
+        break;
       }
     }
-    pending[v].active = false;
+  }
+
+  void on_round_end(sim::Network<Msg>& net, sim::NodeId v) {
+    if (!recover || pending[v].empty()) return;
+    // Every half whose latest possible ack round has passed was lost:
+    // re-absorb it so no (num, den) mass leaves the system.  Halves still
+    // inside the latency window stay parked.
+    auto& q = pending[v];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (q[i].sent_round + ack_deadline <= net.round()) {
+        num[v] += q[i].num;
+        den[v] += q[i].den;
+        if constexpr (kTrack) {
+          if (!q[i].y.empty()) {
+            auto& row = Y[root_index[v]];
+            for (std::size_t j = 0; j < row.size(); ++j) row[j] += q[i].y[j];
+          }
+        }
+      } else {
+        if (keep != i) q[keep] = std::move(q[i]);
+        ++keep;
+      }
+    }
+    q.resize(keep);
   }
 
   /// Phi_t of Lemma 8 over the current contribution rows.
@@ -215,11 +252,17 @@ PushSumResult run_push_sum_impl(const Forest& forest, std::span<const double> nu
   const std::uint32_t n = forest.size();
   sim::Network<PsMsg<kTrack>> net{n, rngs, scenario, derive_seed(0xa4e, config.stream_tag)};
   PushSumProtocol<kTrack> proto{forest, num0, den0, config, n,
-                                config.member_relay && !scenario.topology.is_complete()};
+                                config.member_relay && !scenario.topology.is_complete(),
+                                scenario.faults.latency.bound()};
 
   PushSumResult result;
   const NodeId z = forest.largest_tree_root();
-  const std::uint32_t drain = config.forward_via_trees ? 3 : 0;
+  // The forwarding drain flushes the G~ relay chain (up to three hops);
+  // under event-time latency every hop can additionally sit in flight for
+  // the model's bound, so the drain stretches accordingly (exactly 3 for
+  // the zero model -- the historical schedule).
+  const std::uint32_t drain =
+      config.forward_via_trees ? 3 * (1 + scenario.faults.latency.bound()) : 0;
   for (std::uint32_t r = 0; r < proto.push_rounds + drain; ++r) {
     net.step(proto);
     if constexpr (kTrack) {
@@ -258,7 +301,8 @@ PushSumResult run_push_sum_flat(const Forest& forest, std::span<const double> nu
                                 const PushSumConfig& config) {
   const std::uint32_t n = forest.size();
   const bool relay = config.member_relay && !scenario.topology.is_complete();
-  PushSumProtocol<false> proto{forest, num0, den0, config, n, relay};
+  PushSumProtocol<false> proto{forest, num0, den0, config, n, relay,
+                               /*latency_bound=*/0};  // flat = fault-free
   const std::uint64_t purpose = derive_seed(0xa4e, config.stream_tag);
   const sim::Topology& topology = scenario.topology;
   const std::vector<NodeId>& roots = forest.roots();

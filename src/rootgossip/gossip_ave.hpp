@@ -50,6 +50,16 @@ struct PushSumConfig {
   /// (probability loss_prob per hop) are still unrecovered: the residual
   /// drift is O(loss_prob), zero at loss 0.
   bool recover_lost_mass = true;
+  /// Routed pipelines only (sparse/chord substrates): arm the hop-level
+  /// carry-ack.  Every forwarded share hop becomes a custody transfer --
+  /// the sender parks the mass until the next carrier acks on the
+  /// established call, and re-homes it on a fresh route when the ack
+  /// window lapses (lost hop, carrier crashed mid-flight, or a route
+  /// stranded by dead lattice regions).  Closes the per-hop O(loss) mass
+  /// leak recover_lost_mass cannot see (that ack covers only the
+  /// initiating call).  Off by default: armed runs trade ~1 ack per hop
+  /// and a wider upcall scan for conservation under loss.
+  bool hop_carry_ack = false;
   /// Track contribution vectors (O(m^2) memory; analysis mode only).
   bool track_potential = false;
   /// Disambiguates RNG streams when one pipeline runs the protocol twice.

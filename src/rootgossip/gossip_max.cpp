@@ -106,6 +106,10 @@ struct GossipMaxProtocol {
                key_bits);
       return;
     }
+    // A mid-run joiner that arrived after the forest was fixed is alive
+    // but outside the overlay: it has no root to forward to, so the call
+    // dies here exactly like a call to a crashed address.
+    if (!forest.is_member(dst)) return;
     // root_of(v) == v iff v is a member root: one load replaces the
     // member/parent double lookup on the hottest delivery path.
     const sim::NodeId root = forest.root_of(dst);

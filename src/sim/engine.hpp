@@ -31,6 +31,21 @@
 // this network's clock so multi-phase pipelines can thread one global
 // schedule through per-phase Network instances.
 //
+// Structured adversity (all byte-invisible when absent from the schedule):
+//   * LatencyModel -- each call draws a per-message delay d from the
+//     engine's latency stream and arrives at the delivery step d rounds
+//     after it normally would (event-time delivery via a future-bucket
+//     ring).  Replies ride the established call and stay same-round.
+//     With the model zero() no draw happens and no code path changes.
+//   * BlockCrashEvent -- correlated rack/rectangle outages, folded into
+//     the same death timeline as churn (sim::full_timeline).
+//   * PartitionEvent -- while active, every message straddling the
+//     boundary is dropped (replies included: the cut is physical).
+//   * JoinEvent -- deferred births: an unborn node is crashed until its
+//     birth round, then revives, is inserted into the alive set, and the
+//     protocol's optional on_join(net, v) hook fires so it can bootstrap
+//     state from a live peer.
+//
 // Protocols are plain structs; the engine discovers optional hooks with
 // C++20 `requires`, so a protocol only implements what it needs:
 //
@@ -92,21 +107,35 @@ class Network {
         rngs_(rngs),
         purpose_(purpose),
         loss_rng_(rngs.engine_stream(derive_seed(purpose, 0x105eULL))),
-        lossy_run_(scenario_.faults.loss_prob > 0.0) {
+        latency_rng_(rngs.engine_stream(derive_seed(purpose, 0x1a7eULL))),
+        lossy_run_(scenario_.faults.loss_prob > 0.0),
+        latency_on_(!scenario_.faults.latency.zero()),
+        partitioned_(scenario_.faults.has_partitions()) {
     assert(scenario_.topology.is_complete() || scenario_.topology.size() == n);
     node_rngs_.resize(n);  // lazily seeded on first use
-    const std::vector<std::uint32_t> death = fault_timeline(n, rngs, scenario_.faults);
+    const FaultTimeline timeline = full_timeline(n, rngs, scenario_.faults);
     crashed_.assign(n, 0);
     alive_.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
-      if (death[v] <= scenario_.start_round) {
-        crashed_[v] = 1;
-      } else {
+      const bool born = timeline.birth[v] <= scenario_.start_round;
+      const bool dead = timeline.death[v] <= scenario_.start_round;
+      if (born && !dead) {
         alive_.push_back(v);
-        if (death[v] != kNeverCrashes) pending_deaths_.push_back({death[v], v});
+      } else {
+        crashed_[v] = 1;
+      }
+      if (!born) {
+        pending_births_.push_back({timeline.birth[v], v});
+        if (unborn_.empty()) unborn_.assign(n, 0);
+        unborn_[v] = 1;
+      }
+      if (!dead && timeline.death[v] != kNeverCrashes) {
+        pending_deaths_.push_back({timeline.death[v], v});
       }
     }
     std::sort(pending_deaths_.begin(), pending_deaths_.end());
+    std::sort(pending_births_.begin(), pending_births_.end());
+    if (latency_on_) future_.resize(scenario_.faults.latency.bound() + 2);
   }
 
   [[nodiscard]] std::uint32_t size() const noexcept { return n_; }
@@ -123,9 +152,10 @@ class Network {
   [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
   [[nodiscard]] const FaultSchedule& faults() const noexcept { return scenario_.faults; }
   [[nodiscard]] const Topology& topology() const noexcept { return scenario_.topology; }
-  /// True when no sends or replies are queued for delivery.
+  /// True when no sends or replies are queued for delivery (including
+  /// delayed messages still in flight under a latency model).
   [[nodiscard]] bool quiescent() const noexcept {
-    return outbox_.empty() && replies_.empty();
+    return outbox_.empty() && replies_.empty() && future_count_ == 0;
   }
 
   /// Per-node private randomness stream (constructed on first use).
@@ -139,8 +169,18 @@ class Network {
   /// random phone call primitive.  Uniform over all of V on the complete
   /// topology (crashed nodes can be sampled -- a call to a crashed node is
   /// simply lost); uniform over the caller's neighbors on an explicit one.
+  /// A node whose scheduled join has not happened yet has no address
+  /// anybody could dial, so unborn targets are resampled (bounded spin;
+  /// mass-conserving protocols would otherwise leak shares into nodes
+  /// that are not part of the system yet).  Without a join schedule the
+  /// mask stays empty and not a single extra draw happens.
   [[nodiscard]] NodeId sample_peer(NodeId caller) noexcept {
-    return scenario_.topology.sample_peer(caller, n_, node_rng(caller));
+    NodeId peer = scenario_.topology.sample_peer(caller, n_, node_rng(caller));
+    if (!unborn_.empty()) {
+      for (int spin = 0; spin < 16 && unborn_[peer]; ++spin)
+        peer = scenario_.topology.sample_peer(caller, n_, node_rng(caller));
+    }
+    return peer;
   }
 
   /// Historical name for sample_peer.
@@ -148,13 +188,27 @@ class Network {
     return sample_peer(caller);
   }
 
-  /// Initiates a call: delivered this round at the delivery step, lost with
-  /// probability loss_prob.  `bits` is the payload size for the
-  /// O(log n + log s) message-size accounting.
+  /// Initiates a call: delivered at the delivery step it is scheduled for
+  /// (this round from on_round, next round when forwarding), plus a
+  /// per-message delay drawn from the latency model when one is active;
+  /// lost with probability loss_prob at delivery time.  `bits` is the
+  /// payload size for the O(log n + log s) message-size accounting.
   void send(NodeId src, NodeId dst, Msg m, std::uint32_t bits) {
     assert(dst < n_);
     counters_.sent += 1;
     counters_.bits += bits;
+    if (latency_on_) {
+      // Arrival = the round this send would legacy-deliver in, plus the
+      // drawn delay.  Sends made during delivery or on_round_end target
+      // the next round's step (the forwarding-costs-a-round accounting).
+      const std::uint32_t base = (in_delivery_ || post_delivery_) ? round_ + 1 : round_;
+      const std::uint32_t arrival = base + scenario_.faults.latency.draw(latency_rng_);
+      if (arrival != round_) {
+        future_[arrival % future_.size()].push_back(Envelope{src, dst, std::move(m)});
+        ++future_count_;
+        return;
+      }
+    }
     outbox_.push_back(Envelope{src, dst, std::move(m)});
   }
 
@@ -186,6 +240,7 @@ class Network {
   /// pipelines that interleave protocols).
   template <class P>
   void step(P& proto) {
+    apply_scheduled_births(proto, global_round());
     apply_scheduled_deaths(global_round());
     ++counters_.rounds;
     const bool check_crash = alive_.size() != n_;  // crash-free fast path
@@ -193,18 +248,30 @@ class Network {
       if (check_crash && crashed_[v]) continue;
       if constexpr (requires { proto.on_round(*this, v); }) proto.on_round(*this, v);
     }
+    if (latency_on_) {
+      // Delayed messages due this round deliver first: they were sent in
+      // earlier rounds, so they precede this round's fresh calls -- the
+      // same relative order the legacy outbox gives forwards vs. new
+      // sends.  Sends made while delivering them land in the future ring
+      // (arrival >= round_ + 1), never back in the batch being drained.
+      auto& due = future_[round_ % future_.size()];
+      future_count_ -= due.size();
+      deliver_queue(proto, due, /*lossy=*/true, /*as_reply=*/false);
+    }
     deliver_queue(proto, outbox_, /*lossy=*/true, /*as_reply=*/false);
     // Replies generated while delivering; drains until quiet so that a
     // reply chain within one established call completes this round.
     while (!replies_.empty()) {
       deliver_queue(proto, replies_, /*lossy=*/false, /*as_reply=*/true);
     }
+    post_delivery_ = true;
     if constexpr (requires(NodeId v) { proto.on_round_end(*this, v); }) {
       for (NodeId v : upcall_set(proto)) {
         if (check_crash && crashed_[v]) continue;
         proto.on_round_end(*this, v);
       }
     }
+    post_delivery_ = false;
     ++round_;
   }
 
@@ -227,6 +294,35 @@ class Network {
       return proto.active_nodes();
     } else {
       return {alive_.data(), alive_.size()};
+    }
+  }
+
+  /// Revives every node whose scheduled birth round has arrived: it joins
+  /// the alive set (sorted insert, preserving upcall order) and the
+  /// protocol's optional on_join hook fires so the joiner can bootstrap
+  /// state -- sends made from on_join are delivered this round.  Births
+  /// run before deaths so a block outage scheduled at a node's own birth
+  /// round still kills it.
+  template <class P>
+  void apply_scheduled_births(P& proto, std::uint32_t global_round) {
+    if (next_birth_ >= pending_births_.size()) return;
+    joined_now_.clear();
+    while (next_birth_ < pending_births_.size() &&
+           pending_births_[next_birth_].first <= global_round) {
+      const NodeId v = pending_births_[next_birth_].second;
+      ++next_birth_;
+      crashed_[v] = 0;
+      unborn_[v] = 0;
+      alive_.insert(std::lower_bound(alive_.begin(), alive_.end(), v), v);
+      joined_now_.push_back(v);
+    }
+    // Deaths scheduled for this same round (a block outage covering the
+    // joiner) must fire before the join upcall, so apply them eagerly.
+    apply_scheduled_deaths(global_round);
+    if constexpr (requires(NodeId v) { proto.on_join(*this, v); }) {
+      for (NodeId v : joined_now_) {
+        if (crashed_[v] == 0) proto.on_join(*this, v);
+      }
     }
   }
 
@@ -260,8 +356,15 @@ class Network {
     std::uint64_t delivered = 0;
     std::uint64_t lost = 0;
     const bool check_crash = alive_.size() != n_;
+    // Partition cuts are evaluated at delivery time against the current
+    // global round, so a delayed message crossing a since-healed cut gets
+    // through and one arriving mid-partition is dropped.  The cut is
+    // physical: it precedes (and so elides) the loss coin, and it applies
+    // to replies too.
+    const bool check_cut = partitioned_;
+    const std::uint32_t g = global_round();
     for (Envelope& e : scratch_) {
-      if ((check_crash && crashed_[e.dst]) ||
+      if ((check_crash && crashed_[e.dst]) || (check_cut && cut_now(g, e.src, e.dst)) ||
           (coin && loss_rng_.next_bernoulli(loss_prob))) {
         ++lost;
         continue;
@@ -285,14 +388,33 @@ class Network {
     scratch_.clear();  // keeps capacity: steady-state rounds allocate nothing
   }
 
+  [[nodiscard]] bool cut_now(std::uint32_t global_round, NodeId src,
+                             NodeId dst) const noexcept {
+    for (const PartitionEvent& p : scenario_.faults.partitions) {
+      if (p.active_at(global_round) && p.cuts(src, dst)) return true;
+    }
+    return false;
+  }
+
   std::uint32_t n_;
   Scenario scenario_;
   RngFactory rngs_;
   std::uint64_t purpose_;
   Rng loss_rng_;
+  Rng latency_rng_;
   bool lossy_run_;
+  bool latency_on_;
+  bool partitioned_;
   std::vector<std::pair<std::uint32_t, NodeId>> pending_deaths_;  // sorted
   std::size_t next_death_ = 0;
+  std::vector<std::pair<std::uint32_t, NodeId>> pending_births_;  // sorted
+  /// Non-empty iff the schedule has joins; unborn_[v] = 1 until v's birth
+  /// (sample_peer resamples these -- an unjoined node has no address).
+  std::vector<std::uint8_t> unborn_;
+  std::size_t next_birth_ = 0;
+  std::vector<NodeId> joined_now_;  // this round's arrivals (pooled)
+  std::vector<std::vector<Envelope>> future_;  // latency ring, slot = round % size
+  std::size_t future_count_ = 0;
   std::vector<std::uint8_t> crashed_;  // flat byte array: branch-light delivery check
   std::vector<NodeId> alive_;
   std::vector<std::optional<Rng>> node_rngs_;  // lazily seeded
@@ -302,6 +424,7 @@ class Network {
   Counters counters_{};
   std::uint32_t round_ = 0;
   bool in_delivery_ = false;
+  bool post_delivery_ = false;  // inside on_round_end (latency base round)
 };
 
 }  // namespace drrg::sim

@@ -21,7 +21,8 @@ struct CcMsg {
 struct CcProtocol {
   CcProtocol(const Forest& f, std::span<const double> values, ConvergecastOp o,
              std::uint32_t n)
-      : forest(f), op(o), value_bits(64 + address_bits(n)), state(n) {
+      : forest(f), op(o), value_bits(64 + address_bits(n)), state(n),
+        reported(n, 0) {
     for (NodeId v = 0; v < n; ++v) {
       if (!f.is_member(v)) continue;
       NodeState& s = state[v];
@@ -48,6 +49,13 @@ struct CcProtocol {
   ConvergecastOp op;
   std::uint32_t value_bits;
   std::vector<NodeState> state;
+  /// reported[c]: c's kValue was absorbed at its parent.  Every node has
+  /// exactly one parent, so one flag per child edge.  Under event-time
+  /// latency the resend loop puts several copies of the same kValue in
+  /// flight before the first ack returns; absorbing a duplicate would
+  /// double-count the subtree and wrap pending_children, so duplicates
+  /// are acked (to stop the resends) but never absorbed.
+  std::vector<std::uint8_t> reported;
   std::vector<NodeId> active;          // non-roots not yet acked, ascending
   std::uint32_t unfinished = 0;        // non-roots that have not been acked
   std::uint32_t unfinished_roots = 0;  // roots still waiting on children
@@ -78,11 +86,14 @@ struct CcProtocol {
   void on_message(sim::Network<CcMsg>& net, sim::NodeId src, sim::NodeId dst,
                   const CcMsg& m) {
     if (m.kind != CcMsg::Kind::kValue) return;
-    NodeState& s = state[dst];
-    absorb(s, m.a, m.b);
-    --s.pending_children;
-    if (s.pending_children == 0 && forest.is_root(dst) && unfinished_roots > 0)
-      --unfinished_roots;
+    if (!reported[src]) {
+      reported[src] = 1;
+      NodeState& s = state[dst];
+      absorb(s, m.a, m.b);
+      --s.pending_children;
+      if (s.pending_children == 0 && forest.is_root(dst) && unfinished_roots > 0)
+        --unfinished_roots;
+    }
     net.reply(dst, src, CcMsg{CcMsg::Kind::kAck, 0.0, 0.0}, 1);
   }
 

@@ -1,0 +1,492 @@
+// Tests of the structured-adversity vocabulary: per-link latency models
+// (event-time delivery), correlated block crashes and partitions, mid-run
+// joins with live-peer bootstrap, hop-level carry-acks on routed
+// push-sum, and greedy perimeter detours around dead lattice nodes --
+// all exercised through the api facade plus the schedule validation and
+// timeline machinery underneath it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/report_hash.hpp"
+#include "api/scenario_text.hpp"
+#include "sim/scenario.hpp"
+#include "sim/topology.hpp"
+#include "support/rng.hpp"
+
+namespace drrg {
+namespace {
+
+api::RunSpec base_spec(std::uint32_t n, api::Aggregate agg = api::Aggregate::kAve) {
+  api::RunSpec spec;
+  spec.n = n;
+  spec.aggregate = agg;
+  spec.seed = 2026;
+  return spec;
+}
+
+api::RunReport must_run(const char* algo, const api::RunSpec& spec) {
+  const api::RunReport r = api::run(algo, spec);
+  EXPECT_TRUE(r.ok()) << algo << ": " << r.error;
+  return r;
+}
+
+std::uint32_t count_true(const std::vector<bool>& mask) {
+  std::uint32_t c = 0;
+  for (bool b : mask) c += b ? 1u : 0u;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Latency: event-time delivery.
+
+TEST(Latency, ZeroBoundModelIsByteIdenticalToAbsent) {
+  // A declared-but-zero model (uniform [0,0]) must leave the whole report
+  // bit-identical to the historical lockstep run: zero() short-circuits
+  // every latency draw, so not a single RNG stream advances differently.
+  for (const char* algo : {"drr", "uniform", "chord-drr"}) {
+    api::RunSpec plain = base_spec(512);
+    api::RunSpec declared = plain;
+    declared.faults.latency = {sim::LatencyModel::Kind::kUniform, 0, 0, 0.0};
+    const api::RunReport a = must_run(algo, plain);
+    const api::RunReport b = must_run(algo, declared);
+    EXPECT_EQ(api::report_checksum(a), api::report_checksum(b)) << algo;
+  }
+}
+
+TEST(Latency, FamiliesConvergeUnderEventTimeDelivery) {
+  for (const char* algo : {"drr", "uniform", "pairwise"}) {
+    api::RunSpec spec = base_spec(512);
+    spec.faults.latency = {sim::LatencyModel::Kind::kUniform, 0, 2, 0.0};
+    const api::RunReport r = must_run(algo, spec);
+    EXPECT_TRUE(r.consensus) << algo;
+    EXPECT_LT(r.rel_error(), 0.05) << algo << " value " << r.value << " truth "
+                                   << r.truth;
+  }
+}
+
+TEST(Latency, HeavyTailTrialsAreThreadInvariant) {
+  api::RunSpec spec = base_spec(256);
+  spec.faults.latency = {sim::LatencyModel::Kind::kHeavyTail, 0, 6, 0.1};
+  const auto one = api::run_trials("drr", spec, 4, 1);
+  const auto four = api::run_trials("drr", spec, 4, 4);
+  const auto eight = api::run_trials("drr", spec, 4, 8);
+  ASSERT_EQ(one.size(), 4u);
+  for (std::size_t t = 0; t < one.size(); ++t) {
+    EXPECT_EQ(api::report_checksum(one[t]), api::report_checksum(four[t])) << t;
+    EXPECT_EQ(api::report_checksum(one[t]), api::report_checksum(eight[t])) << t;
+  }
+}
+
+TEST(Latency, ChurnUnderLatencyKeepsTheGlobalClock) {
+  // Satellite: Scenario::at_round threads one global clock through the
+  // multi-phase pipeline, so a churn event scheduled deep into Phase III
+  // fires exactly once even when every phase restarts its local round
+  // numbering and latency stretches the budgets.
+  api::RunSpec spec = base_spec(512);
+  spec.faults.churn = {{40, 0.10}, {80, 0.10}};
+  spec.faults.latency = {sim::LatencyModel::Kind::kUniform, 0, 2, 0.0};
+  const api::RunReport r = must_run("drr", spec);
+  // No consensus assertion: the pinned all-root agreement check counts
+  // roots that crashed mid-run (their spread keys freeze at death), so
+  // consensus is unattainable under churn by construction -- the accuracy
+  // and membership bookkeeping below are the meaningful claims here.
+  const RngFactory rngs{r.seed};
+  const std::vector<bool> want =
+      sim::survivor_mask(spec.n, rngs, spec.faults, r.rounds);
+  ASSERT_EQ(r.participating.size(), want.size());
+  EXPECT_EQ(r.participating, want);
+  EXPECT_LT(count_true(r.participating), spec.n);
+  EXPECT_LT(r.rel_error(), 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Correlated failures: block crashes and partitions.
+
+TEST(BlockCrash, RackCrashTruthTracksSurvivors) {
+  api::RunSpec spec = base_spec(512);
+  spec.faults.blocks = {{8, 64, 192, 0, 0}};  // ids [64, 192) die at round 8
+  const api::RunReport r = must_run("drr", spec);
+  EXPECT_TRUE(r.consensus);
+  ASSERT_EQ(r.participating.size(), spec.n);
+  EXPECT_EQ(count_true(r.participating), spec.n - 128);
+  for (std::uint32_t v = 64; v < 192; ++v) EXPECT_FALSE(r.participating[v]) << v;
+  EXPECT_LT(r.rel_error(), 0.05);
+}
+
+TEST(BlockCrash, GridRectangleOnTheSparsePipeline) {
+  api::RunSpec spec = base_spec(1024);
+  spec.topology = *sim::topology_from_name("grid");
+  spec.pipeline = api::Pipeline::kSparse;
+  // A rectangle on the 32-wide row-major lattice: rows 4..6, cols 4..8.
+  spec.faults.blocks = {{8, 4 * 32 + 4, 6 * 32 + 8, 32, 4}};
+  const api::RunReport r = must_run("drr", spec);
+  EXPECT_TRUE(r.consensus);
+  EXPECT_LT(r.rel_error(), 0.05);
+}
+
+TEST(Partition, HealedCutReconverges) {
+  api::RunSpec max_spec = base_spec(512, api::Aggregate::kMax);
+  max_spec.faults.partitions = {{5, 15, 256}};
+  const api::RunReport m = must_run("uniform", max_spec);
+  EXPECT_TRUE(m.consensus);
+  EXPECT_DOUBLE_EQ(m.value, m.truth);
+
+  api::RunSpec ave_spec = base_spec(512);
+  ave_spec.faults.partitions = {{5, 15, 256}};
+  const api::RunReport a = must_run("drr", ave_spec);
+  EXPECT_TRUE(a.consensus);
+  EXPECT_LT(a.rel_error(), 0.05);
+}
+
+TEST(Partition, UnhealedCutPreventsConsensus) {
+  // The cut is physical and permanent: the side without the global max
+  // can never learn it, so the run must report the disagreement instead
+  // of claiming consensus.
+  api::RunSpec spec = base_spec(512, api::Aggregate::kMax);
+  spec.faults.partitions = {{0, sim::kNeverRound, 256}};
+  const api::RunReport r = api::run("uniform", spec);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.consensus);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run joins: bootstrap from a live peer, truth = surviving founders.
+
+TEST(Join, PushSumJoinersConserveTheFoundersAverage) {
+  // Uniform push-sum: joiners enter as canonical (0, 0) states, so the
+  // founders' sum -- and with it the average -- is conserved exactly, and
+  // the reported population is the founding cohort.
+  api::RunSpec spec = base_spec(512);
+  spec.faults.joins = {{6, 0.05}};
+  const api::RunReport r = must_run("uniform", spec);
+  EXPECT_TRUE(r.consensus);
+  EXPECT_LT(r.rel_error(), 1e-3);
+  const RngFactory rngs{r.seed};
+  const std::vector<bool> founders =
+      sim::founder_mask(spec.n, rngs, spec.faults, r.rounds);
+  ASSERT_EQ(r.participating.size(), founders.size());
+  EXPECT_EQ(r.participating, founders);
+  EXPECT_LT(count_true(r.participating), spec.n);
+}
+
+TEST(Join, DenseDrrAbsorbsEarlyJoinersAsParticipants) {
+  // The dense pipeline fixes membership in Phase I: a joiner arriving
+  // while the forest is still forming attaches to a tree and its value is
+  // convergecast-summed like any founder's, so the pipeline honestly
+  // reports the full population (and the matching all-n truth).
+  api::RunSpec spec = base_spec(512);
+  spec.faults.joins = {{6, 0.05}};
+  const api::RunReport r = must_run("drr", spec);
+  EXPECT_TRUE(r.consensus);
+  ASSERT_EQ(r.participating.size(), spec.n);
+  EXPECT_EQ(count_true(r.participating), spec.n);
+  EXPECT_LT(r.rel_error(), 1e-3);
+}
+
+TEST(Join, MaxFamiliesBootstrapFromLivePeers) {
+  for (const char* algo : {"uniform", "chord-uniform"}) {
+    api::RunSpec spec = base_spec(512, api::Aggregate::kMax);
+    spec.faults.joins = {{4, 0.10}};
+    const api::RunReport r = must_run(algo, spec);
+    EXPECT_TRUE(r.consensus) << algo;
+    EXPECT_DOUBLE_EQ(r.value, r.truth) << algo;
+  }
+}
+
+TEST(Join, CombinesWithChurnInOneTimeline) {
+  api::RunSpec spec = base_spec(512);
+  spec.faults.churn = {{12, 0.10}};
+  spec.faults.joins = {{6, 0.10}};
+  const api::RunReport r = must_run("drr", spec);
+  // Crashed roots freeze their spread keys, so the pinned all-root
+  // consensus check cannot pass under churn; and values absorbed into
+  // tree sums before their owners crashed bias the estimate by O(churn
+  // fraction), hence the loose accuracy bound.
+  EXPECT_LT(r.rel_error(), 0.10);
+  // Churn deaths hit founders and absorbed joiners alike: the dense
+  // pipeline's population is everyone alive at the end (tree membership
+  // restricted to the schedule's final survivors).
+  const RngFactory rngs{r.seed};
+  EXPECT_EQ(r.participating, sim::survivor_mask(spec.n, rngs, spec.faults, r.rounds));
+  EXPECT_LT(count_true(r.participating), spec.n);
+}
+
+// ---------------------------------------------------------------------------
+// Hop-level carry-ack: custody transfer on routed push-sum shares.
+
+TEST(CarryAck, LossyRoutedPushSumStaysNearLossless) {
+  // Loss rates sized so the *unacked* phases (the spread gossip has no
+  // custody transfer) still complete: per-hop loss compounds over the
+  // route, so the high-diameter grid gets 1% and the log-hop Chord ring
+  // gets 5%.
+  const auto run_case = [](const char* topo, double loss, bool ack) {
+    api::RunSpec spec = base_spec(1024);
+    spec.topology = *sim::topology_from_name(topo);
+    spec.pipeline = api::Pipeline::kSparse;
+    spec.faults.loss_prob = loss;
+    SparseGossipConfig cfg;
+    cfg.push_sum.hop_carry_ack = ack;
+    spec.config = cfg;
+    return api::run("drr", spec);
+  };
+  for (const auto& [topo, loss] : {std::pair{"grid", 0.01}, {"chord-ring", 0.05}}) {
+    const api::RunReport lossless = run_case(topo, 0.0, false);
+    const api::RunReport armed = run_case(topo, loss, true);
+    ASSERT_TRUE(lossless.ok()) << lossless.error;
+    ASSERT_TRUE(armed.ok()) << armed.error;
+    EXPECT_TRUE(lossless.consensus) << topo;
+    EXPECT_TRUE(armed.consensus) << topo;
+    // Custody transfer retransmits every dropped share hop, so the only
+    // cost of loss is extra mixing time -- the error stays within 2x of
+    // the lossless run's convergence floor.
+    EXPECT_LE(armed.abs_error(), 2.0 * lossless.abs_error() +
+                                     1e-6 * (1.0 + std::fabs(armed.truth)))
+        << topo << ": lossless " << lossless.abs_error() << " armed "
+        << armed.abs_error();
+  }
+}
+
+TEST(CarryAck, DisarmedRunIsByteIdenticalToHistorical) {
+  // hop_carry_ack defaults off; an explicit default config must not
+  // perturb the pinned schedules.
+  api::RunSpec plain = base_spec(1024);
+  plain.topology = *sim::topology_from_name("grid");
+  plain.pipeline = api::Pipeline::kSparse;
+  api::RunSpec declared = plain;
+  declared.config = SparseGossipConfig{};
+  EXPECT_EQ(api::report_checksum(api::run("drr", plain)),
+            api::report_checksum(api::run("drr", declared)));
+}
+
+// ---------------------------------------------------------------------------
+// Greedy perimeter detours: routed runs on lattices with dead nodes.
+
+// True iff the survivors of a 5% random cull form one connected lattice
+// component (4-neighbor adjacency; `wrap` for the torus).  Perimeter
+// detours can only promise consensus on a connected live subgraph -- a
+// live node walled in by dead neighbors is physically unreachable, and
+// the run must honestly report the disagreement instead.
+bool live_lattice_connected(const std::vector<bool>& alive, std::uint32_t side,
+                            bool wrap) {
+  const auto n = static_cast<std::uint32_t>(alive.size());
+  std::uint32_t start = n;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (alive[v]) {
+      start = v;
+      break;
+    }
+  if (start == n) return false;
+  std::vector<bool> seen(n, false);
+  std::vector<std::uint32_t> queue{start};
+  seen[start] = true;
+  std::uint32_t reached = 0;
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.back();
+    queue.pop_back();
+    ++reached;
+    const std::uint32_t row = v / side, col = v % side;
+    const auto visit = [&](std::uint32_t u) {
+      if (!seen[u] && alive[u]) {
+        seen[u] = true;
+        queue.push_back(u);
+      }
+    };
+    if (col > 0) visit(v - 1);
+    else if (wrap) visit(v + side - 1);
+    if (col + 1 < side) visit(v + 1);
+    else if (wrap) visit(v - side + 1);
+    if (row > 0) visit(v - side);
+    else if (wrap) visit(v + side * (side - 1));
+    if (row + 1 < side) visit(v + side);
+    else if (wrap) visit(v - side * (side - 1));
+  }
+  std::uint32_t live = 0;
+  for (std::uint32_t v = 0; v < n; ++v) live += alive[v] ? 1u : 0u;
+  return reached == live;
+}
+
+TEST(GridDetours, RoutedConsensusWithDeadLatticeNodes) {
+  for (const char* topo : {"grid", "torus"}) {
+    std::uint32_t connected_seeds = 0;
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      api::RunSpec spec = base_spec(1024);
+      spec.seed = seed;
+      spec.topology = *sim::topology_from_name(topo);
+      spec.pipeline = api::Pipeline::kSparse;
+      spec.faults.crash_fraction = 0.05;
+      const std::vector<bool> alive =
+          sim::survivor_mask(spec.n, RngFactory{seed}, spec.faults);
+      if (!live_lattice_connected(alive, 32, std::string_view{topo} == "torus"))
+        continue;
+      ++connected_seeds;
+      const api::RunReport r = must_run("drr", spec);
+      EXPECT_TRUE(r.consensus) << topo << " seed " << seed;
+      EXPECT_LT(r.rel_error(), 0.05) << topo << " seed " << seed;
+
+      api::RunSpec max_spec = spec;
+      max_spec.aggregate = api::Aggregate::kMax;
+      const api::RunReport m = must_run("drr", max_spec);
+      EXPECT_TRUE(m.consensus) << topo << " seed " << seed;
+      EXPECT_DOUBLE_EQ(m.value, m.truth) << topo << " seed " << seed;
+    }
+    // The guard must not vacuously skip the whole family.
+    EXPECT_GE(connected_seeds, 1u) << topo;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule validation at the api seam.
+
+TEST(Validation, RejectsMalformedSchedules) {
+  const auto rejects = [](const sim::FaultSchedule& faults) {
+    api::RunSpec spec = base_spec(256);
+    spec.faults = faults;
+    const api::RunReport r = api::run("drr", spec);
+    EXPECT_NE(r.error.find("invalid fault schedule"), std::string::npos)
+        << "error was: '" << r.error << "'";
+  };
+  sim::FaultSchedule f;
+  f.loss_prob = -0.1;
+  rejects(f);
+  f = {};
+  f.loss_prob = 1.5;
+  rejects(f);
+  f = {};
+  f.crash_fraction = 1.0;
+  rejects(f);
+  f = {};
+  f.crash_fraction = std::nan("");
+  rejects(f);
+  f = {};
+  f.churn = {{0, 0.5}};  // round-0 churn belongs in crash_fraction
+  rejects(f);
+  f = {};
+  f.churn = {{10, 1.5}};
+  rejects(f);
+  f = {};
+  f.joins = {{0, 0.5}};
+  rejects(f);
+  f = {};
+  f.joins = {{10, -0.5}};
+  rejects(f);
+  f = {};
+  f.blocks = {{5, 100, 100, 0, 0}};  // empty range
+  rejects(f);
+  f = {};
+  f.blocks = {{5, 0, 64, 8, 12}};  // width > stride
+  rejects(f);
+  f = {};
+  f.partitions = {{10, 10, 128}};  // heal must follow the cut
+  rejects(f);
+  f = {};
+  f.partitions = {{10, 20, 0}};  // boundary 0 cuts nothing
+  rejects(f);
+  f = {};
+  f.latency = {sim::LatencyModel::Kind::kUniform, 4, 2, 0.0};  // min > max
+  rejects(f);
+  f = {};
+  f.latency = {sim::LatencyModel::Kind::kHeavyTail, 0, 4, 1.5};  // bad prob
+  rejects(f);
+}
+
+TEST(Validation, AcceptsTheFullCombinedSchedule) {
+  api::RunSpec spec = base_spec(512);
+  spec.faults.loss_prob = 0.05;
+  spec.faults.crash_fraction = 0.05;
+  spec.faults.churn = {{20, 0.05}};
+  spec.faults.joins = {{10, 0.05}};
+  spec.faults.blocks = {{15, 300, 330, 0, 0}};
+  spec.faults.partitions = {{25, 35, 256}};
+  spec.faults.latency = {sim::LatencyModel::Kind::kFixed, 1, 1, 0.0};
+  const api::RunReport r = must_run("drr", spec);
+  // No consensus assertion: the schedule has churn, and crashed roots
+  // freeze their spread keys (see Join.CombinesWithChurnInOneTimeline).
+  EXPECT_LT(r.rel_error(), 0.10);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline machinery: capped rejection sampling, event composition.
+
+TEST(Timeline, PathologicalScheduleTerminates) {
+  // Near-total extinction at every step used to spin the rejection
+  // sampler unboundedly hunting for distinct victims; the capped draws
+  // fall back to an ascending scan and must terminate fast.
+  sim::FaultSchedule faults;
+  faults.crash_fraction = 0.9;
+  faults.churn = {{1, 0.99}, {2, 0.99}, {3, 0.99}, {4, 0.99}};
+  faults.joins = {{2, 0.5}};
+  const RngFactory rngs{7};
+  const sim::FaultTimeline t = sim::full_timeline(4096, rngs, faults);
+  ASSERT_EQ(t.death.size(), 4096u);
+  // Every scheduled death round is one of the schedule's event rounds.
+  for (std::uint32_t v = 0; v < 4096; ++v) {
+    if (t.death[v] == sim::kNeverCrashes) continue;
+    EXPECT_TRUE(t.death[v] == 0 || (t.death[v] >= 1 && t.death[v] <= 4)) << v;
+    // No one dies before being born.
+    if (t.birth[v] != sim::kBornAtStart) {
+      EXPECT_GE(t.death[v], t.birth[v]) << v;
+    }
+  }
+}
+
+TEST(Timeline, BlockCrashComposesWithRandomChurn) {
+  sim::FaultSchedule faults;
+  faults.blocks = {{5, 10, 20, 0, 0}};
+  faults.churn = {{8, 0.25}};
+  const RngFactory rngs{11};
+  const std::vector<std::uint32_t> death = sim::fault_timeline(64, rngs, faults);
+  for (std::uint32_t v = 10; v < 20; ++v) EXPECT_EQ(death[v], 5u) << v;
+  // The churn fraction applies to the then-alive population (54 nodes).
+  std::uint32_t churned = 0;
+  for (std::uint32_t v = 0; v < 64; ++v) churned += death[v] == 8 ? 1u : 0u;
+  EXPECT_EQ(churned, static_cast<std::uint32_t>(54 * 0.25));
+}
+
+// ---------------------------------------------------------------------------
+// Text round-trips for the new schedule families.
+
+TEST(ScenarioText, NewFamiliesRoundTrip) {
+  const auto joins = api::parse_joins("8:0.05,12:0.1");
+  ASSERT_TRUE(joins.has_value());
+  EXPECT_EQ(api::format_joins(*joins), "8:0.05,12:0.1");
+
+  const auto blocks = api::parse_blocks("10:64-128,12:132-192:16/4");
+  ASSERT_TRUE(blocks.has_value());
+  ASSERT_EQ(blocks->size(), 2u);
+  EXPECT_EQ((*blocks)[1].stride, 16u);
+  EXPECT_EQ(api::format_blocks(*blocks), "10:64-128,12:132-192:16/4");
+
+  const auto partitions = api::parse_partitions("10:128:20,30:64");
+  ASSERT_TRUE(partitions.has_value());
+  EXPECT_EQ((*partitions)[1].heal_round, sim::kNeverRound);
+  EXPECT_EQ(api::format_partitions(*partitions), "10:128:20,30:64");
+
+  for (const char* text : {"fixed:3", "uniform:0-4", "tail:1-16:0.05"}) {
+    const auto latency = api::parse_latency(text);
+    ASSERT_TRUE(latency.has_value()) << text;
+    EXPECT_EQ(api::format_latency(*latency), text);
+  }
+  const auto zero = api::parse_latency("");
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_TRUE(zero->zero());
+}
+
+TEST(ScenarioText, MalformedInputsAreRejected) {
+  EXPECT_FALSE(api::parse_joins("8").has_value());
+  EXPECT_FALSE(api::parse_joins("8:1.5").has_value());
+  EXPECT_FALSE(api::parse_blocks("10:128-64").has_value());  // hi < lo
+  EXPECT_FALSE(api::parse_blocks("10:0-64:8/12").has_value());  // width > stride
+  EXPECT_FALSE(api::parse_blocks("10:0-64:8").has_value());  // stride sans width
+  EXPECT_FALSE(api::parse_partitions("10:128:5").has_value());  // heal <= cut
+  EXPECT_FALSE(api::parse_latency("uniform:4-2").has_value());
+  EXPECT_FALSE(api::parse_latency("tail:0-4").has_value());  // missing prob
+  EXPECT_FALSE(api::parse_latency("gaussian:3").has_value());
+}
+
+}  // namespace
+}  // namespace drrg

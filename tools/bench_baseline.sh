@@ -114,6 +114,14 @@ if [ -x "$TABLE1" ]; then
               --benchmark_filter="$T1_FILTER" > /dev/null 2>&1
     sed "s/\"topology\":\"[a-z-]*\"/\"topology\":\"$TOPO\"/" "$TMP/t1.json" >> "$TMP/rows.json"
   done
+  # Structured-adversity ops rows: one pinned preset per event family
+  # (drr/ave, n = 1024, complete substrate) -- the simulator is
+  # deterministic under every preset, so these counters are golden too.
+  for SCEN in latency block partition join; do
+    "$TABLE1" --table1_scenario="$SCEN" --table1_json="$TMP/t1.json" \
+              --benchmark_filter='BM_DrrGossipAve/1024/' > /dev/null 2>&1
+    cat "$TMP/t1.json" >> "$TMP/rows.json"
+  done
 fi
 
 # --- 3. bench_engine micro-benchmarks ---------------------------------------

@@ -45,7 +45,7 @@ def golden_rows(path):
             row = json.loads(line)
             if row.get("bench") == "table1":
                 key = (row["algo"], row["n"], row.get("topology", "complete"),
-                       row.get("churn", ""))
+                       row.get("churn", ""), row.get("scenario", ""))
                 table1[key] = (row["rounds"], row["msgs"])
             elif row.get("bench") == "engine_sweep":
                 key = (row.get("topology", "complete"), row["algo"],

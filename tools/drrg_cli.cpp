@@ -43,7 +43,15 @@ struct Options {
   std::string seed_list;
   drrg::sim::TopologySpec topology{};
   std::vector<drrg::sim::CrashEvent> churn;
+  std::vector<drrg::sim::JoinEvent> joins;
+  std::vector<drrg::sim::BlockCrashEvent> blocks;
+  std::vector<drrg::sim::PartitionEvent> partitions;
+  drrg::sim::LatencyModel latency{};
   std::string churn_text;
+  std::string join_text;
+  std::string block_text;
+  std::string partition_text;
+  std::string latency_text;
   bool csv = false;
   bool json = false;
 };
@@ -61,6 +69,9 @@ struct Options {
   std::fprintf(stderr,
                "usage: drrg_cli [--algo A] [--agg G] [--n N] [--seed S]\n"
                "                [--loss D] [--crash F] [--churn R:F[,R:F...]]\n"
+               "                [--join R:F[,...]] [--block-crash R:LO-HI[:S/W][,...]]\n"
+               "                [--partition R:B[:H][,...]]\n"
+               "                [--latency fixed:D|uniform:A-B|tail:A-B:P]\n"
                "                [--topology P] [--degree D] [--threshold X]\n"
                "                [--trials T] [--threads W] [--intra-threads I]\n"
                "                [--diam-mult M] [--pipeline dense|sparse]\n"
@@ -70,6 +81,14 @@ struct Options {
                "  G: %s\n"
                "  P: %s\n"
                "  --churn crashes fraction F of the then-alive nodes at round R\n"
+               "  --join defers fraction F of the id space out of the round-0\n"
+               "      cohort; they join (and bootstrap from a live peer) at round R\n"
+               "  --block-crash kills every id in [LO,HI) at round R; an optional\n"
+               "      :STRIDE/WIDTH keeps only lattice-rectangle offsets\n"
+               "  --partition drops every message straddling id boundary B from\n"
+               "      round R (optionally healing at round H)\n"
+               "  --latency delays each call by d rounds drawn per message\n"
+               "      (event-time delivery; replies stay same-round reliable)\n"
                "  --threads 0 uses every hardware core; any value is bit-identical\n"
                "  --intra-threads fans a run's independent sub-runs (median bracket);\n"
                "      0 = all cores, bit-identical for any value\n"
@@ -173,6 +192,49 @@ Options parse(int argc, char** argv) {
       }
       opt.churn = *churn;
     }
+    else if (arg == "--join") {
+      opt.join_text = next("--join");
+      const auto joins = drrg::api::parse_joins(opt.join_text);
+      if (!joins.has_value()) {
+        std::fprintf(stderr, "malformed join schedule: %s (want R:F[,R:F...])\n",
+                     opt.join_text.c_str());
+        usage(2);
+      }
+      opt.joins = *joins;
+    }
+    else if (arg == "--block-crash") {
+      opt.block_text = next("--block-crash");
+      const auto blocks = drrg::api::parse_blocks(opt.block_text);
+      if (!blocks.has_value()) {
+        std::fprintf(stderr,
+                     "malformed block-crash schedule: %s (want R:LO-HI[:S/W][,...])\n",
+                     opt.block_text.c_str());
+        usage(2);
+      }
+      opt.blocks = *blocks;
+    }
+    else if (arg == "--partition") {
+      opt.partition_text = next("--partition");
+      const auto partitions = drrg::api::parse_partitions(opt.partition_text);
+      if (!partitions.has_value()) {
+        std::fprintf(stderr, "malformed partition schedule: %s (want R:B[:H][,...])\n",
+                     opt.partition_text.c_str());
+        usage(2);
+      }
+      opt.partitions = *partitions;
+    }
+    else if (arg == "--latency") {
+      opt.latency_text = next("--latency");
+      const auto latency = drrg::api::parse_latency(opt.latency_text);
+      if (!latency.has_value()) {
+        std::fprintf(stderr,
+                     "malformed latency model: %s (want fixed:D, uniform:A-B or "
+                     "tail:A-B:P)\n",
+                     opt.latency_text.c_str());
+        usage(2);
+      }
+      opt.latency = *latency;
+    }
     else if (arg == "--csv") opt.csv = true;
     else if (arg == "--json") opt.json = true;
     else if (arg == "--list") { list_matrix(); std::exit(0); }
@@ -198,6 +260,8 @@ void print_json(const Options& opt, const drrg::api::RunReport& r) {
   std::printf("{\"algo\":\"%s\",\"agg\":\"%s\",\"n\":%u,\"seed\":%llu,"
               "\"pipeline\":\"%s\",\"transport\":\"%s\","
               "\"topology\":\"%s\",\"loss\":%.4f,\"crash\":%.4f,\"churn\":\"%s\","
+              "\"join\":\"%s\",\"block_crash\":\"%s\",\"partition\":\"%s\","
+              "\"latency\":\"%s\","
               "\"value\":%.17g,\"truth\":%.17g,"
               "\"abs_error\":%.17g,\"rel_error\":%.17g,\"consensus\":%s,"
               "\"messages\":%llu,\"delivered\":%llu,\"bits\":%llu,\"rounds\":%u}\n",
@@ -207,6 +271,10 @@ void print_json(const Options& opt, const drrg::api::RunReport& r) {
               std::string{drrg::api::to_string(opt.transport)}.c_str(),
               std::string{drrg::sim::to_string(opt.topology.kind)}.c_str(),
               opt.loss, opt.crash, opt.churn_text.c_str(),
+              drrg::api::format_joins(opt.joins).c_str(),
+              drrg::api::format_blocks(opt.blocks).c_str(),
+              drrg::api::format_partitions(opt.partitions).c_str(),
+              drrg::api::format_latency(opt.latency).c_str(),
               r.value, r.truth, r.abs_error(), r.rel_error(),
               r.consensus ? "true" : "false",
               static_cast<unsigned long long>(r.cost.sent),
@@ -240,7 +308,13 @@ int main(int argc, char** argv) {
   spec.n = opt.n;
   spec.aggregate = *agg;
   spec.seed = opt.seed;
-  spec.faults = sim::FaultSchedule{opt.loss, opt.crash, opt.churn};
+  spec.faults.loss_prob = opt.loss;
+  spec.faults.crash_fraction = opt.crash;
+  spec.faults.churn = opt.churn;
+  spec.faults.joins = opt.joins;
+  spec.faults.blocks = opt.blocks;
+  spec.faults.partitions = opt.partitions;
+  spec.faults.latency = opt.latency;
   spec.topology = opt.topology;
   spec.pipeline = opt.pipeline;
   spec.transport = opt.transport;
@@ -273,14 +347,20 @@ int main(int argc, char** argv) {
     std::printf(
         "algo,agg,n,seed,topology,loss,crash,churn,value,truth,consensus,messages,rounds\n");
   } else if (!opt.json) {
-    std::printf("%s%s%s / %s on n = %u, %s (loss %.3f, crash %.3f%s%s, %d trial%s, %u thread%s)\n",
+    std::string extras;
+    if (!opt.churn_text.empty()) extras += ", churn " + opt.churn_text;
+    if (!opt.join_text.empty()) extras += ", join " + opt.join_text;
+    if (!opt.block_text.empty()) extras += ", block-crash " + opt.block_text;
+    if (!opt.partition_text.empty()) extras += ", partition " + opt.partition_text;
+    if (!opt.latency.zero()) extras += ", latency " + api::format_latency(opt.latency);
+    std::printf("%s%s%s / %s on n = %u, %s (loss %.3f, crash %.3f%s, %d trial%s, %u thread%s)\n",
                 opt.algo.c_str(),
                 opt.pipeline == api::Pipeline::kSparse ? " [sparse]" : "",
                 opt.transport == api::Transport::kUdp ? " [udp]" : "",
                 opt.agg.c_str(), opt.n,
                 std::string{sim::to_string(opt.topology.kind)}.c_str(), opt.loss,
-                opt.crash, opt.churn_text.empty() ? "" : ", churn ",
-                opt.churn_text.c_str(), opt.trials, opt.trials == 1 ? "" : "s",
+                opt.crash, extras.c_str(),
+                opt.trials, opt.trials == 1 ? "" : "s",
                 opt.threads, opt.threads == 1 ? "" : "s");
   }
 
