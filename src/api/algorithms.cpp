@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "api/scenario_text.hpp"
 #include "aggregate/derived.hpp"
 #include "aggregate/drr_gossip.hpp"
 #include "net/multiproc.hpp"
@@ -257,12 +258,26 @@ RunReport run_drr_udp(const RunSpec& spec, RunReport report) {
     report.error = "--transport udp implements the dense pipeline only";
     return report;
   }
-  if (spec.faults.has_blocks() || spec.faults.has_partitions() ||
-      spec.faults.has_joins() || !spec.faults.latency.zero()) {
+  const bool structured = spec.faults.has_blocks() || spec.faults.has_partitions() ||
+                          spec.faults.has_joins() || !spec.faults.latency.zero();
+  // Structured adversity needs a wall clock to land on: block SIGKILLs,
+  // partition cuts and join births are marks at round * round_ms.
+  const std::int64_t round_ms =
+      spec.udp_round_ms > 0 ? spec.udp_round_ms : (structured ? 250 : 0);
+  if (structured && round_ms <= 0) {
     report.error =
-        "--transport udp implements loss/crash/churn schedules only (no "
-        "block-crash, partition, join or latency events)";
+        "--transport udp needs --round-ms > 0 for block-crash, partition, "
+        "join or latency events";
     return report;
+  }
+  net::ChaosSpec chaos;
+  if (!spec.udp_chaos.empty()) {
+    const auto parsed = parse_chaos(spec.udp_chaos);
+    if (!parsed.has_value()) {
+      report.error = "malformed --chaos spec: " + spec.udp_chaos;
+      return report;
+    }
+    chaos = *parsed;
   }
   switch (spec.aggregate) {
     case Aggregate::kMax:
@@ -283,6 +298,46 @@ RunReport run_drr_udp(const RunSpec& spec, RunReport report) {
   copt.faults = spec.faults;
   copt.values = values;
   copt.port_base = spec.udp_port_base;
+  copt.node_template.chaos = chaos;
+  copt.node_template.round_ms = round_ms;
+  copt.real_kills = round_ms > 0;
+  if (copt.real_kills) {
+    // Real SIGKILLs land on the bootstrap barrier: every node holds in
+    // bootstrap until the last scheduled death mark has passed, so a
+    // victim answers hellos and then vanishes ungracefully but never
+    // pushes a founding value into the tree.  That keeps the surviving
+    // cohort's fold bit-comparable with the simulator truth (which is
+    // computed over the survivor mask) even for max/min, where a value
+    // leaked by a dead node could never be retracted.
+    const sim::FaultTimeline timeline =
+        sim::full_timeline(spec.n, RngFactory{spec.seed}, spec.faults);
+    std::int64_t latest_death = 0;
+    for (const std::uint32_t d : timeline.death)
+      if (d != 0 && d != sim::kNeverCrashes)
+        latest_death = std::max(latest_death, static_cast<std::int64_t>(d) * round_ms);
+    if (latest_death > 0) {
+      copt.node_template.bootstrap_min_ms =
+          std::max(copt.node_template.bootstrap_min_ms, latest_death + 750);
+      copt.node_template.bootstrap_timeout_ms =
+          std::max(copt.node_template.bootstrap_timeout_ms,
+                   copt.node_template.bootstrap_min_ms + 3000);
+      copt.node_template.deadline_ms += latest_death;
+    }
+  }
+  // Cuts that heal mid-run need every survivor still listening past the
+  // heal, plus headroom for the post-final re-convergence to settle.
+  const net::ChaosSpec effective =
+      net::chaos_with_faults(chaos, spec.faults, round_ms);
+  std::int64_t latest_heal = 0;
+  for (const net::ChaosCut& cut : effective.cuts)
+    if (cut.heal_ms != net::ChaosCut::kNoHeal)
+      latest_heal = std::max(latest_heal, cut.heal_ms);
+  if (latest_heal > 0) {
+    copt.node_template.linger_ms =
+        std::max(copt.node_template.linger_ms, latest_heal + 4000);
+    copt.node_template.deadline_ms =
+        std::max(copt.node_template.deadline_ms, latest_heal + 15000);
+  }
   if (!spec.udp_seed_list.empty()) {
     const auto seeds = net::parse_seed_list(spec.udp_seed_list);
     if (!seeds.has_value()) {
@@ -295,9 +350,14 @@ RunReport run_drr_udp(const RunSpec& spec, RunReport report) {
 
   // The whole schedule applies: real processes run to quiescence, so
   // unlike a round-bounded sim run there is no "churn we never reached".
-  report.participating = has_crashes(spec)
-                             ? sim::survivor_mask(spec.n, RngFactory{spec.seed}, spec.faults)
-                             : std::vector<bool>{};
+  // Joiners bootstrap empty in both runtimes, so the truth population
+  // under joins is the surviving round-0 cohort (founder_mask).
+  report.participating =
+      !has_crashes(spec)
+          ? std::vector<bool>{}
+          : (spec.faults.has_joins()
+                 ? sim::founder_mask(spec.n, RngFactory{spec.seed}, spec.faults)
+                 : sim::survivor_mask(spec.n, RngFactory{spec.seed}, spec.faults));
 
   const auto node_value = [&](const net::NodeReport& r) {
     switch (spec.aggregate) {

@@ -256,6 +256,110 @@ std::string format_latency(const sim::LatencyModel& latency) {
   return buf;
 }
 
+namespace {
+
+// Chaos probabilities allow 1.0 ("corrupt:1" is the always-reject soak),
+// unlike the (0, 1) crash fractions.
+bool parse_prob(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  const std::string str{text};
+  char* end = nullptr;
+  const double v = std::strtod(str.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (v <= 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_i64(std::string_view text, std::int64_t* out) {
+  if (text.empty()) return false;
+  const std::string str{text};
+  char* end = nullptr;
+  const long long v = std::strtoll(str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<net::ChaosSpec> parse_chaos(std::string_view text) {
+  net::ChaosSpec spec;
+  if (text.empty() || text == "none") return spec;
+  const bool ok = for_each_item(text, [&](std::string_view item) {
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos || colon + 1 >= item.size()) return false;
+    const std::string_view key = item.substr(0, colon);
+    const std::string_view rest = item.substr(colon + 1);
+    if (key == "drop") return parse_prob(rest, &spec.drop);
+    if (key == "dup") return parse_prob(rest, &spec.dup);
+    if (key == "corrupt") return parse_prob(rest, &spec.corrupt);
+    if (key == "reorder") {
+      // P[/SPAN]
+      const std::size_t slash = rest.find('/');
+      if (!parse_prob(rest.substr(0, std::min(slash, rest.size())), &spec.reorder))
+        return false;
+      if (slash != std::string_view::npos) {
+        if (!parse_u32(rest.substr(slash + 1), &spec.reorder_span)) return false;
+        if (spec.reorder_span == 0) return false;
+      }
+      return true;
+    }
+    if (key == "delay") {
+      const auto latency = parse_latency(rest);  // ms units on this layer
+      if (!latency || latency->zero()) return false;
+      spec.delay = *latency;
+      return true;
+    }
+    if (key == "cut") {
+      // B@S[-H]
+      const std::size_t at = rest.find('@');
+      if (at == std::string_view::npos) return false;
+      net::ChaosCut cut;
+      if (!parse_u32(rest.substr(0, at), &cut.boundary)) return false;
+      const std::string_view marks = rest.substr(at + 1);
+      const std::size_t dash = marks.find('-');
+      if (!parse_i64(marks.substr(0, std::min(dash, marks.size())), &cut.start_ms))
+        return false;
+      if (dash != std::string_view::npos) {
+        if (!parse_i64(marks.substr(dash + 1), &cut.heal_ms)) return false;
+        if (cut.heal_ms <= cut.start_ms) return false;
+      }
+      spec.cuts.push_back(cut);
+      return true;
+    }
+    return false;
+  });
+  if (!ok) return std::nullopt;
+  return spec;
+}
+
+std::string format_chaos(const net::ChaosSpec& spec) {
+  std::string out;
+  char buf[96];
+  const auto add = [&](const char* fmt, auto... args) {
+    if (!out.empty()) out += ',';
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+  };
+  if (spec.drop > 0.0) add("drop:%g", spec.drop);
+  if (spec.dup > 0.0) add("dup:%g", spec.dup);
+  if (spec.corrupt > 0.0) add("corrupt:%g", spec.corrupt);
+  if (spec.reorder > 0.0) add("reorder:%g/%u", spec.reorder, spec.reorder_span);
+  if (!spec.delay.zero()) {
+    if (!out.empty()) out += ',';
+    out += "delay:" + format_latency(spec.delay);
+  }
+  for (const net::ChaosCut& cut : spec.cuts) {
+    if (cut.heal_ms != net::ChaosCut::kNoHeal)
+      add("cut:%u@%lld-%lld", cut.boundary, static_cast<long long>(cut.start_ms),
+          static_cast<long long>(cut.heal_ms));
+    else
+      add("cut:%u@%lld", cut.boundary, static_cast<long long>(cut.start_ms));
+  }
+  return out;
+}
+
 std::string topology_names() {
   return "complete chord-ring random-regular grid torus";
 }

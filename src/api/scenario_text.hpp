@@ -15,12 +15,24 @@
 //   --latency     fixed:D | uniform:A-B | tail:A-B:P  -- per-call delay in
 //                 rounds (event-time delivery); absent/zero = historical
 //                 lockstep.
+//   --chaos       datagram-level adversity for the real UDP runtime,
+//                 comma-joined tokens:
+//                   drop:P            Bernoulli datagram loss
+//                   dup:P             duplicate the datagram
+//                   corrupt:P         flip one byte (wire checksum rejects)
+//                   reorder:P[/SPAN]  hold back for up to SPAN later sends
+//                   delay:<latency>   per-datagram delay, latency grammar
+//                                     with ms units (e.g. delay:tail:5-150:0.1)
+//                   cut:B@S[-H]       partition at boundary B from S ms,
+//                                     healing at H ms (omit -H: never)
+//                 e.g. "drop:0.1,dup:0.05,reorder:0.2/4,cut:24@500-4000".
 
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "sim/counters.hpp"
 #include "sim/topology.hpp"
 
@@ -66,6 +78,13 @@ namespace drrg::api {
 
 /// "fixed:3" / "uniform:0-4" / "tail:1-16:0.05" rendering ("" when zero).
 [[nodiscard]] std::string format_latency(const sim::LatencyModel& latency);
+
+/// Parses a chaos spec (grammar in the header comment).  "" and "none"
+/// parse to the zero spec (passthrough).  Probabilities are in (0, 1].
+[[nodiscard]] std::optional<net::ChaosSpec> parse_chaos(std::string_view text);
+
+/// Canonical rendering of a chaos spec ("" when zero).
+[[nodiscard]] std::string format_chaos(const net::ChaosSpec& spec);
 
 /// All parseable topology names, space-separated (for usage strings).
 [[nodiscard]] std::string topology_names();

@@ -1,0 +1,39 @@
+#pragma once
+// Capped exponential backoff with deterministic jitter for the UDP
+// runtime's retransmission timers.
+//
+// Every retry path in node.cpp (hello / probe / connect / tree / final)
+// used to rearm at a fixed interval, which under loss or delay chaos
+// synchronizes retransmission bursts across the whole cluster and keeps
+// hammering dead peers at full rate.  The policy here doubles the wait
+// per attempt up to a cap and stretches it by a jitter fraction drawn
+// from the node's own seeded stream -- so two runs with the same root
+// seed retransmit at identical times (the chaos matrix leans on this),
+// while within one run no two nodes share a schedule.
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace drrg::net {
+
+struct BackoffPolicy {
+  std::int64_t base_ms = 150;  ///< first-retry wait (attempt 0)
+  std::int64_t cap_ms = 1000;  ///< raw delay ceiling before jitter
+  double jitter = 0.25;        ///< extra fraction of the raw delay, in [0, jitter)
+
+  /// Delay before retry number `attempt` (0-based: delay(0) == base_ms
+  /// plus jitter).  Pure in (attempt, rng state): the schedule is a
+  /// deterministic function of the node's seed.
+  [[nodiscard]] std::int64_t delay(std::uint32_t attempt, Rng& rng) const {
+    std::int64_t raw = base_ms < 1 ? 1 : base_ms;
+    for (std::uint32_t i = 0; i < attempt && raw < cap_ms; ++i) raw *= 2;
+    if (raw > cap_ms) raw = cap_ms;
+    std::int64_t jit = 0;
+    if (jitter > 0.0)
+      jit = static_cast<std::int64_t>(static_cast<double>(raw) * jitter * rng.next_unit());
+    return raw + jit;
+  }
+};
+
+}  // namespace drrg::net

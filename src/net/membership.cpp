@@ -24,6 +24,7 @@ void Membership::heard_from(std::uint32_t peer, std::int64_t now_ms) {
   if (p.state != PeerState::kAlive) {
     p.state = PeerState::kAlive;
     p.heartbeat += 1;
+    flaps_ += 1;
   }
 }
 
@@ -34,6 +35,9 @@ void Membership::merge(const MemberEntry& entry, std::int64_t now_ms) {
   const bool worse_tie =
       entry.heartbeat == p.heartbeat && badness(entry.state) > badness(p.state);
   if (!newer && !worse_tie) return;
+  if (p.state != PeerState::kAlive && entry.state == PeerState::kAlive) flaps_ += 1;
+  if (p.state != PeerState::kSuspect && entry.state == PeerState::kSuspect)
+    p.suspect_since = now_ms;
   p.heartbeat = entry.heartbeat;
   p.state = entry.state;
   p.last_update = now_ms;
@@ -49,9 +53,14 @@ void Membership::age(std::int64_t now_ms) {
     const std::int64_t silent = now_ms - p.last_heard;
     if (p.state == PeerState::kAlive && silent >= cfg_.suspect_after_ms) {
       p.state = PeerState::kSuspect;
+      p.suspect_since = now_ms;
       p.last_update = now_ms;
     }
-    if (p.state == PeerState::kSuspect && silent >= cfg_.dead_after_ms) {
+    // The confirmation window: silence alone cannot kill a peer until it
+    // has been continuously suspect for suspect_confirm_ms (a delayed
+    // frame landing mid-window revives it via heard_from instead).
+    if (p.state == PeerState::kSuspect && silent >= cfg_.dead_after_ms &&
+        now_ms - p.suspect_since >= cfg_.suspect_confirm_ms) {
       p.state = PeerState::kDead;
       p.last_update = now_ms;
     }

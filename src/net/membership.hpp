@@ -16,9 +16,13 @@
 // heartbeat the worse state wins (dead > suspect > alive), so a death
 // observed anywhere sticks until the node itself proves otherwise by
 // beating the counter.  Silence degrades a peer locally: suspect after
-// suspect_after_ms without a frame, dead after dead_after_ms.  All time
-// is injected by the caller (steady-clock milliseconds), keeping the
-// class deterministic under test.
+// suspect_after_ms without a frame, dead after dead_after_ms -- but
+// never before the peer has sat in suspect for suspect_confirm_ms
+// (hysteresis: a heavy-tail-delayed frame that lands mid-window revives
+// the peer instead of letting latency alone evict it; each such rescue
+// is counted in flaps()).  All time is injected by the caller
+// (steady-clock milliseconds), keeping the class deterministic under
+// test.
 //
 // The protocol layer consults is_dead() to fail fast -- a DRR probe to
 // a confirmed-dead peer spends its attempt after one send instead of a
@@ -36,6 +40,10 @@ namespace drrg::net {
 struct MembershipConfig {
   std::int64_t suspect_after_ms = 700;
   std::int64_t dead_after_ms = 1800;
+  /// Minimum continuous time in suspect before a *local* silence-based
+  /// death verdict (gossiped deaths merge regardless: someone else
+  /// already confirmed).  Zero restores the no-hysteresis behavior.
+  std::int64_t suspect_confirm_ms = 500;
   std::uint32_t gossip_fanout = 2;  ///< digests pushed per gossip tick
 };
 
@@ -78,18 +86,23 @@ class Membership {
   /// best estimate of how many values a complete aggregate must cover.
   [[nodiscard]] std::uint32_t alive_count() const noexcept;
   [[nodiscard]] std::uint32_t gossip_fanout() const noexcept { return cfg_.gossip_fanout; }
+  /// Peers rescued from suspect/dead by later direct or gossiped
+  /// evidence -- the "latency almost evicted someone" diagnostic.
+  [[nodiscard]] std::uint64_t flaps() const noexcept { return flaps_; }
 
  private:
   struct Peer {
     PeerState state = PeerState::kAlive;  // optimistic until silence says otherwise
     std::uint32_t heartbeat = 0;
     std::int64_t last_heard = 0;
-    std::int64_t last_update = 0;  // merge/heard recency, drives digest choice
+    std::int64_t last_update = 0;   // merge/heard recency, drives digest choice
+    std::int64_t suspect_since = 0; // entry time of the current suspect spell
   };
 
   std::uint32_t self_;
   MembershipConfig cfg_;
   std::vector<Peer> peers_;
+  std::uint64_t flaps_ = 0;
 };
 
 }  // namespace drrg::net

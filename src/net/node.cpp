@@ -1,6 +1,7 @@
 #include "net/node.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -8,7 +9,9 @@
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <thread>
 
+#include "net/backoff.hpp"
 #include "net/membership.hpp"
 #include "sim/scenario.hpp"
 #include "support/mathutil.hpp"
@@ -21,6 +24,10 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr std::uint32_t kNone = 0xffffffffu;
+
+/// Retry budget for the kTreeLeave retraction: generous because it must
+/// survive a whole partition (backoff caps the per-try cost).
+constexpr std::uint32_t kTreeLeaveRetryCap = 64;
 
 /// The monotone aggregate bundle one subtree (or root table fold)
 /// carries.  Exact double equality is the change detector: merges move
@@ -46,6 +53,20 @@ struct ChildSlot {
   std::uint32_t ver = 0;
   Stats stats{};
   bool seen = false;
+  /// Highest kTreeLeave version from this child: the subtree retracted
+  /// itself (orphan promotion across a partition) and tree values at or
+  /// below this version are stale echoes, never re-adopted.
+  std::uint32_t departed_ver = 0;
+};
+
+/// Per-source window of recently seen (id, seq) keys: retries and chaos
+/// duplicates of a request are re-acked without re-processing, and
+/// duplicate non-requests are dropped.  Handlers stay idempotent -- the
+/// window is bandwidth hygiene plus a diagnosable counter, not a
+/// correctness dependency.
+struct DedupRing {
+  std::array<std::uint64_t, 16> keys{};
+  std::uint32_t next = 0;
 };
 
 /// One in-flight request awaiting its ack.
@@ -86,12 +107,19 @@ class NodeRuntime {
     // process and the simulator agree on it without coordination.  Each
     // node consults only its *own* fate; peer liveness is learned the
     // distributed way (timeouts + membership gossip).
-    const std::vector<std::uint32_t> death =
-        sim::fault_timeline(opt_.n, rngs_, opt_.faults);
-    death_round_ = death[opt_.node];
+    const sim::FaultTimeline timeline = sim::full_timeline(opt_.n, rngs_, opt_.faults);
+    death_round_ = timeline.death[opt_.node];
+    birth_round_ = timeline.birth[opt_.node];
     if (death_round_ == 0) {
       report.scheduled_crash = true;
       return report;  // down from the start: never binds
+    }
+    // A joiner sleeps through its absence: with a wall-clock round scale
+    // the process exists from launch but only binds (and starts its own
+    // clocks) at birth_round * round_ms on the cluster clock.
+    if (birth_round_ != sim::kBornAtStart && opt_.round_ms > 0) {
+      start_delay_ = static_cast<std::int64_t>(birth_round_) * opt_.round_ms;
+      std::this_thread::sleep_for(std::chrono::milliseconds(start_delay_));
     }
 
     values_ = opt_.values;
@@ -113,6 +141,22 @@ class NodeRuntime {
       udp_.set_loss(opt_.faults.loss_prob,
                     rngs_.engine_stream(derive_seed(0x105eULL, opt_.node)));
     }
+    // Fold the schedule's transport-level adversity (partitions,
+    // latency) into the chaos spec; deaths/births stay real (SIGKILL /
+    // late spawn).  A zero spec keeps the transport in passthrough.
+    chaos_ = chaos_with_faults(opt_.chaos, opt_.faults, opt_.round_ms);
+    if (!chaos_.zero()) {
+      udp_.set_chaos(chaos_, opt_.node, rngs_.node_stream(opt_.node, 0xc4a05ULL),
+                     start_delay_);
+    }
+    // Partitions heal and joiners arrive after roots may already have
+    // finalized: arm the post-final re-convergence machinery (versioned
+    // finals, retraction, resurrection sampling) only for those runs so
+    // every other schedule keeps today's termination behavior.
+    reconverge_ = !chaos_.cuts.empty() ||
+                  (opt_.round_ms > 0 && !opt_.faults.joins.empty());
+    backoff_rng_ = rngs_.node_stream(opt_.node, 0xb0ffULL);
+    dedup_.assign(opt_.n, DedupRing{});
 
     // Same stream discipline as the simulator's run_drr: purpose 0x11dd,
     // first draw is the rank, subsequent draws sample probe targets.
@@ -126,6 +170,15 @@ class NodeRuntime {
                          : std::max<std::uint32_t>(8, 2 * log2_ceil(opt_.n));
     membership_ = std::make_unique<Membership>(opt_.n, opt_.node);
     own_stats_ = Stats{values_[opt_.node], values_[opt_.node], values_[opt_.node], 1};
+    // Joiners match the simulator's founder semantics: they carry
+    // traffic (probe, relay, adopt the final) but hold no founding
+    // value, so the fold stays the surviving round-0 cohort's aggregate.
+    joiner_.assign(opt_.n, false);
+    if (opt_.round_ms > 0) {
+      for (std::uint32_t v = 0; v < opt_.n; ++v)
+        joiner_[v] = timeline.birth[v] != sim::kBornAtStart;
+      if (joiner_[opt_.node]) own_stats_ = Stats{};
+    }
 
     t0_ = Clock::now();
     loop();
@@ -145,6 +198,11 @@ class NodeRuntime {
     report.steps = steps_;
     report.roots_seen = static_cast<std::uint32_t>(table_.size());
     report.wall_ms = now_ms();
+    report.duplicates_dropped = duplicates_dropped_;
+    report.corrupt_rejected = udp_.stats().rejected;
+    report.reorders_buffered = udp_.chaos_stats().reorders;
+    report.backoff_ms_total = backoff_ms_total_;
+    report.suspect_flaps = membership_->flaps();
     report.error = error_;
     if (!report.ok && report.error.empty() && !halted_by_schedule_)
       report.error = "deadline before final value";
@@ -171,9 +229,21 @@ class NodeRuntime {
     while (true) {
       const std::int64_t now = now_ms();
       if (now >= opt_.deadline_ms) return;
-      if (death_round_ != sim::kNeverCrashes && steps_ >= death_round_) {
-        halted_by_schedule_ = true;  // mid-run churn: go silent, as scheduled
-        return;
+      if (death_round_ != sim::kNeverCrashes && opt_.self_halt) {
+        // Mid-run churn: go silent, as scheduled.  With a wall-clock
+        // round scale the mark is on the cluster clock (start_delay_
+        // re-bases a joiner); otherwise the legacy protocol-step count
+        // approximates the round.  self_halt == false leaves the death
+        // to the driver's SIGKILL -- a real crash, not a clean return.
+        const bool due =
+            opt_.round_ms > 0
+                ? now + start_delay_ >=
+                      static_cast<std::int64_t>(death_round_) * opt_.round_ms
+                : steps_ >= death_round_;
+        if (due) {
+          halted_by_schedule_ = true;
+          return;
+        }
       }
       if (phase_ == Phase::kLinger && now >= linger_until_) return;
 
@@ -200,7 +270,12 @@ class NodeRuntime {
           d.seq = next_seq();
           udp_.send(d);
         }
-        if (phase_ == Phase::kGossip) gossip_tick(now);
+        if (phase_ == Phase::kGossip) {
+          gossip_tick(now);
+        } else if (reconverge_ && root_ && have_final_ &&
+                   (phase_ == Phase::kSpread || phase_ == Phase::kLinger)) {
+          post_final_tick(now);
+        }
       }
 
       switch (phase_) {
@@ -209,7 +284,15 @@ class NodeRuntime {
               now >= opt_.bootstrap_timeout_ms) {
             phase_ = Phase::kProbing;
           } else if (now >= next_hello) {
-            next_hello = now + opt_.hello_retry_ms;
+            // Backoff'd tick, two fresh contacts per tick: same early
+            // aggregate rate as the old fixed interval, but under loss
+            // or delay chaos the cluster's hello bursts de-synchronize
+            // instead of hammering in lockstep.
+            next_hello =
+                now + BackoffPolicy{opt_.hello_retry_ms, opt_.backoff_cap_ms,
+                                    opt_.backoff_jitter}
+                          .delay(hello_tries_++, backoff_rng_);
+            send_hello();
             send_hello();
           }
           break;
@@ -237,12 +320,20 @@ class NodeRuntime {
         case Phase::kGossip:
           break;  // driven by gossip_tick above
         case Phase::kSpread:
+          if (reconverge_ && !root_ && dirty_ && parent_ != kNone &&
+              find_pending(MsgId::kTreeValue) == nullptr) {
+            push_tree(now);  // post-final correction (a child retracted)
+          }
           if (find_pending(MsgId::kFinal) == nullptr) {
             linger_until_ = now + opt_.linger_ms;
             phase_ = Phase::kLinger;
           }
           break;
         case Phase::kLinger:
+          if (reconverge_ && !root_ && dirty_ && parent_ != kNone &&
+              find_pending(MsgId::kTreeValue) == nullptr) {
+            push_tree(now);
+          }
           break;
       }
     }
@@ -256,7 +347,10 @@ class NodeRuntime {
 
   void handle(const Frame& f, std::int64_t now) {
     if (f.dst != opt_.node || f.src >= opt_.n) return;  // stray datagram
-    if (f.src != opt_.node) membership_->heard_from(f.src, now);
+    if (f.src != opt_.node) {
+      membership_->heard_from(f.src, now);  // duplicates still prove liveness
+      if (suppress_duplicate(f)) return;
+    }
     switch (f.id) {
       case MsgId::kHello: {
         reply(f, MsgId::kHelloAck);
@@ -293,7 +387,7 @@ class NodeRuntime {
         on_probe_ack(f, now);
         break;
       case MsgId::kConnect: {
-        add_child(f.src);
+        add_child(f.src, now);
         reply(f, MsgId::kConnectAck);
         break;
       }
@@ -315,12 +409,84 @@ class NodeRuntime {
       case MsgId::kRootAck:
         on_root_ack(f, now);
         break;
+      case MsgId::kTreeLeave:
+        on_tree_leave(f, now);
+        break;
+      case MsgId::kTreeLeaveAck:
+        drop_pending_seq(MsgId::kTreeLeave, f.src, f.seq);
+        break;
       case MsgId::kFinal:
         on_final(f, now);
         break;
       case MsgId::kFinalAck:
-        drop_pending(MsgId::kFinal, f.src);
+        // Seq-matched: a delayed ack for a superseded final must not
+        // cancel the re-spread of a newer one.
+        drop_pending_seq(MsgId::kFinal, f.src, f.seq);
         break;
+    }
+  }
+
+  /// True when (src, id, seq) was already seen recently.  Requests are
+  /// re-acked (the retry means our ack was lost); everything else is
+  /// dropped -- the first copy already did the work.
+  bool suppress_duplicate(const Frame& f) {
+    DedupRing& ring = dedup_[f.src];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint16_t>(f.id)) << 32) | f.seq;
+    for (const std::uint64_t k : ring.keys) {
+      if (k != key) continue;
+      ++duplicates_dropped_;
+      reack(f);
+      return true;
+    }
+    ring.keys[ring.next] = key;
+    ring.next = (ring.next + 1) % static_cast<std::uint32_t>(ring.keys.size());
+    return false;
+  }
+
+  /// Re-acks a suppressed duplicate request so the sender's retry ladder
+  /// terminates even when our first ack was lost.
+  void reack(const Frame& f) {
+    switch (f.id) {
+      case MsgId::kHello:
+        reply(f, MsgId::kHelloAck);
+        break;
+      case MsgId::kPing: {
+        Frame pong = make_frame(MsgId::kPong, f.src);
+        pong.seq = f.seq;
+        pong.nonce = f.nonce;
+        udp_.send(pong);
+        break;
+      }
+      case MsgId::kProbe: {
+        Frame ack = make_frame(MsgId::kProbeAck, f.src);
+        ack.seq = f.seq;
+        ack.max = rank_;
+        udp_.send(ack);
+        break;
+      }
+      case MsgId::kConnect:
+        reply(f, MsgId::kConnectAck);
+        break;
+      case MsgId::kTreeValue: {
+        Frame ack = make_frame(MsgId::kTreeAck, f.src);
+        ack.seq = f.seq;
+        ack.ver = f.ver;
+        udp_.send(ack);
+        break;
+      }
+      case MsgId::kTreeLeave: {
+        Frame ack = make_frame(MsgId::kTreeLeaveAck, f.src);
+        ack.seq = f.seq;
+        ack.ver = f.ver;
+        udp_.send(ack);
+        break;
+      }
+      case MsgId::kFinal:
+        reply(f, MsgId::kFinalAck);
+        break;
+      default:
+        break;  // acks, gossip, exchanges: the duplicate just dies here
     }
   }
 
@@ -401,6 +567,7 @@ class NodeRuntime {
   /// with a value instead of waiting for a final that will never come).
   void promote_to_root(std::int64_t now) {
     if (root_ || !settled_) return;
+    const std::uint32_t old_parent = parent_;
     root_ = true;
     parent_ = kNone;
     last_subtree_change_ = now;
@@ -413,6 +580,16 @@ class NodeRuntime {
                            subtree_.min, subtree_.sum});
     quiet_ = 0;
     phase_ = Phase::kRootWait;
+    // Retract our subtree from the old parent's slot: we now announce it
+    // ourselves, and without the retraction the fold counts it twice
+    // once a healed partition lets both announcements meet.  Retried
+    // through the cut (exempt from the dead-peer fast path) until acked.
+    if (reconverge_ && old_parent != kNone) {
+      Frame lv = make_frame(MsgId::kTreeLeave, old_parent);
+      lv.ver = subtree_ver_;
+      add_pending(lv, now, opt_.tree_timeout_ms, kTreeLeaveRetryCap);
+      udp_.send(lv);
+    }
   }
 
   void settle(std::int64_t now) {
@@ -429,17 +606,33 @@ class NodeRuntime {
 
   // --- Phase II: convergecast as monotone push ------------------------
 
-  void add_child(std::uint32_t child) {
+  void add_child(std::uint32_t child, std::int64_t now) {
     for (const ChildSlot& s : children_)
       if (s.child == child) return;
-    children_.push_back(ChildSlot{child, 0, Stats{}, false});
+    children_.push_back(ChildSlot{child, 0, Stats{}, false, 0});
+    // A child attaching after the result went out (a late joiner, or a
+    // straggler whose connect crossed a heal) still gets the current
+    // final; its value then re-folds through the normal tree push.
+    if (reconverge_ && have_final_) {
+      Frame fin = make_frame(MsgId::kFinal, child);
+      fin.max = final_.max;
+      fin.min = final_.min;
+      fin.sum = final_.sum;
+      fin.count = final_.count;
+      fin.ver = final_ver_;
+      add_pending(fin, now, opt_.final_timeout_ms, opt_.final_retries);
+      udp_.send(fin);
+    }
   }
 
   void on_tree_value(const Frame& f, std::int64_t now) {
-    add_child(f.src);  // a retried connect-ack may have been lost: adopt
+    add_child(f.src, now);  // a retried connect-ack may have been lost: adopt
     for (ChildSlot& s : children_) {
       if (s.child != f.src) continue;
-      if (!s.seen || f.ver >= s.ver) {
+      // Values at or below the child's retraction version are stale
+      // echoes (a reordered datagram from before it promoted away):
+      // ack them -- the sender is not waiting -- but never re-adopt.
+      if (f.ver > s.departed_ver && (!s.seen || f.ver >= s.ver)) {
         s.seen = true;
         s.ver = f.ver;
         s.stats = Stats{f.max, f.min, f.sum, f.count};
@@ -451,6 +644,22 @@ class NodeRuntime {
     ack.seq = f.seq;
     ack.ver = f.ver;
     udp_.send(ack);
+  }
+
+  void on_tree_leave(const Frame& f, std::int64_t now) {
+    for (ChildSlot& s : children_) {
+      if (s.child != f.src) continue;
+      if (f.ver > s.departed_ver) {
+        s.departed_ver = f.ver;
+        s.seen = false;  // the subtree is the child's to announce now
+        recompute_subtree(now);
+      }
+      break;
+    }
+    Frame ack = make_frame(MsgId::kTreeLeaveAck, f.src);
+    ack.seq = f.seq;
+    ack.ver = f.ver;
+    udp_.send(ack);  // always: the retraction must stop retrying
   }
 
   void recompute_subtree(std::int64_t now) {
@@ -466,6 +675,7 @@ class NodeRuntime {
       upsert_table(RootEntry{opt_.node, subtree_ver_, subtree_.count, subtree_.max,
                              subtree_.min, subtree_.sum});
       quiet_ = 0;  // our own entry changed: re-spread before finalizing
+      refinalize(now);
     } else {
       dirty_ = true;
     }
@@ -540,7 +750,14 @@ class NodeRuntime {
     // blocking termination (degrade, don't hang).
     std::uint64_t covered = 0;
     for (const RootEntry& e : table_) covered += e.count;
-    const bool complete = covered >= membership_->alive_count();
+    // Joiners hold no founding value: a live joiner raises the
+    // membership estimate but can never raise the covered count, so it
+    // is excluded from the completeness target.
+    std::uint32_t expect = membership_->alive_count();
+    for (std::uint32_t v = 0; v < opt_.n; ++v)
+      if (joiner_[v] && (v == opt_.node || !membership_->is_dead(v)) && expect > 0)
+        --expect;
+    const bool complete = covered >= expect;
     if (exchanges_ >= min_exchanges_ && quiet_ >= opt_.quiet_exchanges &&
         now - last_table_change_ >= 2 * opt_.gossip_tick_ms &&
         (complete || now >= opt_.finalize_fallback_ms)) {
@@ -562,6 +779,7 @@ class NodeRuntime {
     if (merge_table(f)) {
       last_table_change_ = now;
       quiet_ = 0;
+      refinalize(now);
     }
     send_table(MsgId::kRootAck, f.src, 0);  // anti-entropy pull half
   }
@@ -571,21 +789,43 @@ class NodeRuntime {
     if (merge_table(f)) {
       last_table_change_ = now;
       quiet_ = 0;
+      refinalize(now);
     } else {
       ++quiet_;
     }
   }
 
-  void finalize(std::int64_t now) {
-    // Fold in root-id order: every root holding the same table then
-    // computes the bit-identical sum regardless of arrival order.
+  /// Fold of the current table in root-id order: every root holding the
+  /// same table computes the bit-identical result regardless of arrival
+  /// order.
+  [[nodiscard]] Stats fold_table() const {
     std::vector<RootEntry> sorted = table_;
     std::sort(sorted.begin(), sorted.end(),
               [](const RootEntry& a, const RootEntry& b) { return a.root < b.root; });
-    final_ = Stats{};
+    Stats folded{};
     for (const RootEntry& e : sorted)
-      final_.merge(Stats{e.max, e.min, e.sum, e.count});
+      folded.merge(Stats{e.max, e.min, e.sum, e.count});
+    return folded;
+  }
+
+  void finalize(std::int64_t now) {
+    final_ = fold_table();
     have_final_ = true;
+    ++final_ver_;
+    spread_final(now);
+  }
+
+  /// Post-final convergence: when the table changes after the result
+  /// went out (a healed partition delivered another island's entries, a
+  /// joiner's subtree landed), a root folds again and re-spreads under a
+  /// higher version.  Gated on reconverge_ so ordinary runs never
+  /// reopen a finalized result.
+  void refinalize(std::int64_t now) {
+    if (!reconverge_ || !root_ || !have_final_) return;
+    const Stats next = fold_table();
+    if (next == final_) return;
+    final_ = next;
+    ++final_ver_;
     spread_final(now);
   }
 
@@ -593,12 +833,15 @@ class NodeRuntime {
 
   void spread_final(std::int64_t now) {
     phase_ = Phase::kSpread;
+    drop_pending_all(MsgId::kFinal);  // superseded spreads stop retrying
     for (const ChildSlot& s : children_) {
+      if (s.departed_ver > 0 && !s.seen) continue;  // promoted away: a root now
       Frame fin = make_frame(MsgId::kFinal, s.child);
       fin.max = final_.max;
       fin.min = final_.min;
       fin.sum = final_.sum;
       fin.count = final_.count;
+      fin.ver = final_ver_;
       add_pending(fin, now, opt_.final_timeout_ms, opt_.final_retries);
       udp_.send(fin);
     }
@@ -606,11 +849,38 @@ class NodeRuntime {
 
   void on_final(const Frame& f, std::int64_t now) {
     reply(f, MsgId::kFinalAck);
-    if (have_final_) return;
+    // A promoted orphan is a root in its own right: it acks (the old
+    // parent must stop retrying) but reaches its result through Phase
+    // III, never by adopting a fold that may lack its retracted subtree.
+    if (root_) return;
+    // Monotone adoption by version: a re-spread after re-convergence
+    // supersedes, a duplicate or reordered older final never regresses.
+    if (have_final_ && f.ver <= final_ver_) return;
     final_ = Stats{f.max, f.min, f.sum, f.count};
+    final_ver_ = f.ver;
     have_final_ = true;
     drop_pending(MsgId::kTreeValue, parent_);  // the tree's job is done
     spread_final(now);
+  }
+
+  /// Root gossip after the result went out: alternates the membership's
+  /// live sample with a uniform draw over *all* ids, because after a
+  /// heal the peers that matter most are exactly the ones membership
+  /// still believes dead -- only an unconditional contact can revive
+  /// them (resurrection sampling).
+  void post_final_tick(std::int64_t now) {
+    (void)now;
+    ++steps_;
+    resurrect_ = !resurrect_;
+    std::uint32_t peer;
+    if (resurrect_) {
+      peer = static_cast<std::uint32_t>(aux_rng_.next_below(opt_.n));
+      if (peer == opt_.node) peer = (peer + 1) % opt_.n;
+    } else {
+      peer = membership_->sample_live_peer(aux_rng_);
+      if (peer >= opt_.n) return;
+    }
+    send_table(MsgId::kRootExchange, peer, opt_.relay_ttl);
   }
 
   // --- pending / retry machinery --------------------------------------
@@ -643,19 +913,49 @@ class NodeRuntime {
     });
   }
 
+  /// Seq-matched variant: retries reuse the request's seq, so the ack of
+  /// any retry matches, while a stale ack for a superseded request (an
+  /// earlier final, a delayed duplicate) matches nothing.
+  void drop_pending_seq(MsgId kind, std::uint32_t dst, std::uint32_t seq) {
+    std::erase_if(pending_, [&](const Pending& p) {
+      return p.kind == kind && p.dst == dst && p.seq == seq;
+    });
+  }
+
+  void drop_pending_all(MsgId kind) {
+    std::erase_if(pending_, [&](const Pending& p) { return p.kind == kind; });
+  }
+
   void expire_pending(std::int64_t now) {
     // Collect expirations first: give-up handlers mutate pending_.
     std::vector<Pending> exhausted;
     for (Pending& p : pending_) {
       if (now < p.deadline) continue;
-      if (p.attempts < p.cap) {
-        ++p.attempts;
-        ++retries_;
-        p.deadline = now + p.timeout;
-        udp_.send(p.frame);
-      } else {
+      // Confirmed-dead destination: spend the remaining budget at once
+      // instead of walking the whole backoff ladder -- except for the
+      // retraction, which must keep trying *through* a cut the failure
+      // detector mistakes for a death.
+      const bool dead_fast =
+          membership_->is_dead(p.dst) &&
+          (p.kind == MsgId::kConnect || p.kind == MsgId::kTreeValue ||
+           p.kind == MsgId::kFinal);
+      if (p.attempts >= p.cap || dead_fast) {
         exhausted.push_back(p);
+        continue;
       }
+      // Capped exponential backoff with seeded jitter (net/backoff.hpp):
+      // retry number `attempts - 1` of this request, so consecutive
+      // resends spread out instead of re-colliding with whatever chaos
+      // ate the original.
+      const std::int64_t wait =
+          BackoffPolicy{p.timeout, opt_.backoff_cap_ms, opt_.backoff_jitter}.delay(
+              p.attempts - 1, backoff_rng_);
+      backoff_ms_total_ +=
+          static_cast<std::uint64_t>(std::max<std::int64_t>(0, wait - p.timeout));
+      ++p.attempts;
+      ++retries_;
+      p.deadline = now + wait;
+      udp_.send(p.frame);
     }
     for (const Pending& p : exhausted) {
       drop_pending(p.kind, p.dst);
@@ -691,19 +991,31 @@ class NodeRuntime {
 
   NodeOptions opt_;
   RngFactory rngs_;
-  UdpTransport udp_;
+  ChaosTransport udp_;
   std::unique_ptr<Membership> membership_;
   Clock::time_point t0_{};
 
   std::vector<double> values_;
+  std::vector<bool> joiner_;  ///< birth > 0 per id (empty-valued peers)
   std::uint32_t death_round_ = sim::kNeverCrashes;
+  std::uint32_t birth_round_ = sim::kBornAtStart;
+  std::int64_t start_delay_ = 0;  ///< joiner: cluster-clock ms slept before bind
   bool halted_by_schedule_ = false;
 
   Rng drr_rng_{};
   Rng aux_rng_{};
+  Rng backoff_rng_{};
   double rank_ = 0.0;
   std::uint32_t probe_budget_ = 0;
   std::uint32_t min_exchanges_ = 0;
+
+  ChaosSpec chaos_{};
+  bool reconverge_ = false;  ///< post-final re-convergence machinery armed
+  std::vector<DedupRing> dedup_;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t backoff_ms_total_ = 0;
+  std::uint32_t hello_tries_ = 0;
+  bool resurrect_ = false;  ///< post_final_tick sampling alternator
 
   Phase phase_ = Phase::kBootstrap;
   std::uint32_t seq_ = 0;
@@ -734,6 +1046,7 @@ class NodeRuntime {
 
   Stats final_{};
   bool have_final_ = false;
+  std::uint32_t final_ver_ = 0;  ///< monotone per spread lineage
   std::int64_t linger_until_ = 0;
   std::string error_;
 
@@ -752,23 +1065,26 @@ NodeReport run_node(const NodeOptions& options) {
 }
 
 std::string encode_report(const NodeReport& r) {
-  char buf[640];
+  char buf[768];
   std::string err = r.error;
   for (char& c : err)
     if (c == '|' || c == '\n') c = '/';
   std::snprintf(buf, sizeof(buf),
                 "%u|%d|%d|%d|%u|%.17g|%.17g|%.17g|%" PRIu64 "|%" PRIu64 "|%" PRIu64
-                "|%" PRIu64 "|%" PRIu64 "|%u|%u|%" PRId64 "|%s",
+                "|%" PRIu64 "|%" PRIu64 "|%u|%u|%" PRId64 "|%" PRIu64 "|%" PRIu64
+                "|%" PRIu64 "|%" PRIu64 "|%" PRIu64 "|%s",
                 r.node, r.scheduled_crash ? 1 : 0, r.ok ? 1 : 0, r.root ? 1 : 0,
                 r.parent, r.max, r.min, r.sum, r.count, r.sent, r.delivered, r.bits,
-                r.retries, r.steps, r.roots_seen, r.wall_ms, err.c_str());
+                r.retries, r.steps, r.roots_seen, r.wall_ms, r.duplicates_dropped,
+                r.corrupt_rejected, r.reorders_buffered, r.backoff_ms_total,
+                r.suspect_flaps, err.c_str());
   return std::string{buf};
 }
 
 bool decode_report(const std::string& line, NodeReport& out) {
   std::vector<std::string> fields;
   std::size_t pos = 0;
-  while (fields.size() < 16) {
+  while (fields.size() < 21) {
     const std::size_t bar = line.find('|', pos);
     if (bar == std::string::npos) return false;
     fields.push_back(line.substr(pos, bar - pos));
@@ -793,7 +1109,12 @@ bool decode_report(const std::string& line, NodeReport& out) {
     r.steps = static_cast<std::uint32_t>(std::stoul(fields[13]));
     r.roots_seen = static_cast<std::uint32_t>(std::stoul(fields[14]));
     r.wall_ms = std::stoll(fields[15]);
-    r.error = fields[16];
+    r.duplicates_dropped = std::stoull(fields[16]);
+    r.corrupt_rejected = std::stoull(fields[17]);
+    r.reorders_buffered = std::stoull(fields[18]);
+    r.backoff_ms_total = std::stoull(fields[19]);
+    r.suspect_flaps = std::stoull(fields[20]);
+    r.error = fields[21];
     out = r;
   } catch (...) {
     return false;
@@ -802,19 +1123,22 @@ bool decode_report(const std::string& line, NodeReport& out) {
 }
 
 std::string report_json(const NodeReport& r) {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"node\":%u,\"crashed\":%s,\"ok\":%s,\"root\":%s,\"parent\":%d,"
       "\"max\":%.17g,\"min\":%.17g,\"sum\":%.17g,\"count\":%" PRIu64
       ",\"sent\":%" PRIu64 ",\"delivered\":%" PRIu64 ",\"bits\":%" PRIu64
       ",\"retries\":%" PRIu64 ",\"steps\":%u,\"roots_seen\":%u,\"wall_ms\":%" PRId64
-      ",\"error\":\"%s\"}",
+      ",\"duplicates_dropped\":%" PRIu64 ",\"corrupt_rejected\":%" PRIu64
+      ",\"reorders_buffered\":%" PRIu64 ",\"backoff_ms_total\":%" PRIu64
+      ",\"suspect_flaps\":%" PRIu64 ",\"error\":\"%s\"}",
       r.node, r.scheduled_crash ? "true" : "false", r.ok ? "true" : "false",
       r.root ? "true" : "false",
       r.parent == 0xffffffffu ? -1 : static_cast<int>(r.parent), r.max, r.min, r.sum,
       r.count, r.sent, r.delivered, r.bits, r.retries, r.steps, r.roots_seen, r.wall_ms,
-      r.error.c_str());
+      r.duplicates_dropped, r.corrupt_rejected, r.reorders_buffered, r.backoff_ms_total,
+      r.suspect_flaps, r.error.c_str());
   return std::string{buf};
 }
 

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "sim/counters.hpp"
+#include "net/chaos.hpp"
 #include "net/udp_transport.hpp"
 
 namespace drrg::net {
@@ -98,6 +99,23 @@ struct NodeOptions {
 
   /// Hard wall-clock bound on the whole run.
   std::int64_t deadline_ms = 30000;
+
+  // -- adversity / timing ----------------------------------------------
+  /// Datagram-level chaos (drop/dup/reorder/delay/corrupt/cut), layered
+  /// on by ChaosTransport; zero = byte-identical passthrough.
+  ChaosSpec chaos{};
+  /// >0: wall-clock milliseconds per scheduled round -- death rounds and
+  /// join births become wall marks at round * round_ms, and the fault
+  /// schedule's partitions/latency fold into the chaos spec.  0 keeps
+  /// the legacy protocol-steps approximation.
+  std::int64_t round_ms = 0;
+  /// false: the multiproc driver owns mid-run deaths (real SIGKILL); the
+  /// node never halts itself on its death mark.
+  bool self_halt = true;
+  // Retransmission backoff (see net/backoff.hpp): each pending's timeout
+  // is the base; retries double it up to the cap plus seeded jitter.
+  std::int64_t backoff_cap_ms = 1000;
+  double backoff_jitter = 0.25;
 };
 
 /// What one node process reports when it exits (serialised over a pipe
@@ -121,6 +139,12 @@ struct NodeReport {
   std::uint32_t steps = 0;  ///< protocol steps executed (round estimate)
   std::uint32_t roots_seen = 0;
   std::int64_t wall_ms = 0;
+  // Degradation accounting: how much adversity the node absorbed.
+  std::uint64_t duplicates_dropped = 0;  ///< dedup window suppressions
+  std::uint64_t corrupt_rejected = 0;    ///< datagrams failing strict decode
+  std::uint64_t reorders_buffered = 0;   ///< datagrams chaos held for later sends
+  std::uint64_t backoff_ms_total = 0;    ///< extra wait added over fixed-interval retry
+  std::uint64_t suspect_flaps = 0;       ///< peers rescued from suspect/dead
   std::string error;
 };
 

@@ -134,19 +134,24 @@ bool UdpTransport::send(const Frame& frame) {
   if (fd_ < 0 || frame.dst >= peer_addr_.size()) return false;
   buf_.clear();
   encode_frame(frame, buf_);
+  return send_raw(frame.dst, {buf_.data(), buf_.size()});
+}
+
+bool UdpTransport::send_raw(std::uint32_t dst, std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0 || dst >= peer_addr_.size()) return false;
   stats_.sent += 1;
-  stats_.bits += static_cast<std::uint64_t>(buf_.size()) * 8;
+  stats_.bits += static_cast<std::uint64_t>(bytes.size()) * 8;
   if (loss_prob_ > 0.0 && loss_rng_.next_bernoulli(loss_prob_)) {
     stats_.dropped += 1;  // injected loss: consumed bandwidth, never lands
     return true;
   }
-  const sockaddr_in sa = unpack_addr(peer_addr_[frame.dst]);
+  const sockaddr_in sa = unpack_addr(peer_addr_[dst]);
   const ssize_t wrote =
-      ::sendto(fd_, buf_.data(), buf_.size(), 0, reinterpret_cast<const sockaddr*>(&sa),
+      ::sendto(fd_, bytes.data(), bytes.size(), 0, reinterpret_cast<const sockaddr*>(&sa),
                sizeof(sa));
   // ECONNREFUSED and friends (dead peer, scheduler races) are the loss
   // model of real life: the protocol's retries own recovery.
-  return wrote == static_cast<ssize_t>(buf_.size());
+  return wrote == static_cast<ssize_t>(bytes.size());
 }
 
 bool UdpTransport::poll(Frame& out, int timeout_ms) {
@@ -181,6 +186,7 @@ bool UdpTransport::set_peers(std::uint32_t, std::uint16_t, const std::vector<Pee
   return false;
 }
 bool UdpTransport::send(const Frame&) { return false; }
+bool UdpTransport::send_raw(std::uint32_t, std::span<const std::uint8_t>) { return false; }
 bool UdpTransport::poll(Frame&, int) { return false; }
 
 #endif  // DRRG_HAVE_UDP

@@ -76,6 +76,21 @@ class UdpTransport {
   /// socket error.
   bool send(const Frame& frame);
 
+  /// Sends pre-encoded wire bytes to node `dst` (the seam a decorating
+  /// transport uses after mutating/duplicating/holding the datagram).
+  /// Applies the same loss coin and sent/bits/dropped accounting as
+  /// send().
+  bool send_raw(std::uint32_t dst, std::span<const std::uint8_t> bytes);
+
+  /// Accounting hook for a decorator that eats an encoded frame before
+  /// the socket (injected chaos drop / partition cut): the datagram
+  /// still consumed bandwidth, same rule as an injected loss.
+  void note_dropped(std::size_t bytes) noexcept {
+    stats_.sent += 1;
+    stats_.bits += static_cast<std::uint64_t>(bytes) * 8;
+    stats_.dropped += 1;
+  }
+
   /// Receives at most one datagram, waiting up to timeout_ms (0 = pure
   /// poll).  Strictly decoded; malformed datagrams are counted and
   /// dropped.  Returns true and fills `out` when a frame arrived.

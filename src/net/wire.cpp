@@ -86,6 +86,8 @@ std::size_t payload_size(MsgId id, std::size_t entries) noexcept {
     case MsgId::kRootAck: return 1 + entries * kRootEntryBytes;
     case MsgId::kFinal: return kStatsBytes;
     case MsgId::kFinalAck: return 0;
+    case MsgId::kTreeLeave:
+    case MsgId::kTreeLeaveAck: return 4;   // retracted subtree version
   }
   return static_cast<std::size_t>(-1);
 }
@@ -114,7 +116,7 @@ std::size_t count_bound(MsgId id) noexcept {
 
 bool known_id(std::uint16_t raw) noexcept {
   return raw >= static_cast<std::uint16_t>(MsgId::kHello) &&
-         raw <= static_cast<std::uint16_t>(MsgId::kFinalAck);
+         raw <= static_cast<std::uint16_t>(MsgId::kTreeLeaveAck);
 }
 
 std::size_t clamped_entries(const Frame& f) noexcept {
@@ -164,6 +166,8 @@ std::string_view to_string(MsgId id) noexcept {
     case MsgId::kRootAck: return "root-ack";
     case MsgId::kFinal: return "final";
     case MsgId::kFinalAck: return "final-ack";
+    case MsgId::kTreeLeave: return "tree-leave";
+    case MsgId::kTreeLeaveAck: return "tree-leave-ack";
   }
   return "unknown";
 }
@@ -178,15 +182,28 @@ std::string_view to_string(DecodeError err) noexcept {
     case DecodeError::kTruncated: return "truncated";
     case DecodeError::kOversized: return "oversized";
     case DecodeError::kCountOverflow: return "count-overflow";
+    case DecodeError::kBadChecksum: return "bad-checksum";
   }
   return "unknown";
 }
 
+std::uint32_t wire_checksum(std::span<const std::uint8_t> bytes) noexcept {
+  // FNV-1a-32.  Each step is a bijection of the running state, so two
+  // inputs differing in exactly one byte can never collide.
+  std::uint32_t h = 0x811c9dc5u;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
 std::size_t encoded_size(const Frame& frame) noexcept {
-  return kHeaderBytes + payload_size(frame.id, clamped_entries(frame));
+  return kHeaderBytes + payload_size(frame.id, clamped_entries(frame)) + kChecksumBytes;
 }
 
 void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
   out.reserve(out.size() + encoded_size(frame));
   put_u32(out, kWireMagic);
   put_u16(out, kWireVersion);
@@ -227,6 +244,8 @@ void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
       put_stats(out, frame);
       break;
     case MsgId::kTreeAck:
+    case MsgId::kTreeLeave:
+    case MsgId::kTreeLeaveAck:
       put_u32(out, frame.ver);
       break;
     case MsgId::kRootExchange:
@@ -245,6 +264,7 @@ void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
       }
       break;
   }
+  put_u32(out, wire_checksum({out.data() + start, out.size() - start}));
 }
 
 DecodeError decode_frame(std::span<const std::uint8_t> bytes, Frame& out) {
@@ -270,9 +290,15 @@ DecodeError decode_frame(std::span<const std::uint8_t> bytes, Frame& out) {
     entries = bytes[kHeaderBytes + coff];
     if (entries > count_bound(f.id)) return DecodeError::kCountOverflow;
   }
-  const std::size_t expect = kHeaderBytes + payload_size(f.id, entries);
+  const std::size_t body = kHeaderBytes + payload_size(f.id, entries);
+  const std::size_t expect = body + kChecksumBytes;
   if (bytes.size() < expect) return DecodeError::kTruncated;
   if (bytes.size() > expect) return DecodeError::kOversized;
+
+  // Verify the trailer before interpreting any payload field.
+  std::size_t sum_off = body;
+  if (get_u32(bytes, sum_off) != wire_checksum(bytes.first(body)))
+    return DecodeError::kBadChecksum;
 
   switch (f.id) {
     case MsgId::kHello:
@@ -310,6 +336,8 @@ DecodeError decode_frame(std::span<const std::uint8_t> bytes, Frame& out) {
       get_stats(bytes, off, f);
       break;
     case MsgId::kTreeAck:
+    case MsgId::kTreeLeave:
+    case MsgId::kTreeLeaveAck:
       f.ver = get_u32(bytes, off);
       break;
     case MsgId::kRootExchange:

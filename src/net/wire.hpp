@@ -15,11 +15,15 @@
 //
 // followed by a payload whose layout -- and exact length -- is fixed by
 // the message id (the two table-carrying messages declare an entry count
-// whose bound is part of the format).  decode_frame() is strict: a frame
-// that is truncated, oversized, version-skewed, count-overflowing or
-// garbage is rejected with a typed DecodeError and zero undefined
-// behavior, which the wire-codec property tests (and the ASan+UBSan CI
-// job they run under) pin.
+// whose bound is part of the format), followed by a u32 FNV-1a checksum
+// of every preceding byte.  decode_frame() is strict: a frame that is
+// truncated, oversized, version-skewed, count-overflowing, checksum-
+// mismatched or garbage is rejected with a typed DecodeError and zero
+// undefined behavior, which the wire-codec property tests (and the
+// ASan+UBSan CI job they run under) pin.  Because each FNV-1a step is a
+// bijection of the hash state, any single-byte flip anywhere in the
+// frame is guaranteed to be rejected -- the property the chaos
+// harness's corruption injection leans on.
 //
 // Message vocabulary (libgossip frames SYNC/ACK1/ACK2 the same way:
 // one id byte dispatching onto a fixed serialization per id):
@@ -27,7 +31,8 @@
 //   bootstrap + membership      kHello/kHelloAck, kPing/kPong,
 //                               kMemberGossip
 //   Phase I (DRR forest)        kProbe/kProbeAck, kConnect/kConnectAck
-//   Phase II (convergecast)     kTreeValue/kTreeAck
+//   Phase II (convergecast)     kTreeValue/kTreeAck,
+//                               kTreeLeave/kTreeLeaveAck (slot retract)
 //   Phase III (root gossip)     kRootExchange/kRootAck
 //   result spread               kFinal/kFinalAck
 
@@ -40,8 +45,13 @@
 namespace drrg::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x47525244u;  // "DRRG" as LE bytes
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;          // v2: FNV-1a trailer + kTreeLeave
 inline constexpr std::size_t kHeaderBytes = 20;
+inline constexpr std::size_t kChecksumBytes = 4;
+
+/// FNV-1a-32 over `bytes` -- the trailer checksum.  Exposed so tests can
+/// forge/verify trailers directly.
+[[nodiscard]] std::uint32_t wire_checksum(std::span<const std::uint8_t> bytes) noexcept;
 
 /// Hard bounds of the two variable-count payloads: part of the format,
 /// chosen so every frame fits one un-fragmented localhost datagram.
@@ -64,6 +74,8 @@ enum class MsgId : std::uint16_t {
   kRootAck = 13,       ///< responding root's table (anti-entropy pull)
   kFinal = 14,         ///< folded result, spread root -> tree
   kFinalAck = 15,
+  kTreeLeave = 16,     ///< re-homed child retracts its slot at the old parent
+  kTreeLeaveAck = 17,
 };
 
 /// All ids, for enumeration in tests.
@@ -71,7 +83,8 @@ inline constexpr MsgId kAllMsgIds[] = {
     MsgId::kHello,     MsgId::kHelloAck,   MsgId::kPing,         MsgId::kPong,
     MsgId::kMemberGossip, MsgId::kProbe,   MsgId::kProbeAck,     MsgId::kConnect,
     MsgId::kConnectAck, MsgId::kTreeValue, MsgId::kTreeAck,      MsgId::kRootExchange,
-    MsgId::kRootAck,   MsgId::kFinal,      MsgId::kFinalAck,
+    MsgId::kRootAck,   MsgId::kFinal,      MsgId::kFinalAck,     MsgId::kTreeLeave,
+    MsgId::kTreeLeaveAck,
 };
 
 [[nodiscard]] std::string_view to_string(MsgId id) noexcept;
@@ -140,6 +153,7 @@ enum class DecodeError : std::uint8_t {
   kTruncated,     ///< payload shorter than the id requires
   kOversized,     ///< trailing bytes after the id's payload
   kCountOverflow, ///< declared entry count exceeds the format bound
+  kBadChecksum,   ///< FNV-1a trailer does not match the frame bytes
 };
 
 [[nodiscard]] std::string_view to_string(DecodeError err) noexcept;

@@ -116,6 +116,8 @@ struct LatencyModel {
   std::uint32_t max_delay = 0;
   double tail_prob = 0.0;
 
+  bool operator==(const LatencyModel&) const = default;
+
   [[nodiscard]] bool zero() const noexcept {
     return kind == Kind::kZero || bound() == 0;
   }

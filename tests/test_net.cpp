@@ -71,19 +71,50 @@ TEST(Membership, SilenceAgesAlivePeersToSuspectThenDead) {
   net::MembershipConfig cfg;
   cfg.suspect_after_ms = 100;
   cfg.dead_after_ms = 300;
+  cfg.suspect_confirm_ms = 150;
   net::Membership m{3, /*self=*/0, cfg};
   m.heard_from(1, 0);
   m.age(50);
   EXPECT_EQ(m.state(1), net::PeerState::kAlive);
   m.age(150);
   EXPECT_EQ(m.state(1), net::PeerState::kSuspect);
-  m.age(350);
+  m.age(350);  // silent 350 >= 300, suspect since 150: window met
   EXPECT_EQ(m.state(1), net::PeerState::kDead);
   EXPECT_TRUE(m.is_dead(1));
 
   // Direct evidence revives a locally-declared death.
   m.heard_from(1, 400);
   EXPECT_EQ(m.state(1), net::PeerState::kAlive);
+  EXPECT_EQ(m.flaps(), 1u);
+}
+
+TEST(Membership, DelayedButAliveHeartbeatsNeverConfirmADeath) {
+  // The hysteresis regression: a peer whose frames arrive late (heavy-
+  // tail delay) keeps tripping the silence thresholds, but every landing
+  // restarts the confirm window, so latency alone never evicts it.
+  net::MembershipConfig cfg;
+  cfg.suspect_after_ms = 100;
+  cfg.dead_after_ms = 300;
+  cfg.suspect_confirm_ms = 200;
+  net::Membership m{2, /*self=*/0, cfg};
+  std::int64_t heard = 0;
+  for (std::int64_t now = 0; now <= 4000; now += 50) {
+    m.age(now);
+    EXPECT_FALSE(m.is_dead(1)) << "evicted at t=" << now;
+    if (now - heard >= 250) {  // a straggler lands inside the confirm window
+      m.heard_from(1, now);
+      heard = now;
+    }
+  }
+  EXPECT_GE(m.flaps(), 1u);  // each rescue from suspect is counted
+
+  // Without the window (confirm = 0) the same pattern kills the peer.
+  net::MembershipConfig old = cfg;
+  old.suspect_confirm_ms = 0;
+  net::Membership bare{2, /*self=*/0, old};
+  bare.age(150);
+  bare.age(350);
+  EXPECT_TRUE(bare.is_dead(1));
 }
 
 TEST(Membership, DigestLeadsWithSelfAndRespectsTheWireBound) {
@@ -103,6 +134,7 @@ TEST(Membership, SamplesOnlyPeersNotBelievedDead) {
   net::MembershipConfig cfg;
   cfg.suspect_after_ms = 10;
   cfg.dead_after_ms = 20;
+  cfg.suspect_confirm_ms = 0;  // no hysteresis: this test is about sampling
   net::Membership m{4, /*self=*/0, cfg};
   m.heard_from(2, 1000);  // 1 and 3 stay silent since t=0
   m.age(1005);            // 1/3 silent past both thresholds, 2 heard 5ms ago
@@ -182,6 +214,11 @@ TEST(NodeReport, RoundTripsThroughThePipeEncoding) {
   r.steps = 11;
   r.roots_seen = 3;
   r.wall_ms = 4321;
+  r.duplicates_dropped = 21;
+  r.corrupt_rejected = 5;
+  r.reorders_buffered = 17;
+  r.backoff_ms_total = 4096;
+  r.suspect_flaps = 2;
   r.error = "pipe|chars\nare sanitised";
   net::NodeReport d;
   ASSERT_TRUE(net::decode_report(net::encode_report(r), d));
@@ -195,6 +232,11 @@ TEST(NodeReport, RoundTripsThroughThePipeEncoding) {
   EXPECT_EQ(d.count, r.count);
   EXPECT_EQ(d.sent, r.sent);
   EXPECT_EQ(d.wall_ms, r.wall_ms);
+  EXPECT_EQ(d.duplicates_dropped, r.duplicates_dropped);
+  EXPECT_EQ(d.corrupt_rejected, r.corrupt_rejected);
+  EXPECT_EQ(d.reorders_buffered, r.reorders_buffered);
+  EXPECT_EQ(d.backoff_ms_total, r.backoff_ms_total);
+  EXPECT_EQ(d.suspect_flaps, r.suspect_flaps);
   EXPECT_EQ(d.error, "pipe/chars/are sanitised");
 
   net::NodeReport bad;

@@ -41,6 +41,8 @@ struct Options {
   drrg::api::Transport transport = drrg::api::Transport::kSim;
   std::uint16_t bind_port = 0;
   std::string seed_list;
+  std::string chaos_text;
+  std::int64_t round_ms = 0;
   drrg::sim::TopologySpec topology{};
   std::vector<drrg::sim::CrashEvent> churn;
   std::vector<drrg::sim::JoinEvent> joins;
@@ -76,6 +78,7 @@ struct Options {
                "                [--trials T] [--threads W] [--intra-threads I]\n"
                "                [--diam-mult M] [--pipeline dense|sparse]\n"
                "                [--transport sim|udp] [--bind-port P] [--seed-list L]\n"
+               "                [--chaos SPEC] [--round-ms MS]\n"
                "                [--csv] [--json] [--list]\n"
                "  A: %s\n"
                "  G: %s\n"
@@ -101,7 +104,15 @@ struct Options {
                "      pipeline over real 127.0.0.1 UDP sockets (drr only);\n"
                "      --bind-port sets the first port (node v binds P + v, 0 probes\n"
                "      for a free range), --seed-list pins explicit host:port,...\n"
-               "      addresses (position i = node i, loopback only)\n",
+               "      addresses (position i = node i, loopback only)\n"
+               "  --chaos injects deterministic datagram-level adversity into the\n"
+               "      udp transport: comma-joined drop:P dup:P corrupt:P\n"
+               "      reorder:P[/SPAN] delay:<latency-ms> cut:B@S[-H] tokens\n"
+               "      (e.g. drop:0.1,dup:0.05,reorder:0.2/4,cut:24@500-4000)\n"
+               "  --round-ms maps scheduled rounds onto the udp wall clock\n"
+               "      (block-crash -> real SIGKILL, partition -> timed cut,\n"
+               "      join -> late spawn, latency -> per-datagram delay);\n"
+               "      defaults to 250 when such a schedule needs it\n",
                algos.c_str(), aggs.c_str(), drrg::api::topology_names().c_str());
   std::exit(code);
 }
@@ -170,6 +181,17 @@ Options parse(int argc, char** argv) {
     }
     else if (arg == "--bind-port") opt.bind_port = static_cast<std::uint16_t>(std::atoi(next("--bind-port")));
     else if (arg == "--seed-list") opt.seed_list = next("--seed-list");
+    else if (arg == "--chaos") {
+      opt.chaos_text = next("--chaos");
+      if (!drrg::api::parse_chaos(opt.chaos_text).has_value()) {
+        std::fprintf(stderr,
+                     "malformed chaos spec: %s (want drop:P,dup:P,corrupt:P,"
+                     "reorder:P[/SPAN],delay:<latency>,cut:B@S[-H])\n",
+                     opt.chaos_text.c_str());
+        usage(2);
+      }
+    }
+    else if (arg == "--round-ms") opt.round_ms = std::atoll(next("--round-ms"));
     else if (arg == "--degree") opt.topology.degree = static_cast<std::uint32_t>(std::atoi(next("--degree")));
     else if (arg == "--topology") {
       const char* name = next("--topology");
@@ -261,7 +283,7 @@ void print_json(const Options& opt, const drrg::api::RunReport& r) {
               "\"pipeline\":\"%s\",\"transport\":\"%s\","
               "\"topology\":\"%s\",\"loss\":%.4f,\"crash\":%.4f,\"churn\":\"%s\","
               "\"join\":\"%s\",\"block_crash\":\"%s\",\"partition\":\"%s\","
-              "\"latency\":\"%s\","
+              "\"latency\":\"%s\",\"chaos\":\"%s\","
               "\"value\":%.17g,\"truth\":%.17g,"
               "\"abs_error\":%.17g,\"rel_error\":%.17g,\"consensus\":%s,"
               "\"messages\":%llu,\"delivered\":%llu,\"bits\":%llu,\"rounds\":%u}\n",
@@ -274,7 +296,7 @@ void print_json(const Options& opt, const drrg::api::RunReport& r) {
               drrg::api::format_joins(opt.joins).c_str(),
               drrg::api::format_blocks(opt.blocks).c_str(),
               drrg::api::format_partitions(opt.partitions).c_str(),
-              drrg::api::format_latency(opt.latency).c_str(),
+              drrg::api::format_latency(opt.latency).c_str(), opt.chaos_text.c_str(),
               r.value, r.truth, r.abs_error(), r.rel_error(),
               r.consensus ? "true" : "false",
               static_cast<unsigned long long>(r.cost.sent),
@@ -320,11 +342,16 @@ int main(int argc, char** argv) {
   spec.transport = opt.transport;
   spec.udp_port_base = opt.bind_port;
   spec.udp_seed_list = opt.seed_list;
+  spec.udp_chaos = opt.chaos_text;
+  spec.udp_round_ms = opt.round_ms;
   if (opt.pipeline != api::Pipeline::kDense && opt.algo != "drr")
     std::fprintf(stderr, "--pipeline only applies to --algo drr (ignored)\n");
   if (opt.transport == api::Transport::kSim &&
-      (opt.bind_port != 0 || !opt.seed_list.empty()))
-    std::fprintf(stderr, "--bind-port/--seed-list only apply to --transport udp (ignored)\n");
+      (opt.bind_port != 0 || !opt.seed_list.empty() || !opt.chaos_text.empty() ||
+       opt.round_ms != 0))
+    std::fprintf(stderr,
+                 "--bind-port/--seed-list/--chaos/--round-ms only apply to "
+                 "--transport udp (ignored)\n");
   spec.rank_threshold = opt.rank_threshold;
   spec.intra_threads = opt.intra_threads;
   if (opt.diam_mult != 1.0) {

@@ -34,14 +34,27 @@ namespace {
 [[noreturn]] void usage(int code) {
   std::fprintf(stderr,
                "usage: drrg_node --id V --n N [--seed S] [--loss D] [--crash F]\n"
-               "                 [--churn R:F[,R:F...]] [--agg max|min|ave|sum|count]\n"
+               "                 [--churn R:F[,R:F...]] [--join R:F[,...]]\n"
+               "                 [--block-crash R:LO-HI[:S/W][,...]]\n"
+               "                 [--partition R:B[:H][,...]] [--latency MODEL]\n"
+               "                 [--chaos SPEC] [--round-ms MS] [--no-self-halt]\n"
+               "                 [--agg max|min|ave|sum|count]\n"
                "                 [--port-base P] [--bind-port P] [--seed-list L]\n"
+               "                 [--bootstrap-min-ms MS] [--linger-ms MS]\n"
                "                 [--deadline-ms MS] [--quiet]\n"
                "  --id          this process's node id in [0, n)\n"
                "  --port-base   node v listens on 127.0.0.1:(P + v) (default 29600)\n"
                "  --bind-port   explicit own port (overrides --port-base for this node)\n"
                "  --seed-list   host:port,host:port,... with position i = node i\n"
                "                (overrides --port-base for the whole address table)\n"
+               "  --chaos       deterministic datagram adversity: comma-joined\n"
+               "                drop:P dup:P corrupt:P reorder:P[/SPAN]\n"
+               "                delay:<latency-ms> cut:B@S[-H] tokens\n"
+               "  --round-ms    wall-clock ms per scheduled round: maps churn /\n"
+               "                block-crash deaths, partition cuts, join births\n"
+               "                and latency onto the real clock (0 = step count)\n"
+               "  --no-self-halt  never exit at the scheduled death mark (an\n"
+               "                outer driver delivers the real SIGKILL instead)\n"
                "  --agg         selects which aggregate the report's 'value' field\n"
                "                renders; the pipeline always computes all of them\n"
                "  --quiet       suppress the report line (exit status only)\n");
@@ -59,6 +72,10 @@ int main(int argc, char** argv) {
   double loss = 0.0;
   double crash = 0.0;
   std::vector<sim::CrashEvent> churn;
+  std::vector<sim::JoinEvent> joins;
+  std::vector<sim::BlockCrashEvent> blocks;
+  std::vector<sim::PartitionEvent> partitions;
+  sim::LatencyModel latency{};
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,6 +99,50 @@ int main(int argc, char** argv) {
       }
       churn = *parsed;
     }
+    else if (arg == "--join") {
+      const auto parsed = api::parse_joins(next("--join"));
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "malformed join schedule (want R:F[,R:F...])\n");
+        usage(2);
+      }
+      joins = *parsed;
+    }
+    else if (arg == "--block-crash") {
+      const auto parsed = api::parse_blocks(next("--block-crash"));
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "malformed block-crash schedule (want R:LO-HI[:S/W][,...])\n");
+        usage(2);
+      }
+      blocks = *parsed;
+    }
+    else if (arg == "--partition") {
+      const auto parsed = api::parse_partitions(next("--partition"));
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "malformed partition schedule (want R:B[:H][,...])\n");
+        usage(2);
+      }
+      partitions = *parsed;
+    }
+    else if (arg == "--latency") {
+      const auto parsed = api::parse_latency(next("--latency"));
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "malformed latency model (want fixed:D | uniform:A-B | tail:A-B:P)\n");
+        usage(2);
+      }
+      latency = *parsed;
+    }
+    else if (arg == "--chaos") {
+      const auto parsed = api::parse_chaos(next("--chaos"));
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "malformed chaos spec (see --help for the grammar)\n");
+        usage(2);
+      }
+      opt.chaos = *parsed;
+    }
+    else if (arg == "--round-ms") opt.round_ms = std::atoll(next("--round-ms"));
+    else if (arg == "--no-self-halt") opt.self_halt = false;
+    else if (arg == "--bootstrap-min-ms") opt.bootstrap_min_ms = std::atoll(next("--bootstrap-min-ms"));
+    else if (arg == "--linger-ms") opt.linger_ms = std::atoll(next("--linger-ms"));
     else if (arg == "--agg") agg = next("--agg");
     else if (arg == "--port-base") opt.port_base = static_cast<std::uint16_t>(std::atoi(next("--port-base")));
     else if (arg == "--bind-port") opt.bind_port = static_cast<std::uint16_t>(std::atoi(next("--bind-port")));
@@ -111,6 +172,18 @@ int main(int argc, char** argv) {
     usage(2);
   }
   opt.faults = sim::FaultSchedule{loss, crash, churn};
+  opt.faults.blocks = std::move(blocks);
+  opt.faults.partitions = std::move(partitions);
+  opt.faults.joins = std::move(joins);
+  opt.faults.latency = latency;
+  if ((opt.faults.has_blocks() || opt.faults.has_partitions() ||
+       opt.faults.has_joins() || !opt.faults.latency.zero()) &&
+      opt.round_ms <= 0) {
+    std::fprintf(stderr,
+                 "--block-crash/--partition/--join/--latency need --round-ms > 0 "
+                 "to place rounds on the wall clock\n");
+    usage(2);
+  }
 
   const net::NodeReport report = net::run_node(opt);
   if (!quiet) {

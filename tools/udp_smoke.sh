@@ -29,7 +29,23 @@ for bin in drrg_node drrg_cli; do
 done
 
 out="$(mktemp -d)"
-trap 'rm -rf "$out"' EXIT
+# Reap the whole brood on any exit: an interrupted run must not leave N
+# orphaned drrg_node processes spinning on their sockets until their
+# deadline.  `jobs -pr` lists the still-running background pids; killing
+# the `timeout` wrapper forwards TERM to its drrg_node child.
+cleanup() {
+  local live
+  live="$(jobs -pr)"
+  if [[ -n "$live" ]]; then
+    # shellcheck disable=SC2086  # pid list is intentionally word-split
+    kill $live 2>/dev/null || true
+    wait 2>/dev/null || true
+  fi
+  rm -rf "$out"
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 echo "udp_smoke: simulator reference (n=$N seed=$SEED crash=$CRASH loss=$LOSS)"
 "$BUILD/drrg_cli" --algo drr --agg max --n "$N" --seed "$SEED" \
