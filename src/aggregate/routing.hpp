@@ -158,7 +158,7 @@ class SparseRouter {
   std::uint32_t rows_ = 0, cols_ = 0;  // lattice layout (kGrid)
   bool torus_ = false;
   std::uint32_t walk_len_ = 0;  // kWalk length
-  sim::Topology::PeerSampler sampler_{nullptr, nullptr, 0};
+  sim::Topology::PeerSampler sampler_{};
 };
 
 }  // namespace drrg

@@ -816,6 +816,10 @@ void check_chord_args(const ChordOverlay& chord, const Graph& links,
     throw std::invalid_argument(
         "sparse_drr_gossip: explicit substrate required (use drr_gossip_* on the "
         "complete topology)");
+  if (scenario.topology.graph() == nullptr)
+    throw std::invalid_argument(
+        "sparse_drr_gossip: the sparse pipeline walks real adjacency and needs "
+        "the CSR backend (TopologyBackend::kCsr), not an implicit topology");
   return *scenario.topology.graph();
 }
 

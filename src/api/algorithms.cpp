@@ -71,34 +71,48 @@ template <class T>
 /// derived seed, so distinct trials still resample.  Topology copies are
 /// O(1) shared_ptr handles, safe to share across the trial executor.
 [[nodiscard]] sim::Scenario make_scenario(const RunSpec& spec) {
-  if (spec.topology.is_complete()) return sim::Scenario{sim::Topology::complete(), spec.faults};
+  if (spec.topology.is_complete()) {
+    sim::Scenario s{sim::Topology::complete_of(spec.n), spec.faults};
+    s.intra_threads = spec.intra_threads;
+    return s;
+  }
   const std::uint64_t seed = derive_seed(spec.seed, 0x7090ULL);
+  // The sparse pipeline walks real adjacency (substrate_graph), so it
+  // always gets the CSR backend regardless of what kAuto would pick.
+  sim::TopologySpec topo_spec = spec.topology;
+  if (spec.pipeline == Pipeline::kSparse) topo_spec.backend = sim::TopologyBackend::kCsr;
   struct Key {
     sim::TopologyKind kind;
     std::uint32_t degree;
     bool torus;
+    sim::TopologyBackend backend;
     std::uint32_t n;
     std::uint64_t seed;
     bool operator==(const Key&) const = default;
   };
   const bool randomized = spec.topology.kind == sim::TopologyKind::kRandomRegular;
-  const Key key{spec.topology.kind, spec.topology.degree, spec.topology.torus, spec.n,
-                randomized ? seed : 0};
+  const Key key{topo_spec.kind, topo_spec.degree, topo_spec.torus, topo_spec.backend,
+                spec.n, randomized ? seed : 0};
   static std::mutex mu;
   static std::optional<Key> cached_key;
   static sim::Topology cached;
   {
     const std::lock_guard<std::mutex> lock(mu);
-    if (cached_key.has_value() && *cached_key == key)
-      return sim::Scenario{cached, spec.faults};
+    if (cached_key.has_value() && *cached_key == key) {
+      sim::Scenario s{cached, spec.faults};
+      s.intra_threads = spec.intra_threads;
+      return s;
+    }
   }
-  sim::Topology topology = sim::make_topology(spec.topology, spec.n, seed);
+  sim::Topology topology = sim::make_topology(topo_spec, spec.n, seed);
   {
     const std::lock_guard<std::mutex> lock(mu);
     cached_key = key;
     cached = topology;
   }
-  return sim::Scenario{std::move(topology), spec.faults};
+  sim::Scenario s{std::move(topology), spec.faults};
+  s.intra_threads = spec.intra_threads;
+  return s;
 }
 
 [[nodiscard]] bool has_crashes(const RunSpec& spec) {

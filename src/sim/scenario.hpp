@@ -21,6 +21,13 @@ using NodeId = std::uint32_t;
 /// death round of a node that never crashes.
 inline constexpr std::uint32_t kNeverCrashes = static_cast<std::uint32_t>(-1);
 
+// Large-n width guards: the fault timelines index nodes with 32-bit ids
+// and the two "never" sentinels must stay numerically interchangeable
+// (timeline code compares death rounds against both).
+static_assert(sizeof(NodeId) == 4, "fault timelines assume 32-bit node ids");
+static_assert(kNeverCrashes == kNeverRound,
+              "kNeverCrashes and kNeverRound must coincide");
+
 /// One run's environment.  The implicit FaultSchedule conversion keeps the
 /// historical call shape `run_xxx(n, ..., faults, config)` working: a plain
 /// fault model is the scenario with the complete topology and a zero clock
@@ -32,6 +39,13 @@ struct Scenario {
   /// pipelines bump it by each phase's executed rounds so one churn
   /// schedule spans the whole execution).
   std::uint32_t start_round = 0;
+  /// Worker budget for deterministic intra-round sharding (engine.hpp):
+  /// 1 keeps the historical serial scan, 0 means one worker per hardware
+  /// core (the RunSpec::intra_threads convention).  Sharding is
+  /// observationally invisible -- reports are byte-identical at any value
+  /// -- so this is a pure throughput knob for protocols that opt in
+  /// (kShardable).
+  std::uint32_t intra_threads = 1;
 
   Scenario() = default;
   Scenario(FaultSchedule f) : faults(std::move(f)) {}  // NOLINT(google-explicit-constructor)

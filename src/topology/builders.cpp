@@ -42,7 +42,13 @@ Graph make_star(std::uint32_t n) {
 
 Graph make_grid(std::uint32_t rows, std::uint32_t cols, bool torus) {
   if (rows < 2 || cols < 2) throw std::invalid_argument("make_grid: need rows, cols >= 2");
-  const std::uint32_t n = rows * cols;
+  // rows * cols must be widened before the NodeId narrowing: 65536 x 65536
+  // wraps to 0 in 32-bit arithmetic and would "succeed" with a 0-node graph.
+  static_assert(sizeof(NodeId) == 4, "grid overflow guard assumes 32-bit ids");
+  const std::uint64_t n64 = static_cast<std::uint64_t>(rows) * cols;
+  if (n64 > static_cast<std::uint64_t>(static_cast<NodeId>(-1)))
+    throw std::invalid_argument("make_grid: rows * cols overflows NodeId");
+  const auto n = static_cast<std::uint32_t>(n64);
   auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
   // Direct emission -- grid edges are unique by construction.  The only
   // duplicate hazard is a torus wrap on a 2-wide dimension (the wrap edge

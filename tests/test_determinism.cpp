@@ -212,6 +212,25 @@ TEST(GoldenDeterminism, MedianIntraThreadsAreBitIdentical) {
   EXPECT_EQ(api::report_checksum(api::run("drr", spec)), inline_hash);
 }
 
+// Intra-round sharding (engine-level, kShardable protocols, batches past
+// the activation floor) must be byte-invisible: the same run hashed at
+// intra_threads 1/4/8/0 on a batch size that actually activates the
+// sharded scan and delivery paths (n >= 2048), with loss + crash so the
+// serial drop pass and the tag merge are both exercised.
+TEST(GoldenDeterminism, ShardedEngineIsIntraThreadInvariant) {
+  for (const api::Aggregate agg : {api::Aggregate::kAve, api::Aggregate::kMax}) {
+    api::RunSpec spec = spec_of(8192, agg, 7);
+    spec.faults.loss_prob = 0.05;
+    spec.faults.crash_fraction = 0.1;
+    const std::uint64_t serial = api::report_checksum(api::run("uniform", spec));
+    for (const unsigned intra : {4u, 8u, 0u}) {
+      spec.intra_threads = intra;
+      EXPECT_EQ(api::report_checksum(api::run("uniform", spec)), serial)
+          << "agg " << static_cast<int>(agg) << " intra_threads " << intra;
+    }
+  }
+}
+
 // The flat fault-free executors must agree with the generic engine path
 // byte for byte.  A vanishing loss probability forces the engine path
 // (fault_free() is false) while leaving every delivery intact -- the loss

@@ -12,10 +12,13 @@
 #      threads-1-vs-threads-4 output hash proving bit-identical reports,
 #      plus the sparse-pipeline sweep point (chord-drr/ave on the engine
 #      port) under the same timing + hash discipline;
-#   2. bench_table1 --table1_json on the pinned config matrix
+#   2. the n-sweep scaling family (single runs at n = 65536 ... 16M,
+#      dense push-sum + implicit chord-ring DRR) with wall clock, peak
+#      RSS and the msgs/(n log n), rounds/log n scaling ratios;
+#   3. bench_table1 --table1_json on the pinned config matrix
 #      (n in {256, 1024, 4096}, complete + grid) -- the ops counters
 #      (rounds/msgs) the CI golden check pins;
-#   3. bench_engine micro-benchmarks (rounds/sec, msgs/sec, allocs/run).
+#   4. bench_engine micro-benchmarks (rounds/sec, msgs/sec, allocs/run).
 #
 # Usage:
 #   tools/bench_baseline.sh [BUILD_DIR] [OUT_JSON]
@@ -106,6 +109,59 @@ run_sweep chord-overlay chord-drr "$SWEEP_N" "$SWEEP_TRIALS"
 if [ "${SMOKE:-0}" != "1" ]; then
   run_sweep chord-overlay chord-drr 16384 "$SWEEP_TRIALS"
 fi
+
+# --- 1b. n-sweep family: single-run scaling rows ----------------------------
+# One trial per n, implicit backend forced on the structured substrate, so
+# the rows pin the scaling claims themselves: msgs/(n log2 n) and
+# rounds/log2 n stay flat as n grows, and peak RSS stays in the implicit
+# envelope (a materialised CSR at 16M would add gigabytes).  SMOKE runs
+# 65536 only; the full baseline climbs 65536 -> 1M -> 4M -> 16M, skipping
+# any n the machine lacks memory for (~350 bytes/node budgeted) or that
+# exceeds NSWEEP_MAX.
+run_nsweep_point() {
+  local ALGO="$1" TOPO_LABEL="$2" N="$3"; shift 3
+  python3 - "$CLI" "$ALGO" "$TOPO_LABEL" "$N" "$@" >> "$TMP/rows.json" <<'PY'
+import json, math, resource, subprocess, sys, time
+cli, algo, topo_label, n = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+args = [cli, "--algo", algo, "--agg", "ave", "--n", str(n), "--seed", "1",
+        "--json"] + sys.argv[5:]
+t0 = time.monotonic()
+out = subprocess.run(args, capture_output=True, text=True, check=True).stdout
+wall = time.monotonic() - t0
+# ru_maxrss of the child CLI process (KiB on Linux); this python process
+# runs exactly one child, so RUSAGE_CHILDREN is that run's peak.
+rss_mib = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0
+r = json.loads(out)
+logn = math.log2(n)
+row = {"bench": "n_sweep", "algo": algo, "topology": topo_label,
+       "backend": r.get("backend", "none"), "n": n,
+       "wall_s": round(wall, 4), "peak_rss_mib": round(rss_mib, 1),
+       "msgs": r["messages"], "rounds": r["rounds"],
+       "msgs_per_nlog": round(r["messages"] / (n * logn), 4),
+       "rounds_per_log": round(r["rounds"] / logn, 4)}
+print(json.dumps(row, separators=(",", ":")))
+PY
+}
+
+if [ "${SMOKE:-0}" = "1" ]; then
+  NSWEEP_SIZES="65536"
+else
+  NSWEEP_SIZES="65536 1048576 4194304 16777216"
+fi
+NSWEEP_MAX="${NSWEEP_MAX:-16777216}"
+MEM_AVAIL_KIB=$(awk '/MemAvailable/ {print $2}' /proc/meminfo 2>/dev/null || echo 0)
+for N in $NSWEEP_SIZES; do
+  if [ "$N" -gt "$NSWEEP_MAX" ]; then
+    echo "bench_baseline: n_sweep skipping n=$N (NSWEEP_MAX=$NSWEEP_MAX)" >&2
+    continue
+  fi
+  if [ "$MEM_AVAIL_KIB" != 0 ] && [ $((N * 350 / 1024)) -gt "$MEM_AVAIL_KIB" ]; then
+    echo "bench_baseline: n_sweep skipping n=$N (MemAvailable too low)" >&2
+    continue
+  fi
+  run_nsweep_point uniform complete "$N"
+  run_nsweep_point drr chord-ring "$N" --topology chord-ring --backend implicit
+done
 
 # --- 2. bench_table1 pinned matrix (ops counters for the CI goldens) --------
 if [ -x "$TABLE1" ]; then

@@ -17,6 +17,13 @@ goldens (tests/golden/bench_table1_ops.json) on two axes:
     traffic O(1) in n, so a fresh count more than 10% above the golden
     is a hard failure, as is regained O(n) growth (the n=16384 count
     exceeding twice the n=1024 count).
+  * n_sweep rows (single-run scaling family): per (algo, topology, n),
+    msgs/(n log2 n) must stay within 20% of the golden ratio -- that
+    ratio *is* the paper's O(n log n) message claim, so a drift past
+    tolerance means the message complexity moved -- and peak RSS must
+    stay under 1.25x the golden footprint, which is what catches an
+    accidental O(n log n) adjacency materialisation at scale.  Rows
+    for sizes the fresh run skipped (SMOKE, low memory) are ignored.
 
 Wall-clock fields are ignored (they are the point of the file, not a
 contract); throughput counters likewise -- only allocation counts are
@@ -36,7 +43,7 @@ ROUTED_CASES = ("BM_EngineChordDrr", "BM_EngineDrrSparseGrid")
 
 
 def golden_rows(path):
-    table1, sweeps, micro_allocs = {}, {}, {}
+    table1, sweeps, micro_allocs, nsweep = {}, {}, {}, {}
     with open(path) as f:
         for line in f:
             line = line.strip()
@@ -53,7 +60,32 @@ def golden_rows(path):
                 sweeps[key] = (row["sha256"], row.get("deterministic", False))
             elif row.get("bench") == "engine_micro":
                 micro_allocs[row["case"]] = row.get("allocs_per_run")
-    return table1, sweeps, micro_allocs
+            elif row.get("bench") == "n_sweep":
+                key = (row["algo"], row.get("topology", "complete"), row["n"])
+                nsweep[key] = (row["msgs_per_nlog"], row.get("peak_rss_mib"))
+    return table1, sweeps, micro_allocs, nsweep
+
+
+def check_nsweep(fresh, golden):
+    """Scaling-family gates; returns (failure count, rows checked)."""
+    failures = 0
+    checked = 0
+    for key, (want_ratio, want_rss) in sorted(golden.items()):
+        got = fresh.get(key)
+        if got is None:
+            continue  # skipped size (SMOKE matrix / low-memory machine)
+        checked += 1
+        got_ratio, got_rss = got
+        if want_ratio > 0 and abs(got_ratio - want_ratio) > 0.20 * want_ratio:
+            print(f"NSWEEP-MSG-DRIFT {key}: msgs/(n log n) "
+                  f"{want_ratio} -> {got_ratio} (>20% drift)")
+            failures += 1
+        if (want_rss is not None and got_rss is not None and want_rss > 0
+                and got_rss > want_rss * 1.25):
+            print(f"NSWEEP-RSS-REGRESSION {key}: peak_rss_mib "
+                  f"{want_rss} -> {got_rss} (>1.25x golden)")
+            failures += 1
+    return failures, checked
 
 
 def check_allocs(fresh, golden):
@@ -87,8 +119,8 @@ def main():
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
-    fresh_t1, fresh_sw, fresh_al = golden_rows(sys.argv[1])
-    golden_t1, golden_sw, golden_al = golden_rows(sys.argv[2])
+    fresh_t1, fresh_sw, fresh_al, fresh_ns = golden_rows(sys.argv[1])
+    golden_t1, golden_sw, golden_al, golden_ns = golden_rows(sys.argv[2])
     if not golden_t1:
         print(f"check_bench_goldens: no table1 rows in golden {sys.argv[2]}",
               file=sys.stderr)
@@ -128,15 +160,22 @@ def main():
         failures += 1
     alloc_failures, allocs_checked = check_allocs(fresh_al, golden_al)
     failures += alloc_failures
+    nsweep_failures, nsweep_checked = check_nsweep(fresh_ns, golden_ns)
+    failures += nsweep_failures
+    if golden_ns and not nsweep_checked:
+        print("check_bench_goldens: no fresh n_sweep row matches any golden "
+              "n_sweep key", file=sys.stderr)
+        failures += 1
     checked = len(golden_t1)
     if failures:
         print(f"check_bench_goldens: {failures} failures "
               f"({checked} ops rows, {sweeps_checked} sweep hashes, "
-              f"{allocs_checked} alloc gates checked)")
+              f"{allocs_checked} alloc gates, {nsweep_checked} n-sweep rows "
+              "checked)")
         return 1
     print(f"check_bench_goldens: all {checked} ops rows, "
-          f"{sweeps_checked} sweep hashes and {allocs_checked} alloc gates "
-          "match")
+          f"{sweeps_checked} sweep hashes, {allocs_checked} alloc gates "
+          f"and {nsweep_checked} n-sweep rows match")
     return 0
 
 

@@ -74,7 +74,7 @@ struct Options {
                "                [--join R:F[,...]] [--block-crash R:LO-HI[:S/W][,...]]\n"
                "                [--partition R:B[:H][,...]]\n"
                "                [--latency fixed:D|uniform:A-B|tail:A-B:P]\n"
-               "                [--topology P] [--degree D] [--threshold X]\n"
+               "                [--topology P] [--degree D] [--backend B] [--threshold X]\n"
                "                [--trials T] [--threads W] [--intra-threads I]\n"
                "                [--diam-mult M] [--pipeline dense|sparse]\n"
                "                [--transport sim|udp] [--bind-port P] [--seed-list L]\n"
@@ -92,6 +92,10 @@ struct Options {
                "      round R (optionally healing at round H)\n"
                "  --latency delays each call by d rounds drawn per message\n"
                "      (event-time delivery; replies stay same-round reliable)\n"
+               "  --backend picks the structured-topology storage: csr materialises\n"
+               "      adjacency, implicit computes neighbors from ids (chord-ring and\n"
+               "      grid/torus only); auto (default) goes implicit at n >= 131072.\n"
+               "      Both sample identically -- results are byte-equal either way\n"
                "  --threads 0 uses every hardware core; any value is bit-identical\n"
                "  --intra-threads fans a run's independent sub-runs (median bracket);\n"
                "      0 = all cores, bit-identical for any value\n"
@@ -201,8 +205,19 @@ Options parse(int argc, char** argv) {
         usage(2);
       }
       const auto degree = opt.topology.degree;
+      const auto backend = opt.topology.backend;
       opt.topology = *spec;
-      opt.topology.degree = degree;  // --degree may precede --topology
+      opt.topology.degree = degree;    // --degree may precede --topology
+      opt.topology.backend = backend;  // so may --backend
+    }
+    else if (arg == "--backend") {
+      const char* name = next("--backend");
+      const auto backend = drrg::sim::backend_from_name(name);
+      if (!backend.has_value()) {
+        std::fprintf(stderr, "unknown backend: %s (want auto, csr or implicit)\n", name);
+        usage(2);
+      }
+      opt.topology.backend = *backend;
     }
     else if (arg == "--churn") {
       opt.churn_text = next("--churn");
@@ -278,10 +293,38 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
+/// Substrate facts beyond the family name: the resolved storage backend
+/// and, for lattices, the rows x cols shape make_topology derived from n
+/// (so a sweep's JSON records the actual aspect ratio, not just "grid").
+std::string topology_extras_json(const Options& opt) {
+  using drrg::sim::TopologyBackend;
+  using drrg::sim::TopologyKind;
+  const TopologyKind kind = opt.topology.kind;
+  std::string out;
+  if (kind == TopologyKind::kChordRing || kind == TopologyKind::kGrid2d) {
+    // The sparse pipeline walks real adjacency, so the scenario layer
+    // forces CSR there no matter what was requested.
+    const bool implicit =
+        opt.pipeline != drrg::api::Pipeline::kSparse &&
+        (opt.topology.backend == TopologyBackend::kImplicit ||
+         (opt.topology.backend == TopologyBackend::kAuto &&
+          opt.n >= drrg::sim::kImplicitAutoThreshold));
+    out += ",\"backend\":\"";
+    out += implicit ? "implicit" : "csr";
+    out += '"';
+  }
+  if (kind == TopologyKind::kGrid2d) {
+    const drrg::sim::GridShape shape = drrg::sim::grid_shape(opt.n);
+    out += ",\"grid_rows\":" + std::to_string(shape.rows) +
+           ",\"grid_cols\":" + std::to_string(shape.cols);
+  }
+  return out;
+}
+
 void print_json(const Options& opt, const drrg::api::RunReport& r) {
   std::printf("{\"algo\":\"%s\",\"agg\":\"%s\",\"n\":%u,\"seed\":%llu,"
               "\"pipeline\":\"%s\",\"transport\":\"%s\","
-              "\"topology\":\"%s\",\"loss\":%.4f,\"crash\":%.4f,\"churn\":\"%s\","
+              "\"topology\":\"%s\"%s,\"loss\":%.4f,\"crash\":%.4f,\"churn\":\"%s\","
               "\"join\":\"%s\",\"block_crash\":\"%s\",\"partition\":\"%s\","
               "\"latency\":\"%s\",\"chaos\":\"%s\","
               "\"value\":%.17g,\"truth\":%.17g,"
@@ -292,6 +335,7 @@ void print_json(const Options& opt, const drrg::api::RunReport& r) {
               std::string{drrg::api::to_string(opt.pipeline)}.c_str(),
               std::string{drrg::api::to_string(opt.transport)}.c_str(),
               std::string{drrg::sim::to_string(opt.topology.kind)}.c_str(),
+              topology_extras_json(opt).c_str(),
               opt.loss, opt.crash, opt.churn_text.c_str(),
               drrg::api::format_joins(opt.joins).c_str(),
               drrg::api::format_blocks(opt.blocks).c_str(),
